@@ -1,0 +1,67 @@
+// A2 — Ablation: timeout adaptation policy.
+//
+// The paper's algorithm must increase the timeout on every expiry so an
+// eventually-timely source is accused only finitely often (its counter
+// stabilizes). This bench uses a source whose post-GST delay exceeds the
+// initial timeout: without adaptation the source is accused forever and the
+// system never settles; additive and multiplicative adaptation both settle,
+// multiplicative faster (at the cost of slower failure detection later).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "net/topology.h"
+#include "omega/experiment.h"
+
+using namespace lls;
+using namespace lls::bench;
+
+int main() {
+  banner("A2 — timeout adaptation: none vs additive vs multiplicative",
+         "adaptation is necessary for stabilization; policy trades speed of "
+         "convergence against detection latency");
+
+  Table table({"policy", "stabilized", "stab_ms", "senders(end)",
+               "total msgs"});
+
+  for (auto policy : {CeOmegaConfig::TimeoutPolicy::kNone,
+                      CeOmegaConfig::TimeoutPolicy::kAdditive,
+                      CeOmegaConfig::TimeoutPolicy::kMultiplicative}) {
+    OmegaExperiment exp;
+    exp.n = 5;
+    exp.seed = 13;
+    exp.ce.timeout_policy = policy;
+    exp.ce.initial_timeout = 15 * kMillisecond;
+    exp.ce.additive_step = 5 * kMillisecond;
+    exp.ce.multiplicative_factor = 1.5;
+    // Slow but timely network: delays 20-40ms exceed the initial timeout.
+    SystemSParams params;
+    params.sources = {0, 1, 2, 3, 4};
+    params.gst = 0;
+    params.timely = {20 * kMillisecond, 40 * kMillisecond};
+    exp.links = make_system_s(params);
+    exp.horizon = 90 * kSecond;
+    exp.trailing_window = 5 * kSecond;
+    auto r = run_omega_experiment(exp);
+
+    const char* name =
+        policy == CeOmegaConfig::TimeoutPolicy::kNone
+            ? "none"
+            : policy == CeOmegaConfig::TimeoutPolicy::kAdditive
+                  ? "additive(+5ms)"
+                  : "multiplicative(x1.5)";
+    table.add_row({name, r.stabilized ? "yes" : "NO",
+                   r.stabilized
+                       ? format("%.0f", static_cast<double>(
+                                            r.stabilization_time) /
+                                            kMillisecond)
+                       : "-",
+                   format("%zu", r.trailing_senders.size()),
+                   format("%llu", (unsigned long long)r.total_msgs)});
+  }
+  table.print();
+  std::printf(
+      "\nExpectation: 'none' never stabilizes (every candidate is accused\n"
+      "forever — and it also burns the most messages); both adaptive rows\n"
+      "stabilize, multiplicative sooner than additive.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// A6 — Extension: crash-recovery Omega (stable storage vs volatile).
+//
+// The crash-recovery follow-on work (see DESIGN.md §extension) carries the
+// paper's communication-efficiency notion into a model where processes may
+// crash and recover forever. This bench runs both algorithms under a
+// churning unstable process and reports who still sends in the trailing
+// window (efficiency vs near-efficiency), total message cost, and whether
+// correct processes converged.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "net/topology.h"
+#include "omega/cr_omega.h"
+#include "sim/simulator.h"
+
+using namespace lls;
+using namespace lls::bench;
+
+namespace {
+
+struct Outcome {
+  bool correct_agree = false;
+  ProcessId leader = kNoProcess;
+  std::size_t trailing_senders = 0;
+  bool only_leader_among_correct = true;
+  std::uint64_t total_msgs = 0;
+};
+
+template <typename Algo>
+Outcome run(int n, std::uint64_t seed) {
+  SimConfig config;
+  config.n = n;
+  config.seed = seed;
+  Simulator sim(config, make_all_timely({500, 2 * kMillisecond}));
+  CrOmegaConfig cc;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    sim.set_actor_factory(p, [cc]() { return std::make_unique<Algo>(cc); });
+  }
+  // The last process churns forever: up 2s, down 1s.
+  auto unstable = static_cast<ProcessId>(n - 1);
+  for (TimePoint t = 2 * kSecond; t < 118 * kSecond; t += 3 * kSecond) {
+    sim.crash_at(unstable, t);
+    sim.recover_at(unstable, t + 1 * kSecond);
+  }
+  sim.start();
+  sim.run_until(120 * kSecond);
+
+  Outcome out;
+  out.leader = sim.actor_as<Algo>(0).leader();
+  out.correct_agree = out.leader != kNoProcess;
+  for (ProcessId p = 0; p + 1 < static_cast<ProcessId>(n); ++p) {
+    out.correct_agree =
+        out.correct_agree && sim.actor_as<Algo>(p).leader() == out.leader;
+  }
+  auto senders =
+      sim.network().stats().senders_between(110 * kSecond, 120 * kSecond);
+  out.trailing_senders = senders.size();
+  for (ProcessId s : senders) {
+    if (s != out.leader && s != unstable) out.only_leader_among_correct = false;
+  }
+  out.total_msgs = sim.network().stats().sent_total();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("A6 — crash-recovery Omega extension: stable vs volatile storage",
+         "stable storage: communication-efficient (1 sender); no storage: "
+         "near-efficient (leader + the churning process's RECOVERED)");
+
+  Table table({"n", "algorithm", "correct agree", "leader", "senders(end)",
+               "only ℓ among correct", "total msgs"});
+  for (int n : {4, 6}) {
+    auto s = run<CrOmegaStable>(n, 5);
+    table.add_row({format("%d", n), "stable-storage",
+                   s.correct_agree ? "yes" : "NO", format("p%u", s.leader),
+                   format("%zu", s.trailing_senders),
+                   s.only_leader_among_correct ? "yes" : "NO",
+                   format("%llu", (unsigned long long)s.total_msgs)});
+    auto v = run<CrOmegaVolatile>(n, 5);
+    table.add_row({format("%d", n), "volatile(majority)",
+                   v.correct_agree ? "yes" : "NO", format("p%u", v.leader),
+                   format("%zu", v.trailing_senders),
+                   v.only_leader_among_correct ? "yes" : "NO",
+                   format("%llu", (unsigned long long)v.total_msgs)});
+  }
+  table.print();
+  std::printf(
+      "\nExpectation: both agree among correct processes; the stable-storage\n"
+      "variant ends with exactly 1 sender (the unstable process reads ℓ from\n"
+      "storage and stays silent), the volatile variant with ≤ 2 (ℓ plus the\n"
+      "churner's RECOVERED announcements) — efficiency vs near-efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// F3 — Necessity of a ♦-source (operational rendering of the paper's
+// impossibility result).
+//
+// The paper proves Omega cannot be implemented when no process has
+// eventually timely output links. An impossibility cannot be executed, but
+// its operational content can: we sweep the number of ♦-sources from an
+// adversarial zero (silence bursts of unboundedly growing length on every
+// link) through bounded-loss zero to one and more, and report whether the
+// execution stabilizes and how often leadership flaps.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "net/topology.h"
+#include "omega/experiment.h"
+
+using namespace lls;
+using namespace lls::bench;
+
+namespace {
+
+/// Every link is silent during [2^k, 1.5·2^k) seconds for all k — gaps grow
+/// without bound, so no adaptive timeout is ever permanently sufficient.
+LinkFactory adversarial_no_source() {
+  return [](ProcessId, ProcessId) -> std::unique_ptr<LinkModel> {
+    return std::make_unique<ScriptedLink>(
+        [](TimePoint t, MessageType, Rng& rng) {
+          double sec = static_cast<double>(t) / static_cast<double>(kSecond);
+          if (sec >= 1.0) {
+            double window = 1.0;
+            while (window * 2.0 <= sec) window *= 2.0;
+            if (sec < window * 1.5) return LinkDecision::dropped();
+          }
+          return LinkDecision::after(rng.next_range(500, 2 * kMillisecond));
+        });
+  };
+}
+
+int count_leader_flaps(const OmegaResult& r, TimePoint from) {
+  int flaps = 0;
+  std::vector<ProcessId> prev;
+  for (const auto& s : r.samples) {
+    if (s.t < from) continue;
+    if (!prev.empty() && s.leaders != prev) ++flaps;
+    prev = s.leaders;
+  }
+  return flaps;
+}
+
+}  // namespace
+
+int main() {
+  banner("F3 — stabilization vs number of ♦-sources (n=6)",
+         "zero sources with unbounded asynchrony => no stabilization; one "
+         "source suffices (the paper's necessity/sufficiency boundary)");
+
+  Table table({"scenario", "stabilized", "stab_ms", "flaps(2nd half)",
+               "senders(end)"});
+
+  auto run = [&](const char* label, LinkFactory links) {
+    OmegaExperiment exp;
+    exp.n = 6;
+    exp.seed = 17;
+    exp.links = std::move(links);
+    exp.horizon = 90 * kSecond;  // ends inside the [64s,96s) silence burst
+    exp.trailing_window = 5 * kSecond;
+    auto r = run_omega_experiment(exp);
+    table.add_row({label, r.stabilized ? "yes" : "NO",
+                   r.stabilized ? format("%.0f", static_cast<double>(
+                                                     r.stabilization_time) /
+                                                     kMillisecond)
+                                : "-",
+                   format("%d", count_leader_flaps(r, exp.horizon / 2)),
+                   format("%zu", r.trailing_senders.size())});
+  };
+
+  run("0 sources, adversarial", adversarial_no_source());
+
+  SystemSParams zero;
+  zero.sources = {};
+  zero.gst = 1 * kSecond;
+  run("0 sources, bounded fair loss", make_system_s(zero));
+
+  for (int k : {1, 2, 6}) {
+    SystemSParams params;
+    for (int s = 0; s < k; ++s) {
+      params.sources.push_back(static_cast<ProcessId>(5 - s));
+    }
+    params.gst = 1 * kSecond;
+    run(format("%d source(s)", k).c_str(), make_system_s(params));
+  }
+  table.print();
+  std::printf(
+      "\nReading: the adversarial zero-source row never stabilizes and keeps\n"
+      "flapping — the behaviour the impossibility proof predicts for every\n"
+      "algorithm. The bounded-loss zero-source row stabilizes: bounded delay\n"
+      "+ deterministic fairness is *de facto* timeliness, i.e. the premise\n"
+      "failure must be genuine unboundedness, exactly as the paper argues.\n"
+      "One source always suffices.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// T4 — Failover: leader crash during a live workload.
+//
+// Measures (a) Omega re-election time after the elected leader crashes and
+// (b) the consensus service interruption: the gap between the last decision
+// before the crash and the first decision after it. Both should be a small
+// multiple of the timeout parameters, independent of how much was decided
+// before the crash.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "consensus/experiment.h"
+#include "net/topology.h"
+#include "omega/experiment.h"
+
+using namespace lls;
+using namespace lls::bench;
+
+namespace {
+
+/// Re-election time measured directly on an Omega-only system: crash the
+/// current leader at t0, return how long until all survivors agree again.
+Duration measure_reelection(int n, std::uint64_t seed) {
+  SystemSParams params;
+  params.sources = {static_cast<ProcessId>(n - 1)};
+  params.gst = 500 * kMillisecond;
+  Simulator sim(SimConfig{n, seed, 10 * kMillisecond}, make_system_s(params));
+  std::vector<CeOmega*> omegas;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    omegas.push_back(&sim.emplace_actor<CeOmega>(p, CeOmegaConfig{}));
+  }
+  sim.start();
+  sim.run_until(8 * kSecond);  // settle
+
+  ProcessId old_leader = omegas[n - 1]->leader();
+  TimePoint crash_at = sim.now();
+  sim.crash_now(old_leader);
+
+  // Step until all survivors agree on one live process != old leader.
+  while (sim.now() < crash_at + 60 * kSecond) {
+    sim.run_for(5 * kMillisecond);
+    ProcessId agreed = kNoProcess;
+    bool all = true;
+    for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+      if (!sim.alive(p)) continue;
+      ProcessId l = omegas[p]->leader();
+      if (l == old_leader || !sim.alive(l)) {
+        all = false;
+        break;
+      }
+      if (agreed == kNoProcess) agreed = l;
+      if (l != agreed) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return sim.now() - crash_at;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  banner("T4 — failover after a leader crash",
+         "re-election and service interruption are O(timeout), independent "
+         "of history");
+
+  {
+    Table table({"n", "seed", "re-election(ms)"});
+    Summary all;
+    for (int n : {5, 10}) {
+      for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        Duration d = measure_reelection(n, seed);
+        all.record(static_cast<double>(d) / kMillisecond);
+        table.add_row({format("%d", n), format("%llu", (unsigned long long)seed),
+                       format("%.0f", static_cast<double>(d) / kMillisecond)});
+      }
+    }
+    std::printf("Omega re-election (crash the settled leader):\n");
+    table.print();
+    std::printf("mean=%.0fms max=%.0fms\n\n", all.mean(), all.max());
+  }
+
+  {
+    std::printf("Consensus service interruption (steady write stream, leader "
+                "killed at t=8s):\n");
+    Table table({"n", "seed", "decided", "max_decision_gap(ms)", "agreement"});
+    for (int n : {5, 10}) {
+      for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+        ConsensusExperiment exp;
+        exp.n = n;
+        exp.seed = seed;
+        SystemSParams params;
+        params.sources = {static_cast<ProcessId>(n - 1)};
+        params.gst = 500 * kMillisecond;
+        exp.links = make_system_s(params);
+        exp.num_values = 120;
+        exp.propose_interval = 100 * kMillisecond;
+        exp.first_propose = 2 * kSecond;
+        exp.proposer = static_cast<ProcessId>(n - 1);
+        exp.horizon = 120 * kSecond;
+        exp.crashes = {{0, 8 * kSecond}};  // initial leader on system S
+
+        // Track decision times at one survivor to find the largest gap.
+        auto r = run_consensus_experiment(exp);
+        // Gap proxy: p95(all) - p50(all) understates; instead use the
+        // latency_all max, which includes the stalled instances that waited
+        // out the failover.
+        table.add_row(
+            {format("%d", n), format("%llu", (unsigned long long)seed),
+             format("%d/%d", r.values_decided_everywhere, r.values_proposed),
+             format("%.0f", r.latency_all.max() / kMillisecond),
+             r.agreement_ok ? "ok" : "VIOLATED"});
+      }
+    }
+    table.print();
+    std::printf(
+        "\nExpectation: everything decides despite the crash; the worst-case\n"
+        "per-value latency bounds the service interruption (a few hundred ms\n"
+        "— accusation timeout + re-election + phase-1), and agreement holds.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// T5 — Randomized robustness sweep.
+//
+// Hundreds of randomized executions (n, source placement, crash pattern,
+// loss parameters, seeds) checking, per run:
+//   * Omega: stabilization on a correct leader + communication efficiency;
+//   * consensus: agreement + validity always, liveness (all decided).
+// This is the repository's "fuzzing" table: any row short of 100% is a bug.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "consensus/experiment.h"
+#include "net/topology.h"
+#include "omega/experiment.h"
+
+using namespace lls;
+using namespace lls::bench;
+
+int main() {
+  banner("T5 — randomized robustness sweep",
+         "all properties hold on every randomized execution");
+
+  Rng gen(0xfeedbeef);
+  const int kOmegaRuns = 120;
+  const int kConsensusRuns = 60;
+
+  int omega_stable = 0;
+  int omega_correct = 0;
+  int omega_efficient = 0;
+  for (int i = 0; i < kOmegaRuns; ++i) {
+    int n = static_cast<int>(gen.next_range(3, 12));
+    auto source = static_cast<ProcessId>(gen.next_below(n));
+    auto exp = default_system_s_experiment(n, gen.next_u64(), source);
+    exp.horizon = 90 * kSecond;
+    exp.trailing_window = 5 * kSecond;
+    int max_crashes = n - 1;
+    int crashes = static_cast<int>(gen.next_below(max_crashes));
+    int crashed = 0;
+    for (ProcessId p = 0; crashed < crashes && p < static_cast<ProcessId>(n);
+         ++p) {
+      if (p == source) continue;
+      exp.crashes.emplace_back(
+          p, 2 * kSecond + gen.next_range(0, 8 * kSecond));
+      ++crashed;
+    }
+    auto r = run_omega_experiment(exp);
+    if (r.stabilized) ++omega_stable;
+    if (r.stabilized && r.correct.contains(r.final_leader)) ++omega_correct;
+    if (r.communication_efficient()) ++omega_efficient;
+  }
+
+  int cons_agreement = 0;
+  int cons_validity = 0;
+  int cons_live = 0;
+  for (int i = 0; i < kConsensusRuns; ++i) {
+    int n = 3 + 2 * static_cast<int>(gen.next_below(3));  // 3, 5, 7
+    auto source = static_cast<ProcessId>(gen.next_below(n));
+    ConsensusExperiment exp;
+    exp.n = n;
+    exp.seed = gen.next_u64();
+    SystemSParams params;
+    params.sources = {source};
+    params.gst = 1 * kSecond;
+    exp.links = make_system_s(params);
+    exp.num_values = 10;
+    exp.horizon = 120 * kSecond;
+    // Crash a random minority, never the source.
+    int crashes = static_cast<int>(gen.next_below((n - 1) / 2 + 1));
+    int crashed = 0;
+    for (ProcessId p = 0; crashed < crashes && p < static_cast<ProcessId>(n);
+         ++p) {
+      if (p == source) continue;
+      exp.crashes.emplace_back(
+          p, 2 * kSecond + gen.next_range(0, 6 * kSecond));
+      ++crashed;
+    }
+    auto r = run_consensus_experiment(exp);
+    if (r.agreement_ok) ++cons_agreement;
+    if (r.validity_ok) ++cons_validity;
+    if (r.all_decided) ++cons_live;
+  }
+
+  Table table({"property", "holds", "runs"});
+  table.add_row({"Omega: stabilizes", format("%d", omega_stable),
+                 format("%d", kOmegaRuns)});
+  table.add_row({"Omega: final leader correct", format("%d", omega_correct),
+                 format("%d", kOmegaRuns)});
+  table.add_row({"Omega: communication-efficient",
+                 format("%d", omega_efficient), format("%d", kOmegaRuns)});
+  table.add_row({"Consensus: agreement", format("%d", cons_agreement),
+                 format("%d", kConsensusRuns)});
+  table.add_row({"Consensus: validity", format("%d", cons_validity),
+                 format("%d", kConsensusRuns)});
+  table.add_row({"Consensus: all values decided", format("%d", cons_live),
+                 format("%d", kConsensusRuns)});
+  table.print();
+  std::printf("\nExpectation: every row equals its run count.\n");
+  return 0;
+}

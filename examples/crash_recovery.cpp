@@ -1,0 +1,65 @@
+// Crash-recovery extension demo: leader election while one process crashes
+// and recovers forever. Shows the stable-storage algorithm's signature
+// behaviour — the churning process comes back already trusting the leader it
+// persisted, so after stabilization the system stays at exactly one sender.
+//
+//   ./examples/crash_recovery
+#include <cstdio>
+#include <memory>
+
+#include "net/topology.h"
+#include "omega/cr_omega.h"
+#include "sim/simulator.h"
+
+using namespace lls;
+
+int main() {
+  constexpr int kN = 4;
+  constexpr ProcessId kUnstable = 3;
+
+  SimConfig config;
+  config.n = kN;
+  config.seed = 2026;
+  Simulator sim(config, make_all_timely({500, 2 * kMillisecond}));
+  CrOmegaConfig cc;
+  for (ProcessId p = 0; p < kN; ++p) {
+    sim.set_actor_factory(p, [cc]() {
+      return std::make_unique<CrOmegaStable>(cc);
+    });
+  }
+
+  // p3 churns: 2s up, 1s down, forever.
+  std::puts("p3 crashes and recovers every 3s; p0..p2 are correct.\n");
+  for (TimePoint t = 2 * kSecond; t < 28 * kSecond; t += 3 * kSecond) {
+    sim.crash_at(kUnstable, t);
+    sim.recover_at(kUnstable, t + 1 * kSecond);
+  }
+  sim.start();
+
+  std::puts("time   p0  p1  p2  p3       incarnation(p3)  senders/2s");
+  for (TimePoint t = 2 * kSecond; t <= 30 * kSecond; t += 2 * kSecond) {
+    sim.run_until(t);
+    auto leader_str = [&](ProcessId p) -> std::string {
+      if (!sim.alive(p)) return "x";
+      return "p" + std::to_string(sim.actor_as<CrOmegaStable>(p).leader());
+    };
+    auto senders = sim.network().stats().senders_between(t - 2 * kSecond, t);
+    std::string bar(senders.size(), '#');
+    std::printf("%4llds  %-3s %-3s %-3s %-8s %8llu         %s\n",
+                static_cast<long long>(t / kSecond), leader_str(0).c_str(),
+                leader_str(1).c_str(), leader_str(2).c_str(),
+                leader_str(3).c_str(),
+                sim.alive(kUnstable)
+                    ? static_cast<unsigned long long>(
+                          sim.actor_as<CrOmegaStable>(kUnstable).incarnation())
+                    : 0ULL,
+                bar.c_str());
+  }
+
+  std::puts(
+      "\nNote: p3's incarnation keeps counting its recoveries, yet each time\n"
+      "it comes back it immediately trusts the persisted leader — so the\n"
+      "sender count stays at 1 once the system has stabilized\n"
+      "(communication efficiency in the crash-recovery model).");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Failover deep-dive: an ASCII time series of the system around a leader
+// crash, showing the paper's communication-efficiency property graphically —
+// the number of sending processes collapses to 1 after stabilization, jumps
+// during re-election, and collapses to 1 again.
+//
+//   ./examples/failover_demo
+#include <cstdio>
+#include <string>
+
+#include "net/topology.h"
+#include "omega/ce_omega.h"
+#include "sim/simulator.h"
+
+using namespace lls;
+
+int main() {
+  constexpr int kN = 8;
+  constexpr TimePoint kCrashAt = 12 * kSecond;
+  constexpr TimePoint kHorizon = 30 * kSecond;
+  constexpr Duration kWindow = 500 * kMillisecond;
+
+  SystemSParams params;
+  params.sources = {6};
+  params.gst = 1 * kSecond;
+
+  Simulator sim(SimConfig{kN, /*seed=*/99, 100 * kMillisecond},
+                make_system_s(params));
+  std::vector<CeOmega*> omegas;
+  for (ProcessId p = 0; p < kN; ++p) {
+    omegas.push_back(&sim.emplace_actor<CeOmega>(p, CeOmegaConfig{}));
+  }
+  // Crash whoever is the elected leader at kCrashAt (as seen by p7).
+  ProcessId crashed = kNoProcess;
+  sim.schedule(kCrashAt, [&]() {
+    crashed = omegas[kN - 1]->leader();
+    sim.crash_now(crashed);
+  });
+  sim.start();
+
+  std::puts("time   senders  msgs/500ms  leader-view (x = crashed)");
+  std::puts("----   -------  ----------  -----------");
+  for (TimePoint t = kWindow; t <= kHorizon; t += kWindow) {
+    sim.run_until(t);
+    const auto& stats = sim.network().stats();
+    auto senders = stats.senders_between(t - kWindow, t);
+    auto msgs = stats.msgs_between(t - kWindow, t);
+
+    std::string views;
+    for (ProcessId p = 0; p < kN; ++p) {
+      if (!sim.alive(p)) {
+        views += "x ";
+      } else {
+        views += std::to_string(omegas[p]->leader()) + " ";
+      }
+    }
+    std::string bar(senders.size(), '#');
+    std::printf("%5.1fs  %-8s %10llu  [%s]%s\n",
+                static_cast<double>(t) / kSecond, bar.c_str(),
+                static_cast<unsigned long long>(msgs), views.c_str(),
+                t == kCrashAt + kWindow ? "   <-- leader crashed" : "");
+  }
+
+  auto final_senders =
+      sim.network().stats().senders_between(kHorizon - 2 * kSecond, kHorizon);
+  std::printf("\nFinal 2s: %zu sender(s)", final_senders.size());
+  for (ProcessId p : final_senders) std::printf(" p%u", p);
+  std::puts(final_senders.size() == 1
+                ? " -> communication-efficient steady state restored."
+                : " -> still stabilizing.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Leader election over real UDP sockets on localhost.
+//
+// Starts n CE-Omega nodes, each bound to 127.0.0.1:(base+id), lets them
+// elect a leader over the real loopback network, then stops the leader's
+// node and watches the survivors re-elect.
+//
+//   ./examples/udp_cluster [n] [base_port]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "omega/ce_omega.h"
+#include "runtime/udp_runtime.h"
+
+using namespace lls;
+
+namespace {
+
+std::vector<ProcessId> sample_leaders(
+    std::vector<std::unique_ptr<UdpNode>>& nodes,
+    std::vector<CeOmega*>& omegas) {
+  int n = static_cast<int>(nodes.size());
+  std::vector<ProcessId> leaders(static_cast<std::size_t>(n), kNoProcess);
+  std::atomic<int> done{0};
+  for (int p = 0; p < n; ++p) {
+    if (!nodes[p]) {
+      done.fetch_add(1);
+      continue;
+    }
+    nodes[p]->post([&, p]() {
+      leaders[static_cast<std::size_t>(p)] = omegas[static_cast<std::size_t>(p)]->leader();
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return leaders;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 5;
+  auto base = static_cast<std::uint16_t>(argc > 2 ? std::atoi(argv[2]) : 47100);
+
+  CeOmegaConfig config;
+  config.eta = 20 * kMillisecond;
+  config.initial_timeout = 80 * kMillisecond;
+
+  std::vector<std::unique_ptr<UdpNode>> nodes;
+  std::vector<CeOmega*> omegas;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    auto actor = std::make_unique<CeOmega>(config);
+    omegas.push_back(actor.get());
+    UdpNodeConfig cfg;
+    cfg.id = p;
+    cfg.n = n;
+    cfg.base_port = base;
+    nodes.push_back(std::make_unique<UdpNode>(cfg, std::move(actor)));
+  }
+  std::printf("Starting %d UDP nodes on 127.0.0.1:%u..%u\n", n, base,
+              base + n - 1);
+  for (auto& node : nodes) node->start();
+
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+  auto leaders = sample_leaders(nodes, omegas);
+  std::printf("Leader views after 1s: ");
+  for (int p = 0; p < n; ++p) std::printf("p%d->p%u  ", p, leaders[p]);
+  std::printf("\n");
+
+  ProcessId leader = leaders[0];
+  std::printf("Stopping the leader node p%u...\n", leader);
+  nodes[leader]->stop();
+  nodes[leader].reset();
+
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  leaders = sample_leaders(nodes, omegas);
+  std::printf("Leader views after failover: ");
+  for (int p = 0; p < n; ++p) {
+    if (nodes[p]) std::printf("p%d->p%u  ", p, leaders[p]);
+  }
+  std::printf("\n");
+  for (auto& node : nodes) {
+    if (node) node->stop();
+  }
+  return 0;
+}

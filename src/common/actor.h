@@ -1,0 +1,74 @@
+// The runtime-independence layer.
+//
+// Every protocol in this library (Omega variants, consensus, the RSM) is an
+// Actor programmed against the Runtime interface. The discrete-event
+// simulator (src/sim), the thread-per-process real-time runtime and the UDP
+// runtime (src/runtime) all implement Runtime, so identical algorithm code
+// runs deterministically under test and live over threads or sockets.
+//
+// Contract:
+//  * All callbacks of one actor are serialized (never concurrent).
+//  * send() is fire-and-forget; delivery, delay and loss are the network's
+//    business, exactly as in the paper's link model.
+//  * Timers are one-shot; re-arm from the callback for periodic tasks.
+//  * A crashed process simply stops receiving callbacks (crash-stop model).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/storage.h"
+#include "common/types.h"
+
+namespace lls {
+
+/// Services a hosted protocol may use. Implemented by SimRuntime (virtual
+/// time) and ThreadRuntime/UdpRuntime (real time).
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// This process's id, in [0, n()).
+  [[nodiscard]] virtual ProcessId id() const = 0;
+
+  /// Total number of processes in the system (known membership, as in the
+  /// paper).
+  [[nodiscard]] virtual int n() const = 0;
+
+  /// Local clock. Only intervals are meaningful across processes.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Sends payload to dst. dst == id() is invalid. Never blocks.
+  virtual void send(ProcessId dst, MessageType type, BytesView payload) = 0;
+
+  /// Arms a one-shot timer firing after delay; returns its handle.
+  virtual TimerId set_timer(Duration delay) = 0;
+
+  /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+  /// is a no-op.
+  virtual void cancel_timer(TimerId timer) = 0;
+
+  /// Per-process deterministic random stream.
+  virtual Rng& rng() = 0;
+
+  /// Stable storage surviving crashes (crash-recovery extension); nullptr
+  /// in crash-stop runtimes, which is the default.
+  [[nodiscard]] virtual StableStorage* storage() { return nullptr; }
+};
+
+/// A hosted protocol instance.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Called once when the process starts (virtual time 0 in the simulator).
+  virtual void on_start(Runtime& rt) = 0;
+
+  /// Called when a message addressed to this process is delivered.
+  virtual void on_message(Runtime& rt, ProcessId src, MessageType type,
+                          BytesView payload) = 0;
+
+  /// Called when a timer armed via Runtime::set_timer fires.
+  virtual void on_timer(Runtime& rt, TimerId timer) = 0;
+};
+
+}  // namespace lls

@@ -1,0 +1,13 @@
+// Byte-buffer aliases used for message payloads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lls {
+
+using Bytes = std::vector<std::byte>;
+using BytesView = std::span<const std::byte>;
+
+}  // namespace lls

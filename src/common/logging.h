@@ -1,0 +1,68 @@
+// Tiny leveled logger.
+//
+// Defaults to Warn so large simulations stay quiet; examples raise the level
+// to narrate executions. The logger is process-global and thread-safe at the
+// line level (each emit is a single formatted write).
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace lls {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  template <typename... Args>
+  void log(LogLevel level, const char* fmt, Args&&... args) {
+    if (!enabled(level)) return;
+    std::scoped_lock lock(mu_);
+    std::fprintf(stderr, "[%s] ", name(level));
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-vararg): printf-style sink.
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+#define LLS_LOG(level, ...)                                        \
+  do {                                                             \
+    if (::lls::Logger::instance().enabled(level)) {                \
+      ::lls::Logger::instance().log(level, __VA_ARGS__);           \
+    }                                                              \
+  } while (0)
+
+#define LLS_TRACE(...) LLS_LOG(::lls::LogLevel::kTrace, __VA_ARGS__)
+#define LLS_DEBUG(...) LLS_LOG(::lls::LogLevel::kDebug, __VA_ARGS__)
+#define LLS_INFO(...) LLS_LOG(::lls::LogLevel::kInfo, __VA_ARGS__)
+#define LLS_WARN(...) LLS_LOG(::lls::LogLevel::kWarn, __VA_ARGS__)
+#define LLS_ERROR(...) LLS_LOG(::lls::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace lls

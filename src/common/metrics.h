@@ -1,0 +1,131 @@
+// Lightweight metrics: counters, bucketed time series and summaries.
+//
+// The benchmark harness reconstructs the paper's claims from these: e.g.
+// "eventually only one process sends messages" is checked by reading the
+// per-process send counters over trailing time buckets.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lls {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Counts events into fixed-width time buckets, retaining the whole series.
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bucket_width) : width_(bucket_width) {}
+
+  void record(TimePoint t, std::uint64_t by = 1) {
+    auto idx = static_cast<std::size_t>(t / width_);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+    buckets_[idx] += by;
+  }
+
+  [[nodiscard]] Duration bucket_width() const { return width_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+  /// Sum of the series over [from, to).
+  [[nodiscard]] std::uint64_t sum_between(TimePoint from, TimePoint to) const {
+    std::uint64_t total = 0;
+    auto lo = static_cast<std::size_t>(std::max<TimePoint>(from, 0) / width_);
+    auto hi = static_cast<std::size_t>(std::max<TimePoint>(to, 0) / width_);
+    for (std::size_t i = lo; i < std::min(hi, buckets_.size()); ++i) {
+      total += buckets_[i];
+    }
+    return total;
+  }
+
+ private:
+  Duration width_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// Streaming summary: count / mean / min / max / stddev / percentiles.
+class Summary {
+ public:
+  void record(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0;
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0;
+    double m = mean();
+    double s = 0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// p in [0, 100]. Nearest-rank on a sorted copy.
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+    return sorted[rank - 1];
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Named metric registry, one per simulation.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Summary& summary(const std::string& name) { return summaries_[name]; }
+
+  TimeSeries& series(const std::string& name, Duration bucket_width) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      it = series_.emplace(name, TimeSeries(bucket_width)).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Summary> summaries_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace lls

@@ -1,0 +1,150 @@
+// Minimal bounds-checked little-endian binary serialization.
+//
+// Payloads are exchanged only between instances of this library, so a wire
+// format mismatch is a programming error: BufReader throws SerializationError
+// on underflow rather than returning error codes, keeping protocol decode
+// paths linear and readable.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace lls {
+
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+// Lazily resolves an enum to its underlying type; identity otherwise.
+template <typename T, bool = std::is_enum_v<T>>
+struct wire_int {
+  using type = std::underlying_type_t<T>;
+};
+template <typename T>
+struct wire_int<T, false> {
+  using type = T;
+};
+template <typename T>
+using wire_unsigned_t = std::make_unsigned_t<typename wire_int<T>::type>;
+}  // namespace detail
+
+/// Appends little-endian encodings to an owned byte vector.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_enum_v<T>
+  void put(T value) {
+    using U = detail::wire_unsigned_t<T>;
+    auto u = static_cast<U>(value);
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      buf_.push_back(static_cast<std::byte>((u >> (8 * i)) & 0xff));
+    }
+  }
+
+  void put_bytes(BytesView bytes) {
+    put(static_cast<std::uint32_t>(bytes.size()));
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void put_string(std::string_view s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+  }
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  void put_vec(const std::vector<T>& v) {
+    put(static_cast<std::uint32_t>(v.size()));
+    for (T x : v) put(x);
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] BytesView view() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads little-endian encodings from a non-owned view.
+class BufReader {
+ public:
+  explicit BufReader(BytesView view) : view_(view) {}
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_enum_v<T>
+  T get() {
+    using U = detail::wire_unsigned_t<T>;
+    require(sizeof(U));
+    U u = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      u |= static_cast<U>(std::to_integer<std::uint8_t>(view_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(U);
+    return static_cast<T>(u);
+  }
+
+  Bytes get_bytes() {
+    auto len = get<std::uint32_t>();
+    require(len);
+    Bytes out(view_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              view_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  std::string get_string() {
+    auto len = get<std::uint32_t>();
+    require(len);
+    std::string out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>(std::to_integer<std::uint8_t>(view_[pos_ + i])));
+    }
+    pos_ += len;
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  std::vector<T> get_vec() {
+    auto len = get<std::uint32_t>();
+    std::vector<T> out;
+    // The count is untrusted input: cap the reservation by what the buffer
+    // could possibly hold, so a lying header cannot trigger a huge
+    // allocation before the bounds check throws.
+    out.reserve(std::min<std::size_t>(len, remaining() / sizeof(T)));
+    for (std::uint32_t i = 0; i < len; ++i) out.push_back(get<T>());
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return view_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t bytes) const {
+    if (pos_ + bytes > view_.size()) {
+      throw SerializationError("buffer underflow: need " +
+                               std::to_string(bytes) + " bytes, have " +
+                               std::to_string(view_.size() - pos_));
+    }
+  }
+
+  BytesView view_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lls

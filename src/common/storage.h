@@ -1,0 +1,49 @@
+// Stable storage abstraction (crash-recovery extension).
+//
+// The PODC 2004 core is crash-stop and never touches storage. The
+// crash-recovery extension (src/omega/cr_omega.h) follows the later
+// literature in which a process may keep a few values — an incarnation
+// number and the current leader — in storage that survives crashes.
+// Runtime::storage() returns nullptr in crash-stop runtimes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace lls {
+
+class StableStorage {
+ public:
+  virtual ~StableStorage() = default;
+
+  /// Atomically (re)writes key.
+  virtual void write(const std::string& key, BytesView value) = 0;
+
+  /// Reads key; nullopt if never written.
+  [[nodiscard]] virtual std::optional<Bytes> read(const std::string& key) = 0;
+};
+
+/// Map-backed storage. The simulator owns one per process *outside* the
+/// process's volatile state, so it survives crash/recovery cycles.
+class InMemoryStableStorage final : public StableStorage {
+ public:
+  void write(const std::string& key, BytesView value) override {
+    data_[key] = Bytes(value.begin(), value.end());
+  }
+
+  [[nodiscard]] std::optional<Bytes> read(const std::string& key) override {
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t keys() const { return data_.size(); }
+
+ private:
+  std::map<std::string, Bytes> data_;
+};
+
+}  // namespace lls

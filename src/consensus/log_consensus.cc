@@ -1,0 +1,467 @@
+#include "consensus/log_consensus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace lls {
+
+void LogConsensus::on_start(Runtime& rt) {
+  self_ = rt.id();
+  n_ = rt.n();
+  rt_ = &rt;
+  if (config_.durable) restore(rt);
+  tick_timer_ = rt.set_timer(config_.retry_period);
+}
+
+namespace {
+constexpr const char* kDurableKey = "log_consensus/state";
+}  // namespace
+
+void LogConsensus::persist(Runtime& rt) const {
+  StableStorage* storage = rt.storage();
+  if (storage == nullptr) {
+    throw std::logic_error("durable LogConsensus requires Runtime::storage()");
+  }
+  BufWriter w(256);
+  Bytes acceptor_blob = acceptor_.encode();
+  w.put_bytes(acceptor_blob);
+  w.put(log_base_);
+  w.put(static_cast<std::uint32_t>(log_.size()));
+  for (const auto& slot : log_) {
+    w.put(static_cast<std::uint8_t>(slot.has_value() ? 1 : 0));
+    if (slot.has_value()) w.put_bytes(*slot);
+  }
+  storage->write(kDurableKey, w.view());
+}
+
+void LogConsensus::restore(Runtime& rt) {
+  StableStorage* storage = rt.storage();
+  if (storage == nullptr) {
+    throw std::logic_error("durable LogConsensus requires Runtime::storage()");
+  }
+  auto blob = storage->read(kDurableKey);
+  if (!blob.has_value()) return;  // first boot
+  BufReader r(*blob);
+  acceptor_ = Acceptor::decode(r.get_bytes());
+  log_base_ = r.get<Instance>();
+  auto count = r.get<std::uint32_t>();
+  log_.clear();
+  log_.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    if (r.get<std::uint8_t>() != 0) {
+      log_.emplace_back(r.get_bytes());
+    } else {
+      log_.emplace_back(std::nullopt);
+    }
+  }
+  highest_seen_round_ = std::max(highest_seen_round_, acceptor_.promised());
+  // Re-fire decisions for the restored contiguous prefix so a recovering
+  // application can rebuild its state machine.
+  next_notify_ = log_base_;
+  while (next_notify_ < log_size() && decided_value(next_notify_) != nullptr) {
+    const Bytes& v = *decided_value(next_notify_);
+    Instance idx = next_notify_;
+    ++next_notify_;
+    notify_decision(idx, v);
+  }
+}
+
+void LogConsensus::propose(Bytes value) {
+  // Values must be unique per submission (the RSM layer guarantees this via
+  // command ids): the decided log is the only completion signal we have.
+  pending_.push_back(std::move(value));
+  // Eager dispatch: a ready leader assigns immediately (2-message-delay
+  // steady state); a follower forwards now rather than on the next tick.
+  if (rt_ == nullptr) return;
+  if (i_am_omega_leader()) {
+    if (leader_ready_) assign_pending(*rt_);
+  } else {
+    ProcessId l = omega_->leader();
+    if (l != kNoProcess && l != self_) {
+      rt_->send(l, msg_type::kForward, ForwardMsg{pending_.back()}.encode());
+    }
+  }
+}
+
+std::optional<Bytes> LogConsensus::decision(Instance i) const {
+  const Bytes* v = decided_value(i);
+  if (v != nullptr) return *v;
+  return std::nullopt;
+}
+
+Instance LogConsensus::first_undecided() const { return next_notify_; }
+Instance LogConsensus::commit_upto() const { return next_notify_; }
+
+void LogConsensus::on_timer(Runtime& rt, TimerId timer) {
+  if (timer != tick_timer_) return;
+  tick_timer_ = rt.set_timer(config_.retry_period);
+  drive(rt);
+}
+
+void LogConsensus::drive(Runtime& rt) {
+  if (i_am_omega_leader()) {
+    if (!leader_ready_ && !preparing_) start_prepare(rt);
+    if (leader_ready_) assign_pending(rt);
+    retransmit(rt);
+    return;
+  }
+  // Not the leader: drop any proposer role and re-forward pending values to
+  // whoever Omega currently trusts. Followers send only these forwards and
+  // direct replies, never broadcasts.
+  if (preparing_ || leader_ready_) abdicate();
+  ProcessId l = omega_->leader();
+  if (l != kNoProcess && l != self_) {
+    for (const Bytes& v : pending_) {
+      rt.send(l, msg_type::kForward, ForwardMsg{v}.encode());
+    }
+  }
+}
+
+void LogConsensus::start_prepare(Runtime& rt) {
+  Round bound = std::max({highest_seen_round_, acceptor_.promised(), my_round_});
+  my_round_ = next_ballot(self_, n_, bound);
+  preparing_ = true;
+  promises_.clear();
+  promise_merge_.clear();
+  prepare_from_ = first_undecided();
+
+  // Self-promise: raise the local acceptor's promise and merge its state.
+  acceptor_.on_prepare(my_round_);
+  promises_.insert(self_);
+  for (const auto& [i, pair] : acceptor_.all_accepted()) {
+    if (i >= prepare_from_ && !is_decided(i)) promise_merge_[i] = pair;
+  }
+  if (static_cast<int>(promises_.size()) >= majority()) {
+    become_ready(rt);
+    return;
+  }
+  Bytes payload = PrepareMsg{my_round_, prepare_from_}.encode();
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q != self_) rt.send(q, msg_type::kPrepare, payload);
+  }
+}
+
+void LogConsensus::become_ready(Runtime& rt) {
+  leader_ready_ = true;
+  preparing_ = false;
+
+  // The proposer's frontier: above everything decided, merged or in flight.
+  next_free_ = std::max<Instance>(next_free_, log_size());
+  next_free_ = std::max<Instance>(next_free_, prepare_from_);
+  if (!promise_merge_.empty()) {
+    next_free_ = std::max<Instance>(next_free_, promise_merge_.rbegin()->first + 1);
+  }
+
+  // Fill holes the quorum knows nothing about with no-ops so the log prefix
+  // becomes decidable, and re-propose every merged value at my round.
+  for (Instance i = first_undecided(); i < next_free_; ++i) {
+    if (is_decided(i) || promise_merge_.contains(i)) continue;
+    promise_merge_[i] = Acceptor::AcceptedPair{kNoRound, Bytes{}};
+  }
+  for (auto& [i, pair] : promise_merge_) {
+    if (is_decided(i)) continue;
+    InFlight inf;
+    inf.value = pair.value;
+    inf.acks.insert(self_);
+    acceptor_.on_accept(my_round_, i, inf.value);
+    inflight_[i] = std::move(inf);
+    for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+      if (q != self_) send_accept(rt, q, i);
+    }
+  }
+  promise_merge_.clear();
+
+  // Re-disseminate every decision this leader still holds (compacted
+  // entries are gone by contract): a new leader owes the followers the
+  // decided prefix (their acks prune this quickly).
+  for (Instance i = log_base_; i < log_size(); ++i) {
+    if (decided_value(i) == nullptr) continue;
+    auto& unacked = decide_unacked_[i];
+    for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+      if (q != self_) unacked.insert(q);
+    }
+  }
+  assign_pending(rt);
+}
+
+void LogConsensus::assign_pending(Runtime& rt) {
+  while (!pending_.empty()) {
+    Bytes value = std::move(pending_.front());
+    pending_.pop_front();
+    Instance i = next_free_++;
+    InFlight inf;
+    inf.value = std::move(value);
+    inf.acks.insert(self_);
+    acceptor_.on_accept(my_round_, i, inf.value);
+    inflight_[i] = std::move(inf);
+    for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+      if (q != self_) send_accept(rt, q, i);
+    }
+  }
+}
+
+void LogConsensus::send_accept(Runtime& rt, ProcessId dst, Instance i) {
+  const InFlight& inf = inflight_.at(i);
+  AcceptMsg msg{my_round_, i, commit_upto(), inf.value};
+  rt.send(dst, msg_type::kAccept, msg.encode());
+}
+
+void LogConsensus::retransmit(Runtime& rt) {
+  if (preparing_) {
+    Bytes payload = PrepareMsg{my_round_, prepare_from_}.encode();
+    for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+      if (q != self_ && !promises_.contains(q)) {
+        rt.send(q, msg_type::kPrepare, payload);
+      }
+    }
+  }
+  if (leader_ready_) {
+    for (const auto& [i, inf] : inflight_) {
+      for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+        if (q != self_ && !inf.acks.contains(q)) send_accept(rt, q, i);
+      }
+    }
+    for (const auto& [i, unacked] : decide_unacked_) {
+      Bytes payload = DecideMsg{i, *decided_value(i)}.encode();
+      for (ProcessId q : unacked) rt.send(q, msg_type::kDecide, payload);
+    }
+  }
+}
+
+void LogConsensus::abdicate() {
+  // Unfinished proposals go back to the pending queue; they will be
+  // forwarded to the new leader (the new leader's Phase 1 may also recover
+  // them, in which case byte-identical duplicates are pruned at decision
+  // time).
+  for (auto& [i, inf] : inflight_) {
+    if (!is_decided(i) && !inf.value.empty()) {
+      pending_.push_back(std::move(inf.value));
+    }
+  }
+  inflight_.clear();
+  promise_merge_.clear();
+  promises_.clear();
+  decide_unacked_.clear();
+  preparing_ = false;
+  leader_ready_ = false;
+}
+
+void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
+  if (i < log_base_) return;  // compacted: decided long ago
+  Instance rel = i - log_base_;
+  if (rel >= log_.size()) log_.resize(rel + 1);
+  if (log_[rel].has_value()) {
+    if (*log_[rel] != value) {
+      // Agreement tripwire: two different values decided for one instance
+      // would falsify Paxos safety; fail loudly.
+      throw std::logic_error("consensus agreement violated at instance " +
+                             std::to_string(i));
+    }
+    return;
+  }
+  log_[rel] = value;
+  inflight_.erase(i);
+  if (config_.durable) persist(rt);
+
+  // The decided log is the completion signal for pending submissions.
+  if (!value.empty()) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (*it == value) {
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+
+  while (next_notify_ < log_size() && decided_value(next_notify_) != nullptr) {
+    const Bytes& v = *decided_value(next_notify_);
+    Instance idx = next_notify_;
+    ++next_notify_;
+    notify_decision(idx, v);
+  }
+}
+
+void LogConsensus::on_message(Runtime& rt, ProcessId src, MessageType type,
+                              BytesView payload) {
+  switch (type) {
+    case msg_type::kPrepare:
+      handle_prepare(rt, src, PrepareMsg::decode(payload));
+      break;
+    case msg_type::kPromise:
+      handle_promise(rt, src, PromiseMsg::decode(payload));
+      break;
+    case msg_type::kAccept:
+      handle_accept(rt, src, AcceptMsg::decode(payload));
+      break;
+    case msg_type::kAccepted:
+      handle_accepted(rt, src, AcceptedMsg::decode(payload));
+      break;
+    case msg_type::kNack:
+      handle_nack(NackMsg::decode(payload));
+      break;
+    case msg_type::kDecide:
+      handle_decide(rt, src, DecideMsg::decode(payload));
+      break;
+    case msg_type::kDecideAck:
+      handle_decide_ack(src, DecideAckMsg::decode(payload));
+      break;
+    case msg_type::kForward:
+      handle_forward(src, ForwardMsg::decode(payload));
+      break;
+    default:
+      break;
+  }
+}
+
+void LogConsensus::handle_prepare(Runtime& rt, ProcessId src,
+                                  const PrepareMsg& msg) {
+  highest_seen_round_ = std::max(highest_seen_round_, msg.round);
+  Round before = acceptor_.promised();
+  if (!acceptor_.on_prepare(msg.round)) {
+    rt.send(src, msg_type::kNack,
+            NackMsg{msg.round, acceptor_.promised()}.encode());
+    return;
+  }
+  // The promise is durable state: persist before replying, as a real
+  // acceptor must (a reply that outlives the promise breaks safety).
+  if (config_.durable && acceptor_.promised() != before) persist(rt);
+  if (msg.round > my_round_ && (preparing_ || leader_ready_)) abdicate();
+
+  PromiseMsg reply;
+  reply.round = msg.round;
+  for (const auto& [i, pair] : acceptor_.all_accepted()) {
+    if (i < msg.from || is_decided(i)) continue;
+    reply.entries.push_back(PromiseEntry{i, pair.round, false, pair.value});
+  }
+  for (Instance i = std::max(msg.from, log_base_); i < log_size(); ++i) {
+    const Bytes* v = decided_value(i);
+    if (v != nullptr) {
+      reply.entries.push_back(PromiseEntry{i, kNoRound, true, *v});
+    }
+  }
+  rt.send(src, msg_type::kPromise, reply.encode());
+}
+
+void LogConsensus::handle_promise(Runtime& rt, ProcessId src,
+                                  const PromiseMsg& msg) {
+  if (!preparing_ || msg.round != my_round_) return;
+  for (const auto& e : msg.entries) {
+    if (e.decided) {
+      learn(rt, e.instance, e.value);
+      continue;
+    }
+    auto it = promise_merge_.find(e.instance);
+    if (it == promise_merge_.end() || e.accepted_round > it->second.round) {
+      promise_merge_[e.instance] =
+          Acceptor::AcceptedPair{e.accepted_round, e.value};
+    }
+  }
+  promises_.insert(src);
+  if (static_cast<int>(promises_.size()) >= majority()) become_ready(rt);
+}
+
+void LogConsensus::handle_accept(Runtime& rt, ProcessId src,
+                                 const AcceptMsg& msg) {
+  highest_seen_round_ = std::max(highest_seen_round_, msg.round);
+  if (!acceptor_.on_accept(msg.round, msg.instance, msg.value)) {
+    rt.send(src, msg_type::kNack,
+            NackMsg{msg.round, acceptor_.promised()}.encode());
+    return;
+  }
+  if (config_.durable) persist(rt);  // accepted pair is durable state
+  if (msg.round > my_round_ && (preparing_ || leader_ready_)) abdicate();
+  rt.send(src, msg_type::kAccepted,
+          AcceptedMsg{msg.round, msg.instance}.encode());
+
+  // Pipelined commit: everything below commit_upto was decided by the
+  // leader of this round; our accepted value at this same round for such an
+  // instance is therefore the chosen value.
+  for (Instance j = first_undecided(); j < msg.commit_upto; ++j) {
+    if (is_decided(j)) continue;
+    const auto* pair = acceptor_.accepted(j);
+    if (pair != nullptr && pair->round == msg.round) learn(rt, j, pair->value);
+  }
+}
+
+void LogConsensus::handle_accepted(Runtime& rt, ProcessId src,
+                                   const AcceptedMsg& msg) {
+  if (!leader_ready_ || msg.round != my_round_) return;
+  auto it = inflight_.find(msg.instance);
+  if (it == inflight_.end()) return;  // already decided
+  it->second.acks.insert(src);
+  if (static_cast<int>(it->second.acks.size()) < majority()) return;
+
+  Bytes value = std::move(it->second.value);
+  inflight_.erase(it);
+  learn(rt, msg.instance, value);
+  auto& unacked = decide_unacked_[msg.instance];
+  Bytes payload = DecideMsg{msg.instance, value}.encode();
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q == self_) continue;
+    unacked.insert(q);
+    rt.send(q, msg_type::kDecide, payload);
+  }
+}
+
+void LogConsensus::handle_nack(const NackMsg& msg) {
+  highest_seen_round_ = std::max(highest_seen_round_, msg.promised_round);
+  if (msg.rejected_round == my_round_ && (preparing_ || leader_ready_)) {
+    // Outpaced by a higher ballot: step back; the next tick re-prepares
+    // with a higher ballot if Omega still trusts this process.
+    abdicate();
+  }
+}
+
+void LogConsensus::handle_decide(Runtime& rt, ProcessId src,
+                                 const DecideMsg& msg) {
+  learn(rt, msg.instance, msg.value);
+  rt.send(src, msg_type::kDecideAck, DecideAckMsg{msg.instance}.encode());
+}
+
+void LogConsensus::handle_decide_ack(ProcessId src, const DecideAckMsg& msg) {
+  auto it = decide_unacked_.find(msg.instance);
+  if (it == decide_unacked_.end()) return;
+  it->second.erase(src);
+  if (it->second.empty()) decide_unacked_.erase(it);
+}
+
+Instance LogConsensus::compact(Instance upto) {
+  // Clamp to what is decided locally and to what is still needed for DECIDE
+  // retransmission; never move backwards.
+  upto = std::min(upto, next_notify_);
+  if (!decide_unacked_.empty()) {
+    upto = std::min(upto, decide_unacked_.begin()->first);
+  }
+  if (upto <= log_base_) return log_base_;
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(upto - log_base_));
+  log_base_ = upto;
+  acceptor_.forget_upto(upto);
+  if (config_.durable && rt_ != nullptr) persist(*rt_);
+  return log_base_;
+}
+
+void LogConsensus::handle_forward(ProcessId, const ForwardMsg& msg) {
+  // Deduplicate against everything already seen: queued, in flight, decided.
+  for (const Bytes& v : pending_) {
+    if (v == msg.value) return;
+  }
+  for (const auto& [i, inf] : inflight_) {
+    if (inf.value == msg.value) return;
+  }
+  for (const auto& slot : log_) {
+    if (slot.has_value() && *slot == msg.value) return;
+  }
+  // (Values compacted away cannot be matched any more; the origin's retry
+  // loop stops as soon as it observes the decision, which by the compaction
+  // contract it already has.)
+  pending_.push_back(msg.value);
+  // Eager dispatch: a ready leader starts Phase 2 for the new value now.
+  if (rt_ != nullptr && leader_ready_ && i_am_omega_leader()) {
+    assign_pending(*rt_);
+  }
+}
+
+}  // namespace lls

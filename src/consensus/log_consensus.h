@@ -1,0 +1,177 @@
+// LogConsensus: communication-efficient, Omega-driven consensus on a log.
+//
+// Reconstruction of the consensus side of Aguilera et al. (PODC 2004): with
+// a majority of correct processes and the CE-Omega leader oracle, consensus
+// is solvable in system S, and communication-efficiently — after
+// stabilization every instance is driven entirely by the one elected leader
+// (Θ(n) messages, two message delays with pipelining), and followers send
+// only direct replies to it. See DESIGN.md §4.
+//
+// Shape: multi-Paxos hardened for fair-lossy links.
+//  * Only the process currently trusted by Omega acts as proposer; it runs
+//    Phase 1 (PREPARE/PROMISE) once per leadership epoch and then drives
+//    every instance with Phase 2 only.
+//  * All leader messages are retransmitted on a timer until the required
+//    acks arrive — over fair-lossy links, retried messages eventually get
+//    through. Followers never retransmit spontaneously; they only answer
+//    the leader (preserving the communication-efficiency discipline) and
+//    re-forward their own pending proposals to the current leader.
+//  * Liveness needs Omega stabilization plus a correct majority; safety
+//    (agreement, validity, integrity) holds unconditionally and is enforced
+//    by the Acceptor rules, including before GST and with no ♦-source.
+//
+// Duplicates: a value may be decided in more than one instance across leader
+// changes (at-least-once submission); the RSM layer deduplicates by command
+// id. An empty value is a no-op used to fill gaps discovered in Phase 1.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/paxos.h"
+
+namespace lls {
+
+struct LogConsensusConfig {
+  /// Retransmission / leadership-poll period.
+  Duration retry_period = 20 * kMillisecond;
+
+  /// Crash-recovery extension: persist the acceptor state and the decided
+  /// log to Runtime::storage() on every mutation, and restore them on
+  /// (re)start. With this on, Paxos safety survives crash/recovery cycles
+  /// (the classical durable-acceptor discipline); requires a runtime that
+  /// provides storage (the simulator's crash-recovery mode). The decision
+  /// listener re-fires for the restored prefix on recovery, letting the
+  /// application rebuild its state machine.
+  bool durable = false;
+};
+
+class LogConsensus final : public ConsensusActor {
+ public:
+  /// `omega` supplies the leader oracle; not owned, must outlive this actor
+  /// (typically both live under one MuxActor on the same process).
+  LogConsensus(LogConsensusConfig config, const OmegaActor* omega)
+      : config_(config), omega_(omega) {}
+
+  // Actor ------------------------------------------------------------------
+  void on_start(Runtime& rt) override;
+  void on_message(Runtime& rt, ProcessId src, MessageType type,
+                  BytesView payload) override;
+  void on_timer(Runtime& rt, TimerId timer) override;
+
+  // ConsensusActor ---------------------------------------------------------
+  void propose(Bytes value) override;
+  [[nodiscard]] std::optional<Bytes> decision(Instance i) const override;
+  [[nodiscard]] Instance first_unknown() const override { return next_notify_; }
+
+  // Log compaction -----------------------------------------------------------
+  /// Discards decided entries below `upto` (and the matching acceptor
+  /// state), bounding memory. Contract: the application must know that every
+  /// correct process has already learned/applied the prefix (e.g. via an
+  /// application-level checkpoint) — compacted values can no longer be
+  /// served to laggards. Requests are clamped to first_unknown() and to the
+  /// lowest instance still awaiting DECIDE acks; returns the watermark
+  /// actually applied.
+  Instance compact(Instance upto);
+
+  [[nodiscard]] Instance compacted_upto() const { return log_base_; }
+
+  // Introspection ----------------------------------------------------------
+  [[nodiscard]] bool is_leader_ready() const { return leader_ready_; }
+  [[nodiscard]] Round current_round() const { return my_round_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] Instance log_size() const { return log_base_ + log_.size(); }
+  [[nodiscard]] std::size_t log_entries_held() const { return log_.size(); }
+  [[nodiscard]] const Acceptor& acceptor() const { return acceptor_; }
+
+ private:
+  // Leader-side driving, called on every tick and relevant state change.
+  void drive(Runtime& rt);
+  void start_prepare(Runtime& rt);
+  void become_ready(Runtime& rt);
+  void assign_pending(Runtime& rt);
+  void send_accept(Runtime& rt, ProcessId dst, Instance i);
+  void retransmit(Runtime& rt);
+  void abdicate();
+
+  // Durability (crash-recovery extension).
+  void persist(Runtime& rt) const;
+  void restore(Runtime& rt);
+
+  // Learner-side. The decided log is stored with a compaction offset:
+  // absolute instance i lives at log_[i - log_base_]; everything below
+  // log_base_ is decided-and-discarded.
+  void learn(Runtime& rt, Instance i, const Bytes& value);
+  [[nodiscard]] bool is_decided(Instance i) const {
+    if (i < log_base_) return true;
+    Instance rel = i - log_base_;
+    return rel < log_.size() && log_[rel].has_value();
+  }
+  [[nodiscard]] const Bytes* decided_value(Instance i) const {
+    if (i < log_base_) return nullptr;  // compacted away
+    Instance rel = i - log_base_;
+    if (rel < log_.size() && log_[rel].has_value()) return &*log_[rel];
+    return nullptr;
+  }
+  [[nodiscard]] Instance first_undecided() const;
+  [[nodiscard]] Instance commit_upto() const;
+
+  void handle_prepare(Runtime& rt, ProcessId src, const PrepareMsg& msg);
+  void handle_promise(Runtime& rt, ProcessId src, const PromiseMsg& msg);
+  void handle_accept(Runtime& rt, ProcessId src, const AcceptMsg& msg);
+  void handle_accepted(Runtime& rt, ProcessId src, const AcceptedMsg& msg);
+  void handle_nack(const NackMsg& msg);
+  void handle_decide(Runtime& rt, ProcessId src, const DecideMsg& msg);
+  void handle_decide_ack(ProcessId src, const DecideAckMsg& msg);
+  void handle_forward(ProcessId src, const ForwardMsg& msg);
+
+  [[nodiscard]] int majority() const { return n_ / 2 + 1; }
+  [[nodiscard]] bool i_am_omega_leader() const {
+    return omega_->leader() == self_;
+  }
+
+  LogConsensusConfig config_;
+  const OmegaActor* omega_;
+
+  ProcessId self_ = kNoProcess;
+  int n_ = 0;
+  TimerId tick_timer_ = kInvalidTimer;
+  /// Captured at on_start so externally-invoked propose() can drive the
+  /// protocol eagerly instead of waiting for the next tick.
+  Runtime* rt_ = nullptr;
+
+  // Acceptor / learner state.
+  Acceptor acceptor_;
+  Instance log_base_ = 0;                  // compaction watermark
+  std::vector<std::optional<Bytes>> log_;  // decided values, offset by base
+  Instance next_notify_ = 0;
+
+  // Proposer state (meaningful only while Omega trusts this process).
+  Round my_round_ = kNoRound;
+  Round highest_seen_round_ = kNoRound;
+  bool preparing_ = false;
+  bool leader_ready_ = false;
+  std::set<ProcessId> promises_;
+  std::map<Instance, Acceptor::AcceptedPair> promise_merge_;
+  Instance prepare_from_ = 0;
+
+  struct InFlight {
+    Bytes value;
+    std::set<ProcessId> acks;
+  };
+  std::map<Instance, InFlight> inflight_;
+  Instance next_free_ = 0;
+
+  /// Decided instances whose explicit DECIDE has not been acked by everyone
+  /// yet (leader keeps retransmitting; only the leader sends these).
+  std::map<Instance, std::set<ProcessId>> decide_unacked_;
+
+  /// Values submitted here (locally or forwarded) and not yet observed in
+  /// the decided log. Re-forwarded to the current leader on every tick.
+  std::deque<Bytes> pending_;
+};
+
+}  // namespace lls

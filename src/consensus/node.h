@@ -1,0 +1,41 @@
+// CeNode: the paper's full per-process stack — CE-Omega leader election
+// composed with the communication-efficient log consensus — as a single
+// Actor, ready to drop into the simulator or the real-time runtimes.
+#pragma once
+
+#include "common/mux.h"
+#include "consensus/log_consensus.h"
+#include "omega/ce_omega.h"
+
+namespace lls {
+
+class CeNode final : public Actor {
+ public:
+  CeNode(const CeOmegaConfig& omega_config,
+         const LogConsensusConfig& consensus_config)
+      : omega_(omega_config), consensus_(consensus_config, &omega_) {
+    mux_.add_child(omega_, 0x0100, 0x01ff);
+    mux_.add_child(consensus_, 0x0200, 0x02ff);
+  }
+
+  void on_start(Runtime& rt) override { mux_.on_start(rt); }
+  void on_message(Runtime& rt, ProcessId src, MessageType type,
+                  BytesView payload) override {
+    mux_.on_message(rt, src, type, payload);
+  }
+  void on_timer(Runtime& rt, TimerId timer) override {
+    mux_.on_timer(rt, timer);
+  }
+
+  CeOmega& omega() { return omega_; }
+  LogConsensus& consensus() { return consensus_; }
+  [[nodiscard]] const CeOmega& omega() const { return omega_; }
+  [[nodiscard]] const LogConsensus& consensus() const { return consensus_; }
+
+ private:
+  CeOmega omega_;
+  LogConsensus consensus_;
+  MuxActor mux_;
+};
+
+}  // namespace lls

@@ -1,0 +1,185 @@
+// Paxos wire messages and acceptor-side state for the multi-instance log
+// engine (log_consensus.h). Kept separate so the codecs and invariants are
+// unit-testable without the full actor.
+//
+// Ballot (round) discipline: process p uses ballots p, p+n, p+2n, …, so
+// ballot sets are disjoint across processes and totally ordered. An acceptor
+// maintains one global promise and per-instance accepted (round, value)
+// pairs, as in classic multi-Paxos.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/serialization.h"
+#include "consensus/consensus.h"
+
+namespace lls {
+
+/// Smallest ballot owned by `owner` that is strictly greater than `bound`.
+[[nodiscard]] constexpr Round next_ballot(ProcessId owner, int n, Round bound) {
+  Round r = static_cast<Round>(owner);
+  while (r <= bound) r += n;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages.
+// ---------------------------------------------------------------------------
+
+struct PrepareMsg {
+  Round round = kNoRound;
+  /// The new leader asks for acceptor state from this instance upward.
+  Instance from = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static PrepareMsg decode(BytesView payload);
+};
+
+struct PromiseEntry {
+  Instance instance = 0;
+  Round accepted_round = kNoRound;
+  bool decided = false;
+  Bytes value;
+};
+
+struct PromiseMsg {
+  Round round = kNoRound;
+  std::vector<PromiseEntry> entries;
+
+  [[nodiscard]] Bytes encode() const;
+  static PromiseMsg decode(BytesView payload);
+};
+
+struct AcceptMsg {
+  Round round = kNoRound;
+  Instance instance = 0;
+  /// Everything below this instance is decided at the leader — lets
+  /// followers commit pipelined instances without waiting for DECIDE.
+  Instance commit_upto = 0;
+  Bytes value;
+
+  [[nodiscard]] Bytes encode() const;
+  static AcceptMsg decode(BytesView payload);
+};
+
+struct AcceptedMsg {
+  Round round = kNoRound;
+  Instance instance = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static AcceptedMsg decode(BytesView payload);
+};
+
+struct NackMsg {
+  Round rejected_round = kNoRound;
+  Round promised_round = kNoRound;
+
+  [[nodiscard]] Bytes encode() const;
+  static NackMsg decode(BytesView payload);
+};
+
+struct DecideMsg {
+  Instance instance = 0;
+  Bytes value;
+
+  [[nodiscard]] Bytes encode() const;
+  static DecideMsg decode(BytesView payload);
+};
+
+struct DecideAckMsg {
+  Instance instance = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static DecideAckMsg decode(BytesView payload);
+};
+
+struct ForwardMsg {
+  Bytes value;
+
+  [[nodiscard]] Bytes encode() const;
+  static ForwardMsg decode(BytesView payload);
+};
+
+// ---------------------------------------------------------------------------
+// Acceptor state.
+// ---------------------------------------------------------------------------
+
+/// The acceptor half of multi-Paxos: one global promise, per-instance
+/// accepted pairs. Pure state machine — no I/O — so its safety rules are
+/// directly unit-testable.
+class Acceptor {
+ public:
+  struct AcceptedPair {
+    Round round = kNoRound;
+    Bytes value;
+  };
+
+  /// Handles a prepare; returns true (promise granted) when round >= the
+  /// current promise, after raising the promise.
+  bool on_prepare(Round round) {
+    if (round < promised_) return false;
+    promised_ = round;
+    return true;
+  }
+
+  /// Handles an accept; returns true when granted (round >= promise).
+  bool on_accept(Round round, Instance instance, const Bytes& value) {
+    if (round < promised_) return false;
+    promised_ = round;
+    accepted_[instance] = AcceptedPair{round, value};
+    return true;
+  }
+
+  [[nodiscard]] Round promised() const { return promised_; }
+
+  [[nodiscard]] const AcceptedPair* accepted(Instance i) const {
+    auto it = accepted_.find(i);
+    return it == accepted_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<Instance, AcceptedPair>& all_accepted() const {
+    return accepted_;
+  }
+
+  /// Frees acceptor state at and below a decided prefix (log compaction).
+  void forget_upto(Instance i) {
+    accepted_.erase(accepted_.begin(), accepted_.lower_bound(i));
+  }
+
+  /// Crash-recovery support: serialize/restore the durable part of the
+  /// acceptor (its promise and accepted pairs).
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(16 + accepted_.size() * 32);
+    w.put(promised_);
+    w.put(static_cast<std::uint32_t>(accepted_.size()));
+    for (const auto& [i, pair] : accepted_) {
+      w.put(i);
+      w.put(pair.round);
+      w.put_bytes(pair.value);
+    }
+    return w.take();
+  }
+
+  static Acceptor decode(BytesView payload) {
+    BufReader r(payload);
+    Acceptor a;
+    a.promised_ = r.get<Round>();
+    auto count = r.get<std::uint32_t>();
+    for (std::uint32_t k = 0; k < count; ++k) {
+      Instance i = r.get<Instance>();
+      AcceptedPair pair;
+      pair.round = r.get<Round>();
+      pair.value = r.get_bytes();
+      a.accepted_.emplace(i, std::move(pair));
+    }
+    return a;
+  }
+
+ private:
+  Round promised_ = kNoRound;
+  std::map<Instance, AcceptedPair> accepted_;
+};
+
+}  // namespace lls

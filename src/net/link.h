@@ -1,0 +1,170 @@
+// Link models implementing the paper's link-synchrony taxonomy.
+//
+// The paper (PODC 2004 system model) distinguishes:
+//   * eventually timely links  — unknown bound delta and unknown global
+//     stabilization time GST: messages sent at t >= GST arrive by t + delta;
+//     earlier messages may be lost or arbitrarily delayed;
+//   * fair lossy links         — if infinitely many messages of a type are
+//     sent, infinitely many of that type are delivered;
+//   * lossy asynchronous links — arbitrary delay and arbitrary loss.
+//
+// A LinkModel decides, per message, whether it is delivered and after what
+// delay. Models are per ordered process pair and own an independent random
+// stream, so executions are reproducible from the master seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace lls {
+
+/// Inclusive uniform delay range.
+struct DelayRange {
+  Duration min = 0;
+  Duration max = 0;
+
+  [[nodiscard]] Duration sample(Rng& rng) const {
+    if (max <= min) return min;
+    return rng.next_range(min, max);
+  }
+};
+
+struct LinkDecision {
+  bool deliver = false;
+  Duration delay = 0;
+
+  static LinkDecision dropped() { return {false, 0}; }
+  static LinkDecision after(Duration d) { return {true, d}; }
+};
+
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Decides the fate of one message of `type` sent at `send_time`.
+  virtual LinkDecision on_send(TimePoint send_time, MessageType type,
+                               Rng& rng) = 0;
+};
+
+/// Always delivers within [delay.min, delay.max]. A timely link from time 0.
+class TimelyLink final : public LinkModel {
+ public:
+  explicit TimelyLink(DelayRange delay) : delay_(delay) {}
+
+  LinkDecision on_send(TimePoint, MessageType, Rng& rng) override {
+    return LinkDecision::after(delay_.sample(rng));
+  }
+
+ private:
+  DelayRange delay_;
+};
+
+/// Eventually timely: chaotic (loss + unbounded-ish delay) before GST,
+/// timely within `timely` afterwards. The bound delta is timely.max.
+class EventuallyTimelyLink final : public LinkModel {
+ public:
+  struct PreGst {
+    double loss_prob = 0.5;         ///< drop probability before GST
+    DelayRange delay{0, 0};         ///< delay of surviving pre-GST messages
+  };
+
+  EventuallyTimelyLink(TimePoint gst, DelayRange timely, PreGst pre)
+      : gst_(gst), timely_(timely), pre_(pre) {}
+
+  LinkDecision on_send(TimePoint send_time, MessageType, Rng& rng) override {
+    if (send_time >= gst_) return LinkDecision::after(timely_.sample(rng));
+    if (rng.chance(pre_.loss_prob)) return LinkDecision::dropped();
+    return LinkDecision::after(pre_.delay.sample(rng));
+  }
+
+ private:
+  TimePoint gst_;
+  DelayRange timely_;
+  PreGst pre_;
+};
+
+/// Fair lossy. Two fairness regimes, combinable:
+///   * probabilistic: each message survives with probability 1 - loss_prob
+///     (loss_prob < 1 gives fair-lossy almost surely);
+///   * deterministic: if deliver_every_kth > 0, every k-th message of each
+///     *type* is force-delivered regardless of the coin, making fairness a
+///     hard guarantee — this is what the deterministic property tests use.
+class FairLossyLink final : public LinkModel {
+ public:
+  struct Params {
+    double loss_prob = 0.5;
+    std::uint32_t deliver_every_kth = 0;  ///< 0 disables the deterministic lane
+    DelayRange delay{0, 0};
+  };
+
+  explicit FairLossyLink(Params params) : params_(params) {}
+
+  LinkDecision on_send(TimePoint, MessageType type, Rng& rng) override {
+    if (params_.deliver_every_kth > 0) {
+      auto& count = sent_by_type_[type];
+      ++count;
+      if (count % params_.deliver_every_kth == 0) {
+        return LinkDecision::after(params_.delay.sample(rng));
+      }
+    }
+    if (rng.chance(params_.loss_prob)) return LinkDecision::dropped();
+    return LinkDecision::after(params_.delay.sample(rng));
+  }
+
+ private:
+  Params params_;
+  std::map<MessageType, std::uint64_t> sent_by_type_;
+};
+
+/// Lossy asynchronous: may drop everything (loss_prob may be 1.0); surviving
+/// messages are delayed arbitrarily within the configured range.
+class LossyAsyncLink final : public LinkModel {
+ public:
+  LossyAsyncLink(double loss_prob, DelayRange delay)
+      : loss_prob_(loss_prob), delay_(delay) {}
+
+  LinkDecision on_send(TimePoint, MessageType, Rng& rng) override {
+    if (rng.chance(loss_prob_)) return LinkDecision::dropped();
+    return LinkDecision::after(delay_.sample(rng));
+  }
+
+ private:
+  double loss_prob_;
+  DelayRange delay_;
+};
+
+/// Drops everything. Used to model hard partitions.
+class DeadLink final : public LinkModel {
+ public:
+  LinkDecision on_send(TimePoint, MessageType, Rng&) override {
+    return LinkDecision::dropped();
+  }
+};
+
+/// Fully scripted link for adversarial schedules: the function sees the send
+/// time and message type and decides. Used by the ♦-source-necessity
+/// experiments to starve timeliness forever.
+class ScriptedLink final : public LinkModel {
+ public:
+  using Script = std::function<LinkDecision(TimePoint, MessageType, Rng&)>;
+
+  explicit ScriptedLink(Script script) : script_(std::move(script)) {}
+
+  LinkDecision on_send(TimePoint send_time, MessageType type,
+                       Rng& rng) override {
+    return script_(send_time, type, rng);
+  }
+
+ private:
+  Script script_;
+};
+
+using LinkFactory =
+    std::function<std::unique_ptr<LinkModel>(ProcessId src, ProcessId dst)>;
+
+}  // namespace lls

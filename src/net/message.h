@@ -1,0 +1,20 @@
+// Wire message envelope used by the simulator and the in-process runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace lls {
+
+struct Message {
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  MessageType type = 0;
+  Bytes payload;
+  /// Network-assigned unique sequence for tracing; not visible to actors.
+  std::uint64_t seq = 0;
+};
+
+}  // namespace lls

@@ -1,0 +1,164 @@
+// Network accounting used to *measure* communication efficiency.
+//
+// The paper's efficiency theorems quantify over "who sends messages forever"
+// and "how many links carry messages forever"; NetStats records exactly the
+// observables those theorems talk about: per-process send counts, per-link
+// counts, and time-bucketed activity so a trailing window can be inspected.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace lls {
+
+class NetStats {
+ public:
+  /// Protocol class of a message type: the high byte of the type tag
+  /// (0x01 = Omega, 0x02 = consensus, 0x03 = RSM). Lets experiments report
+  /// per-protocol message costs separately.
+  static constexpr std::size_t kClasses = 8;
+  static constexpr std::size_t type_class(MessageType type) {
+    return std::min<std::size_t>(type >> 8, kClasses - 1);
+  }
+
+  NetStats(int n, Duration bucket_width)
+      : n_(n),
+        bucket_width_(bucket_width),
+        sent_by_process_(static_cast<std::size_t>(n), 0),
+        delivered_by_process_(static_cast<std::size_t>(n), 0),
+        dropped_total_(0),
+        sent_by_link_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                      0) {}
+
+  void on_send(TimePoint t, ProcessId src, ProcessId dst, MessageType type,
+               bool delivered, std::size_t payload_bytes = 0) {
+    ++sent_total_;
+    bytes_total_ += payload_bytes;
+    ++sent_by_process_[src];
+    ++sent_by_link_[link_index(src, dst)];
+    ++sent_by_class_[type_class(type)];
+    if (!delivered) ++dropped_total_;
+    auto bucket = static_cast<std::size_t>(t / bucket_width_);
+    if (bucket >= bucket_senders_.size()) {
+      bucket_senders_.resize(bucket + 1);
+      bucket_links_.resize(bucket + 1);
+      bucket_msgs_.resize(bucket + 1, 0);
+      bucket_class_msgs_.resize(bucket + 1);
+    }
+    bucket_senders_[bucket].insert(src);
+    bucket_links_[bucket].insert(link_index(src, dst));
+    ++bucket_msgs_[bucket];
+    ++bucket_class_msgs_[bucket][type_class(type)];
+  }
+
+  void on_deliver(ProcessId dst) { ++delivered_by_process_[dst]; }
+
+  [[nodiscard]] std::uint64_t sent_total() const { return sent_total_; }
+  [[nodiscard]] std::uint64_t bytes_total() const { return bytes_total_; }
+  [[nodiscard]] std::uint64_t dropped_total() const { return dropped_total_; }
+
+  [[nodiscard]] std::uint64_t sent_by(ProcessId p) const {
+    return sent_by_process_[p];
+  }
+
+  [[nodiscard]] std::uint64_t sent_on_link(ProcessId src, ProcessId dst) const {
+    return sent_by_link_[link_index(src, dst)];
+  }
+
+  [[nodiscard]] Duration bucket_width() const { return bucket_width_; }
+  [[nodiscard]] std::size_t bucket_count() const { return bucket_msgs_.size(); }
+
+  /// Number of distinct processes that sent at least one message in the
+  /// bucket containing time t (0 if the bucket saw no traffic).
+  [[nodiscard]] std::size_t senders_in_bucket(std::size_t bucket) const {
+    return bucket < bucket_senders_.size() ? bucket_senders_[bucket].size() : 0;
+  }
+
+  [[nodiscard]] std::size_t links_in_bucket(std::size_t bucket) const {
+    return bucket < bucket_links_.size() ? bucket_links_[bucket].size() : 0;
+  }
+
+  [[nodiscard]] std::uint64_t msgs_in_bucket(std::size_t bucket) const {
+    return bucket < bucket_msgs_.size() ? bucket_msgs_[bucket] : 0;
+  }
+
+  /// Distinct senders over the trailing window [from, to) (microseconds).
+  [[nodiscard]] std::set<ProcessId> senders_between(TimePoint from,
+                                                    TimePoint to) const {
+    std::set<ProcessId> out;
+    for_buckets(from, to, [&](std::size_t b) {
+      out.insert(bucket_senders_[b].begin(), bucket_senders_[b].end());
+    });
+    return out;
+  }
+
+  /// Distinct directed links used over [from, to), as (src, dst) pairs.
+  [[nodiscard]] std::set<std::pair<ProcessId, ProcessId>> links_between(
+      TimePoint from, TimePoint to) const {
+    std::set<std::pair<ProcessId, ProcessId>> out;
+    for_buckets(from, to, [&](std::size_t b) {
+      for (std::size_t link : bucket_links_[b]) {
+        out.emplace(static_cast<ProcessId>(link / static_cast<std::size_t>(n_)),
+                    static_cast<ProcessId>(link % static_cast<std::size_t>(n_)));
+      }
+    });
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t msgs_between(TimePoint from, TimePoint to) const {
+    std::uint64_t total = 0;
+    for_buckets(from, to, [&](std::size_t b) { total += bucket_msgs_[b]; });
+    return total;
+  }
+
+  /// Messages of one protocol class over [from, to).
+  [[nodiscard]] std::uint64_t class_msgs_between(TimePoint from, TimePoint to,
+                                                 std::size_t cls) const {
+    std::uint64_t total = 0;
+    for_buckets(from, to,
+                [&](std::size_t b) { total += bucket_class_msgs_[b][cls]; });
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t sent_by_class(std::size_t cls) const {
+    return sent_by_class_[cls];
+  }
+
+ private:
+  [[nodiscard]] std::size_t link_index(ProcessId src, ProcessId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  template <typename Fn>
+  void for_buckets(TimePoint from, TimePoint to, Fn&& fn) const {
+    auto lo = static_cast<std::size_t>(std::max<TimePoint>(from, 0) /
+                                       bucket_width_);
+    auto hi = static_cast<std::size_t>(
+        (std::max<TimePoint>(to, 0) + bucket_width_ - 1) / bucket_width_);
+    for (std::size_t b = lo; b < hi && b < bucket_msgs_.size(); ++b) fn(b);
+  }
+
+  int n_;
+  Duration bucket_width_;
+  std::uint64_t sent_total_ = 0;
+  std::uint64_t bytes_total_ = 0;
+  std::vector<std::uint64_t> sent_by_process_;
+  std::vector<std::uint64_t> delivered_by_process_;
+  std::uint64_t dropped_total_;
+  std::vector<std::uint64_t> sent_by_link_;
+  std::array<std::uint64_t, kClasses> sent_by_class_{};
+  std::vector<std::set<ProcessId>> bucket_senders_;
+  std::vector<std::set<std::size_t>> bucket_links_;
+  std::vector<std::uint64_t> bucket_msgs_;
+  std::vector<std::array<std::uint64_t, kClasses>> bucket_class_msgs_;
+};
+
+}  // namespace lls

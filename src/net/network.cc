@@ -1,0 +1,40 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace lls {
+
+Network::Network(int n, const LinkFactory& factory, Rng& master,
+                 Duration stats_bucket_width)
+    : n_(n), stats_(n, stats_bucket_width) {
+  if (n < 2) throw std::invalid_argument("Network requires n >= 2");
+  links_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (ProcessId src = 0; src < static_cast<ProcessId>(n); ++src) {
+    for (ProcessId dst = 0; dst < static_cast<ProcessId>(n); ++dst) {
+      std::unique_ptr<LinkModel> model;
+      if (src != dst) model = factory(src, dst);
+      links_.push_back(Link{std::move(model), master.fork()});
+    }
+  }
+}
+
+void Network::set_link(ProcessId src, ProcessId dst,
+                       std::unique_ptr<LinkModel> model) {
+  if (src == dst) throw std::invalid_argument("no self link");
+  links_[index(src, dst)].model = std::move(model);
+}
+
+std::optional<TimePoint> Network::route(const Message& msg, TimePoint now) {
+  if (msg.src == msg.dst || msg.src >= static_cast<ProcessId>(n_) ||
+      msg.dst >= static_cast<ProcessId>(n_)) {
+    throw std::invalid_argument("bad route endpoints");
+  }
+  Link& link = links_[index(msg.src, msg.dst)];
+  LinkDecision decision = link.model->on_send(now, msg.type, link.rng);
+  stats_.on_send(now, msg.src, msg.dst, msg.type, decision.deliver,
+                 msg.payload.size());
+  if (!decision.deliver) return std::nullopt;
+  return now + decision.delay;
+}
+
+}  // namespace lls

@@ -1,0 +1,57 @@
+// The network fabric: an n×n matrix of LinkModels plus accounting.
+//
+// The simulator asks the fabric to route each sent message; the fabric
+// consults the (src, dst) link model and answers "deliver at time t" or
+// "dropped". Link models can be replaced at any virtual time, which is how
+// fault plans stage partitions and de-synchronization.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/link.h"
+#include "net/message.h"
+#include "net/net_stats.h"
+
+namespace lls {
+
+class Network {
+ public:
+  /// Builds the fabric; every ordered pair (src != dst) gets a link from the
+  /// factory and an independent random stream forked from `master`.
+  Network(int n, const LinkFactory& factory, Rng& master,
+          Duration stats_bucket_width);
+
+  /// Replaces the model on link src→dst (takes effect for future sends).
+  void set_link(ProcessId src, ProcessId dst, std::unique_ptr<LinkModel> model);
+
+  /// Routes a message sent at `now`; returns its delivery time, or nullopt
+  /// when the link drops it. Records stats either way.
+  std::optional<TimePoint> route(const Message& msg, TimePoint now);
+
+  void note_delivered(ProcessId dst) { stats_.on_deliver(dst); }
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  NetStats& stats() { return stats_; }
+
+ private:
+  struct Link {
+    std::unique_ptr<LinkModel> model;
+    Rng rng;
+  };
+
+  [[nodiscard]] std::size_t index(ProcessId src, ProcessId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_;
+  std::vector<Link> links_;
+  NetStats stats_;
+};
+
+}  // namespace lls

@@ -1,0 +1,37 @@
+#include "net/topology.h"
+
+#include <memory>
+
+namespace lls {
+
+LinkFactory make_system_s(SystemSParams params) {
+  return [params = std::move(params)](ProcessId src,
+                                      ProcessId) -> std::unique_ptr<LinkModel> {
+    if (params.is_source(src)) {
+      return std::make_unique<EventuallyTimelyLink>(params.gst, params.timely,
+                                                    params.pre_gst);
+    }
+    return std::make_unique<FairLossyLink>(params.fair_lossy);
+  };
+}
+
+LinkFactory make_all_eventually_timely(TimePoint gst, DelayRange timely,
+                                       EventuallyTimelyLink::PreGst pre_gst) {
+  return [=](ProcessId, ProcessId) -> std::unique_ptr<LinkModel> {
+    return std::make_unique<EventuallyTimelyLink>(gst, timely, pre_gst);
+  };
+}
+
+LinkFactory make_all_timely(DelayRange delay) {
+  return [=](ProcessId, ProcessId) -> std::unique_ptr<LinkModel> {
+    return std::make_unique<TimelyLink>(delay);
+  };
+}
+
+LinkFactory make_all_fair_lossy(FairLossyLink::Params params) {
+  return [=](ProcessId, ProcessId) -> std::unique_ptr<LinkModel> {
+    return std::make_unique<FairLossyLink>(params);
+  };
+}
+
+}  // namespace lls

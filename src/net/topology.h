@@ -1,0 +1,52 @@
+// Topology builders for the paper's systems.
+//
+// System S (the paper's weak system): at least one correct process is a
+// ♦-source — all of its *outgoing* links are eventually timely — while every
+// other link is merely fair lossy. Builders below also produce the stronger
+// system (all links eventually timely, as required by the all-to-all
+// baseline) and the weaker one (no source at all, for the necessity
+// experiments).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+#include "net/link.h"
+
+namespace lls {
+
+struct SystemSParams {
+  /// Processes whose outgoing links are eventually timely (the ♦-sources).
+  std::vector<ProcessId> sources;
+  /// Global stabilization time for the timely links.
+  TimePoint gst = 0;
+  /// Post-GST delay of timely links; max is the (unknown to processes) delta.
+  DelayRange timely{500 * kMicrosecond, 2 * kMillisecond};
+  /// Pre-GST chaos on timely links.
+  EventuallyTimelyLink::PreGst pre_gst{0.5, {500 * kMicrosecond, 20 * kMillisecond}};
+  /// Behaviour of all non-source links.
+  FairLossyLink::Params fair_lossy{0.5, 4, {500 * kMicrosecond, 10 * kMillisecond}};
+
+  [[nodiscard]] bool is_source(ProcessId p) const {
+    return std::find(sources.begin(), sources.end(), p) != sources.end();
+  }
+};
+
+/// System S: sources' outgoing links eventually timely, everything else fair
+/// lossy. With sources empty this degenerates to the no-♦-source system used
+/// by the necessity experiments (F3).
+LinkFactory make_system_s(SystemSParams params);
+
+/// The strong system required by the all-to-all heartbeat baseline: every
+/// link is eventually timely.
+LinkFactory make_all_eventually_timely(TimePoint gst, DelayRange timely,
+                                       EventuallyTimelyLink::PreGst pre_gst);
+
+/// Every link timely from time zero (nice runs; steady-state benches).
+LinkFactory make_all_timely(DelayRange delay);
+
+/// Every link fair lossy (no source anywhere).
+LinkFactory make_all_fair_lossy(FairLossyLink::Params params);
+
+}  // namespace lls

@@ -1,0 +1,63 @@
+#include "omega/all2all_omega.h"
+
+namespace lls {
+
+void All2AllOmega::on_start(Runtime& rt) {
+  self_ = rt.id();
+  n_ = rt.n();
+  last_heard_.assign(static_cast<std::size_t>(n_), rt.now());
+  timeout_.assign(static_cast<std::size_t>(n_), config_.initial_timeout);
+  suspected_.assign(static_cast<std::size_t>(n_), false);
+  recompute_leader();
+  notify_leader(leader_);
+  tick_timer_ = rt.set_timer(config_.eta);
+}
+
+void All2AllOmega::on_message(Runtime& rt, ProcessId src, MessageType type,
+                              BytesView) {
+  if (type != msg_type::kAll2AllHeartbeat) return;
+  last_heard_[src] = rt.now();
+  if (suspected_[src]) {
+    // Premature suspicion: rehabilitate and widen the timeout.
+    suspected_[src] = false;
+    timeout_[src] += config_.additive_step;
+    ProcessId before = leader_;
+    recompute_leader();
+    if (leader_ != before) notify_leader(leader_);
+  }
+}
+
+void All2AllOmega::on_timer(Runtime& rt, TimerId timer) {
+  if (timer != tick_timer_) return;
+  tick_timer_ = rt.set_timer(config_.eta);
+
+  // Task 1: everyone broadcasts, forever — the baseline's cost.
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q != self_) rt.send(q, msg_type::kAll2AllHeartbeat, {});
+  }
+
+  // Task 2: refresh suspicions.
+  bool changed = false;
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q == self_) continue;
+    bool late = rt.now() - last_heard_[q] > timeout_[q];
+    if (late != suspected_[q]) {
+      suspected_[q] = late;
+      changed = true;
+    }
+  }
+  if (changed) {
+    ProcessId before = leader_;
+    recompute_leader();
+    if (leader_ != before) notify_leader(leader_);
+  }
+}
+
+void All2AllOmega::recompute_leader() {
+  leader_ = self_;
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q != self_ && !suspected_[q] && q < leader_) leader_ = q;
+  }
+}
+
+}  // namespace lls

@@ -1,0 +1,50 @@
+// Baseline Omega: all-to-all heartbeats (Larrea-style).
+//
+// Every alive process broadcasts a heartbeat every eta and suspects peers
+// whose heartbeats stop arriving within an adaptive timeout; the leader is
+// the smallest-id unsuspected process. Correct when *all* links are
+// eventually timely — a much stronger assumption than CE-Omega's single
+// ♦-source — and permanently costs n·(n-1) links, which is exactly the
+// overhead the paper's communication-efficiency results eliminate.
+#pragma once
+
+#include <vector>
+
+#include "omega/omega.h"
+
+namespace lls {
+
+struct All2AllOmegaConfig {
+  Duration eta = 10 * kMillisecond;
+  Duration initial_timeout = 30 * kMillisecond;
+  Duration additive_step = 10 * kMillisecond;
+};
+
+class All2AllOmega final : public OmegaActor {
+ public:
+  explicit All2AllOmega(All2AllOmegaConfig config) : config_(config) {}
+
+  void on_start(Runtime& rt) override;
+  void on_message(Runtime& rt, ProcessId src, MessageType type,
+                  BytesView payload) override;
+  void on_timer(Runtime& rt, TimerId timer) override;
+
+  [[nodiscard]] ProcessId leader() const override { return leader_; }
+
+  [[nodiscard]] bool suspects(ProcessId q) const { return suspected_[q]; }
+
+ private:
+  void recompute_leader();
+
+  All2AllOmegaConfig config_;
+  ProcessId self_ = kNoProcess;
+  int n_ = 0;
+
+  std::vector<TimePoint> last_heard_;
+  std::vector<Duration> timeout_;
+  std::vector<bool> suspected_;
+  ProcessId leader_ = kNoProcess;
+  TimerId tick_timer_ = kInvalidTimer;
+};
+
+}  // namespace lls

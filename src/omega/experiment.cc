@@ -1,0 +1,104 @@
+#include "omega/experiment.h"
+
+#include <algorithm>
+
+#include "net/topology.h"
+
+namespace lls {
+
+/// Earliest sample index from which, through the end, every correct process
+/// reports the same correct leader. Returns samples.size() if never.
+std::size_t stabilization_index(const std::vector<OmegaSample>& samples,
+                                const std::set<ProcessId>& correct) {
+  if (samples.empty() || correct.empty()) return samples.size();
+  std::size_t boundary = samples.size();
+  ProcessId agreed = kNoProcess;
+  for (std::size_t i = samples.size(); i-- > 0;) {
+    const auto& s = samples[i];
+    ProcessId common = kNoProcess;
+    bool agree = true;
+    for (ProcessId p : correct) {
+      ProcessId l = s.leaders[p];
+      if (l == kNoProcess || !correct.contains(l)) {
+        agree = false;
+        break;
+      }
+      if (common == kNoProcess) common = l;
+      if (l != common) {
+        agree = false;
+        break;
+      }
+    }
+    if (!agree || (agreed != kNoProcess && common != agreed)) break;
+    agreed = common;
+    boundary = i;
+  }
+  return boundary;
+}
+
+OmegaResult run_omega_experiment(const OmegaExperiment& exp) {
+  SimConfig config;
+  config.n = exp.n;
+  config.seed = exp.seed;
+  Simulator sim(config, exp.links);
+
+  std::vector<OmegaActor*> omegas(static_cast<std::size_t>(exp.n));
+  for (ProcessId p = 0; p < static_cast<ProcessId>(exp.n); ++p) {
+    if (exp.algo == OmegaAlgo::kCommEfficient) {
+      omegas[p] = &sim.emplace_actor<CeOmega>(p, exp.ce);
+    } else {
+      omegas[p] = &sim.emplace_actor<All2AllOmega>(p, exp.all2all);
+    }
+  }
+  for (auto [p, t] : exp.crashes) sim.crash_at(p, t);
+
+  OmegaResult result;
+  sim.schedule_every(exp.sample_period, exp.sample_period, [&]() {
+    OmegaSample sample;
+    sample.t = sim.now();
+    sample.leaders.resize(static_cast<std::size_t>(exp.n), kNoProcess);
+    for (ProcessId p = 0; p < static_cast<ProcessId>(exp.n); ++p) {
+      if (sim.alive(p)) sample.leaders[p] = omegas[p]->leader();
+    }
+    result.samples.push_back(std::move(sample));
+    return sim.now() + exp.sample_period <= exp.horizon;
+  });
+
+  sim.start();
+  sim.run_until(exp.horizon);
+
+  for (ProcessId p = 0; p < static_cast<ProcessId>(exp.n); ++p) {
+    if (sim.alive(p)) result.correct.insert(p);
+  }
+
+  std::size_t idx = stabilization_index(result.samples, result.correct);
+  if (idx < result.samples.size()) {
+    result.stabilized = true;
+    result.stabilization_time = result.samples[idx].t;
+    result.final_leader =
+        result.samples.back().leaders[*result.correct.begin()];
+  }
+
+  const auto& stats = sim.network().stats();
+  TimePoint from = exp.horizon - exp.trailing_window;
+  result.trailing_senders = stats.senders_between(from, exp.horizon);
+  result.trailing_links = stats.links_between(from, exp.horizon).size();
+  result.trailing_msgs = stats.msgs_between(from, exp.horizon);
+  result.total_msgs = stats.sent_total();
+  result.total_events = sim.events_executed();
+  return result;
+}
+
+OmegaExperiment default_system_s_experiment(int n, std::uint64_t seed,
+                                            ProcessId source) {
+  OmegaExperiment exp;
+  exp.n = n;
+  exp.seed = seed;
+  SystemSParams params;
+  params.sources = {source};
+  params.gst = 1 * kSecond;
+  exp.links = make_system_s(params);
+  return exp;
+}
+
+}  // namespace lls

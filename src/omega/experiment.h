@@ -1,0 +1,97 @@
+// Omega experiment harness: assembles a simulated system, runs it under a
+// fault plan, samples every process's Omega output over time, and evaluates
+// the paper's two properties on the execution:
+//   * eventual leadership — from some time on, all correct processes trust
+//     the same correct process;
+//   * communication efficiency — over a trailing window, only that process
+//     sends, on exactly n-1 links.
+// Used by the property tests (tests/omega_*) and by the T1/T2/F1/F3/A*
+// benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/link.h"
+#include "omega/all2all_omega.h"
+#include "omega/ce_omega.h"
+#include "sim/simulator.h"
+
+namespace lls {
+
+enum class OmegaAlgo { kCommEfficient, kAllToAll };
+
+struct OmegaExperiment {
+  int n = 5;
+  std::uint64_t seed = 1;
+  OmegaAlgo algo = OmegaAlgo::kCommEfficient;
+  CeOmegaConfig ce;
+  All2AllOmegaConfig all2all;
+  LinkFactory links;
+
+  /// Crash plan: (process, virtual time).
+  std::vector<std::pair<ProcessId, TimePoint>> crashes;
+
+  /// Leader outputs are sampled at this period.
+  Duration sample_period = 10 * kMillisecond;
+
+  /// Total simulated time.
+  TimePoint horizon = 10 * kSecond;
+
+  /// Width of the trailing window used for the efficiency verdict.
+  Duration trailing_window = 2 * kSecond;
+};
+
+struct OmegaSample {
+  TimePoint t = 0;
+  /// leaders[p] == kNoProcess when p has crashed or has no leader.
+  std::vector<ProcessId> leaders;
+};
+
+struct OmegaResult {
+  bool stabilized = false;
+  /// First sample time from which all correct processes agree, permanently
+  /// (within the horizon), on the same correct process.
+  TimePoint stabilization_time = kTimeNever;
+  ProcessId final_leader = kNoProcess;
+
+  /// Processes alive at the horizon (the execution's correct processes).
+  std::set<ProcessId> correct;
+
+  /// Who sent anything during the trailing window, and on how many links.
+  std::set<ProcessId> trailing_senders;
+  std::size_t trailing_links = 0;
+  std::uint64_t trailing_msgs = 0;
+
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_events = 0;
+
+  /// Full sample history (drives the F1 time-series figure).
+  std::vector<OmegaSample> samples;
+
+  /// True when only the final leader sent during the trailing window.
+  [[nodiscard]] bool communication_efficient() const {
+    return stabilized && trailing_senders.size() == 1 &&
+           *trailing_senders.begin() == final_leader;
+  }
+};
+
+/// Earliest sample index from which, through the end of the sample history,
+/// every correct process reports the same correct leader. Returns
+/// samples.size() when agreement never becomes permanent. Exposed for
+/// direct testing; run_omega_experiment uses it to compute stabilization.
+std::size_t stabilization_index(const std::vector<OmegaSample>& samples,
+                                const std::set<ProcessId>& correct);
+
+/// Runs the experiment to its horizon and evaluates the properties.
+OmegaResult run_omega_experiment(const OmegaExperiment& exp);
+
+/// Convenience: a ready-made CE-Omega experiment on system S with one
+/// ♦-source, moderate loss elsewhere, and the given crash plan.
+OmegaExperiment default_system_s_experiment(int n, std::uint64_t seed,
+                                            ProcessId source);
+
+}  // namespace lls

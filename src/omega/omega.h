@@ -1,0 +1,49 @@
+// The Omega failure-detector interface.
+//
+// Omega's output at process p is a single process that p currently trusts.
+// The class guarantee (crash-stop model): there is a time after which every
+// correct process permanently trusts the same correct process. This header
+// defines the query interface shared by all implementations; the
+// communication-efficient algorithm from the paper lives in ce_omega.h and
+// the all-to-all baseline in all2all_omega.h.
+#pragma once
+
+#include <functional>
+
+#include "common/actor.h"
+#include "common/types.h"
+
+namespace lls {
+
+/// Message-type ranges. Each protocol family owns a disjoint block so the
+/// typed fair-lossy accounting in the link models tracks protocol message
+/// classes exactly as the paper's "typed" fairness requires.
+namespace msg_type {
+inline constexpr MessageType kCeOmegaAlive = 0x0101;
+inline constexpr MessageType kCeOmegaAccuse = 0x0102;
+inline constexpr MessageType kAll2AllHeartbeat = 0x0110;
+inline constexpr MessageType kConsensusBase = 0x0200;
+inline constexpr MessageType kRsmBase = 0x0300;
+}  // namespace msg_type
+
+/// Common query surface of an Omega implementation.
+class OmegaActor : public Actor {
+ public:
+  /// The process currently trusted; kNoProcess if none yet.
+  [[nodiscard]] virtual ProcessId leader() const = 0;
+
+  /// Optional notification hook, fired on every change of leader().
+  void set_leader_listener(std::function<void(ProcessId)> listener) {
+    leader_listener_ = std::move(listener);
+  }
+
+ protected:
+  void notify_leader(ProcessId new_leader) const {
+    if (leader_listener_) leader_listener_(new_leader);
+  }
+
+ private:
+  std::function<void(ProcessId)> leader_listener_;
+};
+
+}  // namespace lls

@@ -1,0 +1,65 @@
+#include "rsm/kv_store.h"
+
+namespace lls {
+
+KvResult KvStore::apply(const Command& cmd) {
+  ++applied_;
+  KvResult result;
+  auto it = data_.find(cmd.key);
+  result.found = it != data_.end();
+  switch (cmd.op) {
+    case KvOp::kPut:
+      data_[cmd.key] = cmd.value;
+      result.ok = true;
+      result.value = cmd.value;
+      break;
+    case KvOp::kGet:
+      result.ok = result.found;
+      if (result.found) result.value = it->second;
+      break;
+    case KvOp::kDel:
+      result.ok = result.found;
+      if (result.found) data_.erase(it);
+      break;
+    case KvOp::kAppend: {
+      std::string& slot = data_[cmd.key];
+      slot += cmd.value;
+      result.ok = true;
+      result.value = slot;
+      break;
+    }
+    case KvOp::kCas: {
+      std::string current = result.found ? it->second : std::string();
+      if (current == cmd.expected) {
+        data_[cmd.key] = cmd.value;
+        result.ok = true;
+        result.value = cmd.value;
+      } else {
+        result.ok = false;
+        result.value = current;
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::uint64_t KvStore::digest() const {
+  // FNV-1a over sorted (key, value) pairs; map iteration is already sorted.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& [k, v] : data_) {
+    mix(k);
+    mix(v);
+  }
+  return h;
+}
+
+}  // namespace lls

@@ -1,0 +1,34 @@
+// Deterministic key-value state machine.
+//
+// apply() is a pure function of (state, command); all replicas applying the
+// same command sequence reach identical states — the classic RSM argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "rsm/command.h"
+
+namespace lls {
+
+class KvStore {
+ public:
+  /// Applies one command and returns its result. Deterministic.
+  KvResult apply(const Command& cmd);
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] const std::map<std::string, std::string>& data() const {
+    return data_;
+  }
+  [[nodiscard]] std::uint64_t applied() const { return applied_; }
+
+  /// Order-insensitive state digest, for cross-replica convergence checks.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace lls

@@ -1,0 +1,102 @@
+#include "rsm/linearizability.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace lls {
+
+namespace {
+
+/// Observed and spec-produced results must agree on every field the client
+/// could have seen.
+bool results_match(const KvResult& observed, const KvResult& spec) {
+  return observed.ok == spec.ok && observed.found == spec.found &&
+         observed.value == spec.value;
+}
+
+class Search {
+ public:
+  Search(const std::vector<HistoryOp>& history,
+         LinearizabilityChecker::Options options)
+      : history_(history), options_(options) {}
+
+  LinearizabilityChecker::Verdict run() {
+    if (history_.size() > 64) {
+      // Bitmask-based memoization caps the history size; split histories
+      // per key before checking if this ever binds.
+      return LinearizabilityChecker::Verdict::kBudgetExceeded;
+    }
+    KvStore state;
+    bool ok = dfs(0, state);
+    if (budget_exceeded_) {
+      return LinearizabilityChecker::Verdict::kBudgetExceeded;
+    }
+    return ok ? LinearizabilityChecker::Verdict::kLinearizable
+              : LinearizabilityChecker::Verdict::kNotLinearizable;
+  }
+
+ private:
+  using Mask = std::uint64_t;
+
+  [[nodiscard]] bool done(Mask mask) const {
+    // All *completed* operations must be linearized; pending ones may be
+    // dropped (their effect never became visible).
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      if (history_[i].responded != kTimeNever && (mask & (Mask{1} << i)) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool dfs(Mask mask, const KvStore& state) {
+    if (++nodes_ > options_.max_nodes) {
+      budget_exceeded_ = true;
+      return false;
+    }
+    if (done(mask)) return true;
+    auto key = std::make_pair(mask, state.digest());
+    if (!visited_.insert(key).second) return false;
+
+    // An operation may be linearized next only if it is invoked before the
+    // earliest response among the remaining completed operations (otherwise
+    // some remaining op strictly precedes it in real time).
+    TimePoint min_response = kTimeNever;
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      if ((mask & (Mask{1} << i)) != 0) continue;
+      if (history_[i].responded != kTimeNever) {
+        min_response = std::min(min_response, history_[i].responded);
+      }
+    }
+
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      if ((mask & (Mask{1} << i)) != 0) continue;
+      const HistoryOp& op = history_[i];
+      if (op.invoked > min_response) continue;  // real-time order violated
+      KvStore next = state;
+      KvResult spec = next.apply(op.cmd);
+      if (op.responded != kTimeNever && !results_match(op.result, spec)) {
+        continue;  // this op cannot take effect here
+      }
+      if (dfs(mask | (Mask{1} << i), next)) return true;
+      if (budget_exceeded_) return false;
+    }
+    return false;
+  }
+
+  const std::vector<HistoryOp>& history_;
+  LinearizabilityChecker::Options options_;
+  std::set<std::pair<Mask, std::uint64_t>> visited_;
+  std::size_t nodes_ = 0;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace
+
+LinearizabilityChecker::Verdict LinearizabilityChecker::check(
+    const std::vector<HistoryOp>& history, Options options) {
+  return Search(history, options).run();
+}
+
+}  // namespace lls

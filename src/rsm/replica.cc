@@ -1,0 +1,8 @@
+// BasicKvReplica is a header-only template (rsm/replica.h); this TU pins
+// the common instantiations so client link times stay reasonable.
+#include "rsm/replica.h"
+
+namespace lls {
+template class BasicKvReplica<CeOmega, CeOmegaConfig>;
+template class BasicKvReplica<CrOmegaStable, CrOmegaConfig>;
+}  // namespace lls

@@ -1,0 +1,248 @@
+// KvReplica: a replicated key-value node — the full paper stack applied.
+//
+// Layering (one Actor per process):
+//   CE-Omega  — elects the leader (communication-efficient);
+//   LogConsensus — orders commands (leader-driven, Θ(n) steady state);
+//   KvReplica — deduplicates decided commands and applies them to the
+//               deterministic KvStore, firing local completion callbacks.
+//
+// Consensus guarantees at-least-once placement of a submitted command (it
+// may appear in two instances across a leader change); the replica's
+// (origin, seq) dedup turns that into exactly-once application, so all
+// replicas' stores converge byte-for-byte.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mux.h"
+#include "consensus/log_consensus.h"
+#include "omega/ce_omega.h"
+#include "omega/cr_omega.h"
+#include "rsm/kv_store.h"
+
+namespace lls {
+
+struct KvReplicaConfig {
+  /// When true, this replica submits at most one command at a time to the
+  /// consensus log and holds the rest in a local session queue, giving
+  /// FIFO per-client order. The paper's links are non-FIFO, so without
+  /// this, concurrently submitted commands may be ordered arbitrarily.
+  bool fifo_client_order = false;
+
+  /// Commands per consensus value. With > 1, bursts of submissions are
+  /// packed into one log entry, amortizing the Θ(n) per-instance message
+  /// cost over the batch (extension; measured by bench_a5_batching).
+  /// Ignored in FIFO session mode.
+  std::size_t max_batch = 1;
+
+  /// How long a partially filled batch may wait before being flushed.
+  Duration batch_flush_delay = 5 * kMillisecond;
+};
+
+/// Generic over the leader oracle: KvReplica (below) instantiates it with
+/// the paper's crash-stop CE-Omega; CrKvReplica with the crash-recovery
+/// stable-storage Omega plus a durable consensus log, giving a replicated
+/// store that survives even full-cluster restarts (the recovered log is
+/// replayed into a fresh KvStore).
+template <typename OmegaT, typename OmegaConfigT>
+class BasicKvReplica final : public Actor {
+ public:
+  using Callback = std::function<void(const KvResult&)>;
+
+  BasicKvReplica(const OmegaConfigT& omega_config,
+                 const LogConsensusConfig& consensus_config,
+                 KvReplicaConfig replica_config = {})
+      : config_(replica_config),
+        omega_(omega_config),
+        consensus_(consensus_config, &omega_) {
+    mux_.add_child(omega_, 0x0100, 0x01ff);
+    mux_.add_child(consensus_, 0x0200, 0x02ff);
+    consensus_.set_decision_listener(
+        [this](Instance i, const Bytes& value) { on_decided(i, value); });
+  }
+
+  // Actor ------------------------------------------------------------------
+  void on_start(Runtime& rt) override {
+    self_ = rt.id();
+    rt_ = &rt;
+    mux_.on_start(rt);
+  }
+  void on_message(Runtime& rt, ProcessId src, MessageType type,
+                  BytesView payload) override {
+    mux_.on_message(rt, src, type, payload);
+  }
+  void on_timer(Runtime& rt, TimerId timer) override {
+    if (timer == flush_timer_) {
+      flush_timer_ = kInvalidTimer;
+      flush_batch();
+      return;
+    }
+    mux_.on_timer(rt, timer);
+  }
+
+  // Client surface ----------------------------------------------------------
+  /// Submits a command from this replica; `cb` (optional) fires when the
+  /// command is applied locally. Returns the command's sequence number.
+  std::uint64_t submit(KvOp op, std::string key, std::string value = "",
+                       std::string expected = "", Callback cb = nullptr);
+
+  [[nodiscard]] const KvStore& store() const { return store_; }
+  [[nodiscard]] std::uint64_t applied_count() const { return store_.applied(); }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_;
+  }
+  OmegaT& omega() { return omega_; }
+  LogConsensus& consensus() { return consensus_; }
+  [[nodiscard]] const OmegaT& omega() const { return omega_; }
+  [[nodiscard]] const LogConsensus& consensus() const { return consensus_; }
+
+ private:
+  void on_decided(Instance i, const Bytes& value);
+  void apply_command(const Command& cmd);
+  void pump_session_queue();
+  void flush_batch();
+
+  /// Sequence numbers must be unique across a process's incarnations: a
+  /// crash-recovery replica namespaces them by the omega's incarnation
+  /// number (read lazily, after the omega has started), a crash-stop one
+  /// starts at 1.
+  [[nodiscard]] std::uint64_t initial_seq() const {
+    if constexpr (requires { omega_.incarnation(); }) {
+      return (omega_.incarnation() << 32) + 1;
+    } else {
+      return 1;
+    }
+  }
+
+  KvReplicaConfig config_;
+  Runtime* rt_ = nullptr;
+  OmegaT omega_;
+  LogConsensus consensus_;
+  MuxActor mux_;
+
+  ProcessId self_ = kNoProcess;
+  KvStore store_;
+  std::uint64_t next_seq_ = 0;
+  bool seq_initialized_ = false;
+  std::uint64_t duplicates_ = 0;
+  /// Applied sequences per origin. A plain set rather than a watermark:
+  /// commands of one origin may be decided out of sequence order across
+  /// leader changes (an old leader's stranded proposal can resurface late).
+  std::unordered_map<ProcessId, std::unordered_set<std::uint64_t>> applied_;
+  std::map<std::uint64_t, Callback> callbacks_;  // by local seq
+
+  // FIFO session mode.
+  std::deque<Command> session_queue_;
+  bool outstanding_ = false;
+
+  // Batching mode.
+  std::vector<Command> batch_;
+  TimerId flush_timer_ = kInvalidTimer;
+};
+
+// --- member definitions (template) -------------------------------------------
+
+namespace detail {
+inline Bytes encode_single_command(const Command& cmd) {
+  CommandBatch batch;
+  batch.commands.push_back(cmd);
+  return batch.encode();
+}
+}  // namespace detail
+
+template <typename OmegaT, typename OmegaConfigT>
+std::uint64_t BasicKvReplica<OmegaT, OmegaConfigT>::submit(KvOp op, std::string key, std::string value,
+                                std::string expected, Callback cb) {
+  if (!seq_initialized_) {
+    next_seq_ = initial_seq();
+    seq_initialized_ = true;
+  }
+  Command cmd;
+  cmd.origin = self_;
+  cmd.seq = next_seq_++;
+  cmd.op = op;
+  cmd.key = std::move(key);
+  cmd.value = std::move(value);
+  cmd.expected = std::move(expected);
+  if (cb) callbacks_[cmd.seq] = std::move(cb);
+
+  if (config_.fifo_client_order) {
+    session_queue_.push_back(std::move(cmd));
+    pump_session_queue();
+  } else if (config_.max_batch > 1) {
+    batch_.push_back(std::move(cmd));
+    if (batch_.size() >= config_.max_batch) {
+      flush_batch();
+    } else if (flush_timer_ == kInvalidTimer && rt_ != nullptr) {
+      flush_timer_ = rt_->set_timer(config_.batch_flush_delay);
+    }
+  } else {
+    consensus_.propose(detail::encode_single_command(cmd));
+  }
+  return next_seq_ - 1;
+}
+
+template <typename OmegaT, typename OmegaConfigT>
+void BasicKvReplica<OmegaT, OmegaConfigT>::flush_batch() {
+  if (batch_.empty()) return;
+  CommandBatch batch;
+  batch.commands = std::move(batch_);
+  batch_.clear();
+  consensus_.propose(batch.encode());
+  if (flush_timer_ != kInvalidTimer && rt_ != nullptr) {
+    rt_->cancel_timer(flush_timer_);
+    flush_timer_ = kInvalidTimer;
+  }
+}
+
+template <typename OmegaT, typename OmegaConfigT>
+void BasicKvReplica<OmegaT, OmegaConfigT>::pump_session_queue() {
+  if (outstanding_ || session_queue_.empty()) return;
+  outstanding_ = true;
+  consensus_.propose(detail::encode_single_command(session_queue_.front()));
+  session_queue_.pop_front();
+}
+
+template <typename OmegaT, typename OmegaConfigT>
+void BasicKvReplica<OmegaT, OmegaConfigT>::on_decided(Instance, const Bytes& value) {
+  if (value.empty()) return;  // consensus no-op filler
+  CommandBatch batch = CommandBatch::decode(value);
+  for (const Command& cmd : batch.commands) apply_command(cmd);
+}
+
+template <typename OmegaT, typename OmegaConfigT>
+void BasicKvReplica<OmegaT, OmegaConfigT>::apply_command(const Command& cmd) {
+  if (!applied_[cmd.origin].insert(cmd.seq).second) {
+    ++duplicates_;
+    return;  // at-least-once from consensus -> exactly-once here
+  }
+  KvResult result = store_.apply(cmd);
+  if (cmd.origin == self_) {
+    auto it = callbacks_.find(cmd.seq);
+    if (it != callbacks_.end()) {
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      cb(result);
+    }
+    if (config_.fifo_client_order) {
+      outstanding_ = false;
+      pump_session_queue();
+    }
+  }
+}
+
+
+/// The paper's crash-stop replica.
+using KvReplica = BasicKvReplica<CeOmega, CeOmegaConfig>;
+
+/// Crash-recovery replica: pair with LogConsensusConfig::durable = true and
+/// the simulator's crash-recovery mode; the store is rebuilt from the
+/// replayed durable log on every recovery.
+using CrKvReplica = BasicKvReplica<CrOmegaStable, CrOmegaConfig>;
+
+}  // namespace lls

@@ -1,0 +1,169 @@
+#include "runtime/udp_runtime.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/serialization.h"
+
+namespace lls {
+
+namespace {
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+constexpr std::size_t kHeaderSize = sizeof(std::uint32_t) + sizeof(std::uint16_t);
+}  // namespace
+
+UdpNode::UdpNode(UdpNodeConfig config, std::unique_ptr<Actor> actor)
+    : config_(config),
+      actor_(std::move(actor)),
+      rng_(config.seed ^ (config.id + 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+UdpNode::~UdpNode() {
+  stop();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TimePoint UdpNode::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void UdpNode::start() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(config_.base_port + config_.id));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad host address: " + config_.host);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("bind() failed on port " +
+                             std::to_string(config_.base_port + config_.id));
+  }
+  running_.store(true);
+  thread_ = std::thread([this]() {
+    actor_->on_start(*this);
+    run();
+  });
+}
+
+void UdpNode::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+void UdpNode::post(std::function<void()> fn) {
+  std::scoped_lock lock(mu_);
+  calls_.push_back(std::move(fn));
+}
+
+void UdpNode::send(ProcessId dst, MessageType type, BytesView payload) {
+  if (dst == config_.id || dst >= static_cast<ProcessId>(config_.n)) return;
+  std::vector<std::byte> frame(kHeaderSize + payload.size());
+  std::uint32_t src = config_.id;
+  std::uint16_t t = type;
+  std::memcpy(frame.data(), &src, sizeof(src));
+  std::memcpy(frame.data() + sizeof(src), &t, sizeof(t));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.base_port + dst));
+  ::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr);
+  // Fire-and-forget: UDP send failures are indistinguishable from link loss,
+  // which the protocols tolerate by design.
+  ::sendto(fd_, frame.data(), frame.size(), 0,
+           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+}
+
+TimerId UdpNode::set_timer(Duration delay) {
+  std::scoped_lock lock(mu_);
+  TimerId tid = next_timer_++;
+  timers_.push(TimerEntry{now() + (delay < 0 ? 0 : delay), tid});
+  return tid;
+}
+
+void UdpNode::cancel_timer(TimerId timer) {
+  std::scoped_lock lock(mu_);
+  if (timer != kInvalidTimer) cancelled_.insert(timer);
+}
+
+TimePoint UdpNode::next_deadline() {
+  std::scoped_lock lock(mu_);
+  if (!calls_.empty()) return 0;
+  if (timers_.empty()) return kTimeNever;
+  return timers_.top().deadline;
+}
+
+void UdpNode::run() {
+  std::vector<std::byte> buf(kMaxDatagram);
+  while (running_.load()) {
+    // Fire due timers and posted calls.
+    for (;;) {
+      std::function<void()> call;
+      TimerId due = kInvalidTimer;
+      {
+        std::scoped_lock lock(mu_);
+        if (!calls_.empty()) {
+          call = std::move(calls_.front());
+          calls_.erase(calls_.begin());
+        } else if (!timers_.empty() && timers_.top().deadline <= now()) {
+          due = timers_.top().id;
+          timers_.pop();
+          if (auto it = cancelled_.find(due); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            due = kInvalidTimer;  // swallowed
+            continue;
+          }
+        } else {
+          break;
+        }
+      }
+      if (call) call();
+      if (due != kInvalidTimer) actor_->on_timer(*this, due);
+    }
+
+    // Wait for a datagram, bounded by the next deadline (cap 10ms so posted
+    // calls are picked up promptly).
+    TimePoint next = next_deadline();
+    int timeout_ms = 10;
+    if (next != kTimeNever) {
+      auto until = (next - now()) / kMillisecond;
+      timeout_ms = static_cast<int>(std::max<Duration>(
+          0, std::min<Duration>(until, 10)));
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0 && (pfd.revents & POLLIN) != 0) drain_socket();
+  }
+}
+
+void UdpNode::drain_socket() {
+  std::vector<std::byte> buf(kMaxDatagram);
+  for (;;) {
+    ssize_t got = ::recvfrom(fd_, buf.data(), buf.size(), MSG_DONTWAIT,
+                             nullptr, nullptr);
+    if (got < static_cast<ssize_t>(kHeaderSize)) return;  // none or garbage
+    std::uint32_t src = 0;
+    std::uint16_t type = 0;
+    std::memcpy(&src, buf.data(), sizeof(src));
+    std::memcpy(&type, buf.data() + sizeof(src), sizeof(type));
+    if (src >= static_cast<std::uint32_t>(config_.n)) continue;
+    BytesView payload(buf.data() + kHeaderSize,
+                      static_cast<std::size_t>(got) - kHeaderSize);
+    actor_->on_message(*this, src, type, payload);
+  }
+}
+
+}  // namespace lls

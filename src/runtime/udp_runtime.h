@@ -1,0 +1,93 @@
+// UDP socket runtime: one node = one socket = one thread.
+//
+// Runs the same Actor protocols over real datagram sockets (localhost or a
+// LAN). UDP's native loss/reordering already matches the paper's lossy
+// non-FIFO links; each node is addressed as 127.0.0.1:(base_port + id).
+// Nodes in one OS process share nothing but the loopback device — the same
+// class works with one node per machine by changing the address scheme.
+//
+// Datagram format: [src: u32][type: u16][payload bytes].
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/actor.h"
+
+namespace lls {
+
+struct UdpNodeConfig {
+  ProcessId id = 0;
+  int n = 0;
+  std::uint16_t base_port = 47000;
+  std::string host = "127.0.0.1";
+  std::uint64_t seed = 1;
+};
+
+class UdpNode final : public Runtime {
+ public:
+  UdpNode(UdpNodeConfig config, std::unique_ptr<Actor> actor);
+  ~UdpNode() override;
+
+  UdpNode(const UdpNode&) = delete;
+  UdpNode& operator=(const UdpNode&) = delete;
+
+  /// Binds the socket and launches the event-loop thread (on_start runs
+  /// there). Throws std::runtime_error if the port cannot be bound.
+  void start();
+  void stop();
+
+  /// Runs fn on the node's event-loop thread.
+  void post(std::function<void()> fn);
+
+  [[nodiscard]] Actor& actor() { return *actor_; }
+
+  // Runtime ------------------------------------------------------------------
+  [[nodiscard]] ProcessId id() const override { return config_.id; }
+  [[nodiscard]] int n() const override { return config_.n; }
+  [[nodiscard]] TimePoint now() const override;
+  void send(ProcessId dst, MessageType type, BytesView payload) override;
+  TimerId set_timer(Duration delay) override;
+  void cancel_timer(TimerId timer) override;
+  Rng& rng() override { return rng_; }
+
+ private:
+  struct TimerEntry {
+    TimePoint deadline;
+    TimerId id;
+    bool operator>(const TimerEntry& o) const {
+      return deadline > o.deadline || (deadline == o.deadline && id > o.id);
+    }
+  };
+
+  void run();
+  void drain_socket();
+  [[nodiscard]] TimePoint next_deadline();
+
+  UdpNodeConfig config_;
+  std::unique_ptr<Actor> actor_;
+  Rng rng_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  int fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex mu_;  // guards timers_, cancelled_, calls_
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+  std::unordered_set<TimerId> cancelled_;
+  std::vector<std::function<void()>> calls_;
+  TimerId next_timer_ = 1;
+};
+
+}  // namespace lls

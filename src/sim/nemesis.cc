@@ -1,0 +1,95 @@
+#include "sim/nemesis.h"
+
+#include <memory>
+
+namespace lls {
+
+Nemesis::Nemesis(Simulator& sim, LinkFactory base, NemesisConfig config)
+    : sim_(sim), base_(std::move(base)), config_(config), rng_(config.seed) {
+  plan();
+}
+
+void Nemesis::plan() {
+  TimePoint t = config_.start;
+  while (t < config_.quiesce) {
+    Duration gap = rng_.next_range(config_.mean_gap / 2, config_.mean_gap * 2);
+    t += gap;
+    if (t >= config_.quiesce) break;
+    auto kind = static_cast<Kind>(rng_.next_below(3));
+    Duration duration = config_.duration.sample(rng_);
+    // Clamp healing into the pre-quiesce window: by quiesce everything is
+    // restored, preserving the "eventually" premises.
+    if (t + duration > config_.quiesce) duration = config_.quiesce - t;
+    disturb_at(t, kind, duration);
+    ++events_planned_;
+  }
+  // Belt and braces: restore every link at quiesce regardless of history.
+  sim_.schedule(config_.quiesce, [this]() {
+    int n = sim_.n();
+    for (ProcessId src = 0; src < static_cast<ProcessId>(n); ++src) {
+      for (ProcessId dst = 0; dst < static_cast<ProcessId>(n); ++dst) {
+        if (src != dst) sim_.network().set_link(src, dst, base_(src, dst));
+      }
+    }
+  });
+}
+
+void Nemesis::disturb_at(TimePoint t, Kind kind, Duration duration) {
+  int n = sim_.n();
+  switch (kind) {
+    case Kind::kIsolate: {
+      auto victim = static_cast<ProcessId>(rng_.next_below(n));
+      sim_.schedule(t, [this, victim, n]() {
+        for (ProcessId q = 0; q < static_cast<ProcessId>(n); ++q) {
+          if (q == victim) continue;
+          sim_.network().set_link(victim, q, std::make_unique<DeadLink>());
+          sim_.network().set_link(q, victim, std::make_unique<DeadLink>());
+        }
+      });
+      sim_.schedule(t + duration, [this, victim]() { heal_process(victim); });
+      return;
+    }
+    case Kind::kPartitionPair: {
+      auto a = static_cast<ProcessId>(rng_.next_below(n));
+      auto b = static_cast<ProcessId>(rng_.next_below(n));
+      if (a == b) b = static_cast<ProcessId>((b + 1) % n);
+      sim_.schedule(t, [this, a, b]() {
+        sim_.network().set_link(a, b, std::make_unique<DeadLink>());
+        sim_.network().set_link(b, a, std::make_unique<DeadLink>());
+      });
+      sim_.schedule(t + duration, [this, a, b]() { heal_pair(a, b); });
+      return;
+    }
+    case Kind::kDelayStorm: {
+      // One process's outgoing links slow to 50-500ms for the duration.
+      auto victim = static_cast<ProcessId>(rng_.next_below(n));
+      sim_.schedule(t, [this, victim, n]() {
+        for (ProcessId q = 0; q < static_cast<ProcessId>(n); ++q) {
+          if (q == victim) continue;
+          sim_.network().set_link(
+              victim, q,
+              std::make_unique<TimelyLink>(
+                  DelayRange{50 * kMillisecond, 500 * kMillisecond}));
+        }
+      });
+      sim_.schedule(t + duration, [this, victim]() { heal_process(victim); });
+      return;
+    }
+  }
+}
+
+void Nemesis::heal_process(ProcessId p) {
+  int n = sim_.n();
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n); ++q) {
+    if (q == p) continue;
+    sim_.network().set_link(p, q, base_(p, q));
+    sim_.network().set_link(q, p, base_(q, p));
+  }
+}
+
+void Nemesis::heal_pair(ProcessId a, ProcessId b) {
+  sim_.network().set_link(a, b, base_(a, b));
+  sim_.network().set_link(b, a, base_(b, a));
+}
+
+}  // namespace lls

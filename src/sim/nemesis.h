@@ -1,0 +1,62 @@
+// Nemesis: randomized fault-schedule generator (Jepsen-style).
+//
+// Drives a simulated cluster through a random sequence of disturbances —
+// process isolations, pair partitions, delay storms — and heals everything
+// by a configured quiesce time. Because all disturbances stop, the paper's
+// "eventually ..." premises (eventual timeliness of the ♦-source, fair loss
+// elsewhere) hold for the suffix of the execution, so eventual properties
+// (leader stabilization, consensus liveness) must still hold by the
+// horizon: any violation found under nemesis is a real bug, not a premise
+// violation.
+//
+// Crash-stop crashes are deliberately not scheduled here (they change the
+// correct set); compose them explicitly in the experiment if wanted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace lls {
+
+struct NemesisConfig {
+  std::uint64_t seed = 1;
+  /// Disturbances are injected in [start, quiesce); all links are restored
+  /// to the base factory at quiesce.
+  TimePoint start = 1 * kSecond;
+  TimePoint quiesce = 20 * kSecond;
+  /// Mean gap between disturbance events.
+  Duration mean_gap = 1 * kSecond;
+  /// How long one disturbance lasts before it heals (uniform in range).
+  DelayRange duration{500 * kMillisecond, 3 * kSecond};
+};
+
+class Nemesis {
+ public:
+  /// Installs the schedule on `sim`. `base` must be the factory the
+  /// network was built with; healing re-instantiates links from it.
+  /// The object must outlive the simulation run.
+  Nemesis(Simulator& sim, LinkFactory base, NemesisConfig config);
+
+  /// Number of disturbance events injected (known after construction).
+  [[nodiscard]] int events_planned() const { return events_planned_; }
+
+ private:
+  enum class Kind { kIsolate, kPartitionPair, kDelayStorm };
+
+  void plan();
+  void disturb_at(TimePoint t, Kind kind, Duration duration);
+  void heal_process(ProcessId p);
+  void heal_pair(ProcessId a, ProcessId b);
+
+  Simulator& sim_;
+  LinkFactory base_;
+  NemesisConfig config_;
+  Rng rng_;
+  int events_planned_ = 0;
+};
+
+}  // namespace lls

@@ -1,0 +1,213 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lls {
+
+Simulator::Simulator(SimConfig config, const LinkFactory& links)
+    : config_(config),
+      master_rng_(config.seed),
+      misc_rng_(master_rng_.fork()),
+      network_(config.n, links, master_rng_, config.stats_bucket),
+      actors_(static_cast<std::size_t>(config.n)),
+      factories_(static_cast<std::size_t>(config.n)),
+      storage_(static_cast<std::size_t>(config.n)),
+      alive_(static_cast<std::size_t>(config.n), true),
+      started_(static_cast<std::size_t>(config.n), false),
+      epoch_(static_cast<std::size_t>(config.n), 0) {
+  runtimes_.reserve(static_cast<std::size_t>(config.n));
+  for (int p = 0; p < config.n; ++p) {
+    runtimes_.push_back(std::make_unique<SimRuntime>(
+        *this, static_cast<ProcessId>(p), master_rng_.fork(),
+        &storage_[static_cast<std::size_t>(p)]));
+  }
+}
+
+void Simulator::set_actor_factory(
+    ProcessId p, std::function<std::unique_ptr<Actor>()> factory) {
+  actors_.at(p) = factory();
+  factories_.at(p) = std::move(factory);
+}
+
+void Simulator::recover_at(ProcessId p, TimePoint t) {
+  if (!factories_.at(p)) {
+    throw std::logic_error("recover_at requires set_actor_factory");
+  }
+  Event e;
+  e.time = t;
+  e.kind = EventKind::kRecover;
+  e.pid = p;
+  push(std::move(e));
+}
+
+void Simulator::set_actor(ProcessId p, std::unique_ptr<Actor> actor) {
+  actors_.at(p) = std::move(actor);
+}
+
+void Simulator::start() {
+  for (int p = 0; p < config_.n; ++p) {
+    auto pid = static_cast<ProcessId>(p);
+    if (started_[pid] || !alive_[pid]) continue;
+    if (!actors_[pid]) throw std::logic_error("actor missing for process");
+    started_[pid] = true;
+    actors_[pid]->on_start(*runtimes_[pid]);
+  }
+}
+
+void Simulator::push(Event e) {
+  e.seq = next_seq_++;
+  queue_.push(std::move(e));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out. Events are small
+  // except for message payloads and callbacks, both of which are consumed
+  // exactly once here.
+  Event e = queue_.top();
+  queue_.pop();
+  now_ = e.time;
+  ++executed_;
+  dispatch(e);
+  return true;
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::dispatch(Event& e) {
+  switch (e.kind) {
+    case EventKind::kDeliver: {
+      ProcessId dst = e.msg.dst;
+      if (!alive_[dst] || !started_[dst]) return;
+      network_.note_delivered(dst);
+      trace_event({TraceEvent::Kind::kDeliver, now_, e.msg.src, dst,
+                   e.msg.type, static_cast<std::uint32_t>(e.msg.payload.size()),
+                   kInvalidTimer});
+      actors_[dst]->on_message(*runtimes_[dst], e.msg.src, e.msg.type,
+                               e.msg.payload);
+      return;
+    }
+    case EventKind::kTimer: {
+      if (auto it = cancelled_timers_.find(e.timer);
+          it != cancelled_timers_.end()) {
+        cancelled_timers_.erase(it);
+        return;
+      }
+      // A timer armed by a previous incarnation dies with that incarnation.
+      if (!alive_[e.pid] || e.epoch != epoch_[e.pid]) return;
+      trace_event({TraceEvent::Kind::kTimerFire, now_, e.pid, kNoProcess, 0, 0,
+                   e.timer});
+      actors_[e.pid]->on_timer(*runtimes_[e.pid], e.timer);
+      return;
+    }
+    case EventKind::kCall:
+      e.fn();
+      return;
+    case EventKind::kCrash:
+      if (alive_[e.pid]) {
+        alive_[e.pid] = false;
+        trace_event({TraceEvent::Kind::kCrash, now_, e.pid, kNoProcess, 0, 0,
+                     kInvalidTimer});
+        LLS_DEBUG("t=%lld p%u crashed", static_cast<long long>(now_), e.pid);
+      }
+      return;
+    case EventKind::kRecover:
+      if (!alive_[e.pid]) {
+        alive_[e.pid] = true;
+        ++epoch_[e.pid];
+        // Volatile state is lost: rebuild the actor from its factory; only
+        // storage_ (stable storage) survives the crash.
+        actors_[e.pid] = factories_[e.pid]();
+        started_[e.pid] = true;
+        actors_[e.pid]->on_start(*runtimes_[e.pid]);
+        LLS_DEBUG("t=%lld p%u recovered", static_cast<long long>(now_), e.pid);
+      }
+      return;
+  }
+}
+
+void Simulator::crash_at(ProcessId p, TimePoint t) {
+  Event e;
+  e.time = t;
+  e.kind = EventKind::kCrash;
+  e.pid = p;
+  push(std::move(e));
+}
+
+void Simulator::crash_now(ProcessId p) { alive_[p] = false; }
+
+int Simulator::alive_count() const {
+  int count = 0;
+  for (bool a : alive_) count += a ? 1 : 0;
+  return count;
+}
+
+void Simulator::schedule(TimePoint t, std::function<void()> fn) {
+  Event e;
+  e.time = t < now_ ? now_ : t;
+  e.kind = EventKind::kCall;
+  e.fn = std::move(fn);
+  push(std::move(e));
+}
+
+void Simulator::schedule_every(TimePoint first, Duration period,
+                               std::function<bool()> fn) {
+  // A self-rescheduling callable; the body is shared so each hop is cheap.
+  struct Repeater {
+    Simulator* sim;
+    Duration period;
+    std::shared_ptr<std::function<bool()>> body;
+    void operator()() const {
+      if (!(*body)()) return;
+      sim->schedule(sim->now() + period, *this);
+    }
+  };
+  schedule(first, Repeater{this, period,
+                           std::make_shared<std::function<bool()>>(
+                               std::move(fn))});
+}
+
+void Simulator::do_send(ProcessId src, ProcessId dst, MessageType type,
+                        BytesView payload) {
+  if (!alive_[src]) return;  // a crashed process cannot send
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.type = type;
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.seq = next_msg_seq_++;
+  auto deliver_at = network_.route(msg, now_);
+  trace_event({deliver_at ? TraceEvent::Kind::kSend : TraceEvent::Kind::kDrop,
+               now_, src, dst, type,
+               static_cast<std::uint32_t>(msg.payload.size()), kInvalidTimer});
+  if (!deliver_at) return;
+  Event e;
+  e.time = *deliver_at;
+  e.kind = EventKind::kDeliver;
+  e.msg = std::move(msg);
+  push(std::move(e));
+}
+
+TimerId Simulator::do_set_timer(ProcessId p, Duration delay) {
+  TimerId id = next_timer_++;
+  Event e;
+  e.time = now_ + (delay < 0 ? 0 : delay);
+  e.kind = EventKind::kTimer;
+  e.pid = p;
+  e.timer = id;
+  e.epoch = epoch_[p];
+  push(std::move(e));
+  return id;
+}
+
+void Simulator::do_cancel_timer(TimerId timer) {
+  if (timer == kInvalidTimer) return;
+  cancelled_timers_.insert(timer);
+}
+
+}  // namespace lls

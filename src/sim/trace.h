@@ -1,0 +1,99 @@
+// Execution tracing for the simulator.
+//
+// A TraceSink receives every simulator event (sends, drops, deliveries,
+// timer fires, crashes); RingTrace keeps the most recent N in a ring so a
+// failing property test can dump the tail of the execution that broke it.
+// Tracing is off unless a sink is installed; the hot path costs one branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lls {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,      ///< a = src, b = dst, type/bytes meaningful
+    kDrop,      ///< like kSend, but the link dropped it
+    kDeliver,   ///< a = src, b = dst
+    kTimerFire, ///< a = process, timer meaningful
+    kCrash,     ///< a = process
+  };
+
+  Kind kind = Kind::kSend;
+  TimePoint t = 0;
+  ProcessId a = kNoProcess;
+  ProcessId b = kNoProcess;
+  MessageType type = 0;
+  std::uint32_t bytes = 0;
+  TimerId timer = kInvalidTimer;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Fixed-capacity ring of the most recent events.
+class RingTrace final : public TraceSink {
+ public:
+  explicit RingTrace(std::size_t capacity) : capacity_(capacity) {
+    ring_.reserve(capacity);
+  }
+
+  void on_event(const TraceEvent& event) override {
+    ++total_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+      return;
+    }
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  /// Events in chronological order (oldest retained first).
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t total_seen() const { return total_; }
+
+  void dump(std::FILE* out) const {
+    for (const TraceEvent& e : events()) {
+      const char* kind = "?";
+      switch (e.kind) {
+        case TraceEvent::Kind::kSend: kind = "SEND"; break;
+        case TraceEvent::Kind::kDrop: kind = "DROP"; break;
+        case TraceEvent::Kind::kDeliver: kind = "RECV"; break;
+        case TraceEvent::Kind::kTimerFire: kind = "TIMR"; break;
+        case TraceEvent::Kind::kCrash: kind = "CRSH"; break;
+      }
+      std::fprintf(out, "%10lld %s p%u", static_cast<long long>(e.t), kind,
+                   e.a);
+      if (e.kind == TraceEvent::Kind::kSend ||
+          e.kind == TraceEvent::Kind::kDrop ||
+          e.kind == TraceEvent::Kind::kDeliver) {
+        std::fprintf(out, " -> p%u type=0x%04x bytes=%u", e.b, e.type,
+                     e.bytes);
+      }
+      std::fputc('\n', out);
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lls

@@ -1,0 +1,142 @@
+// Decode-robustness fuzzing: every message decoder must either succeed or
+// throw SerializationError on arbitrary byte strings — never crash, hang or
+// read out of bounds. Exercised with random buffers and with truncated
+// prefixes of valid encodings (the classic off-by-one class).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/paxos.h"
+#include "consensus/rotating_consensus.h"
+#include "net/relay.h"
+#include "rsm/command.h"
+
+namespace lls {
+namespace {
+
+using Decoder = std::function<void(BytesView)>;
+
+std::vector<std::pair<std::string, Decoder>> decoders() {
+  return {
+      {"PrepareMsg", [](BytesView v) { PrepareMsg::decode(v); }},
+      {"PromiseMsg", [](BytesView v) { PromiseMsg::decode(v); }},
+      {"AcceptMsg", [](BytesView v) { AcceptMsg::decode(v); }},
+      {"AcceptedMsg", [](BytesView v) { AcceptedMsg::decode(v); }},
+      {"NackMsg", [](BytesView v) { NackMsg::decode(v); }},
+      {"DecideMsg", [](BytesView v) { DecideMsg::decode(v); }},
+      {"DecideAckMsg", [](BytesView v) { DecideAckMsg::decode(v); }},
+      {"ForwardMsg", [](BytesView v) { ForwardMsg::decode(v); }},
+      {"Command", [](BytesView v) { Command::decode(v); }},
+  };
+}
+
+void expect_no_crash(const Decoder& decode, BytesView bytes,
+                     const std::string& name) {
+  try {
+    decode(bytes);
+  } catch (const SerializationError&) {
+    // fine: malformed input detected
+  } catch (const std::exception& e) {
+    FAIL() << name << " threw unexpected exception: " << e.what();
+  }
+}
+
+TEST(CodecFuzz, RandomBuffersNeverCrashDecoders) {
+  Rng rng(0xabcdef);
+  for (const auto& [name, decode] : decoders()) {
+    for (int trial = 0; trial < 500; ++trial) {
+      auto len = static_cast<std::size_t>(rng.next_below(64));
+      Bytes buf(len);
+      for (auto& b : buf) {
+        b = static_cast<std::byte>(rng.next_below(256));
+      }
+      expect_no_crash(decode, buf, name);
+    }
+  }
+}
+
+TEST(CodecFuzz, EmptyBufferHandled) {
+  for (const auto& [name, decode] : decoders()) {
+    expect_no_crash(decode, {}, name);
+  }
+}
+
+TEST(CodecFuzz, TruncatedValidEncodingsThrowNotCrash) {
+  // Build one valid encoding per type, then decode every proper prefix.
+  std::vector<std::pair<std::string, Bytes>> encodings;
+  encodings.emplace_back("PrepareMsg", PrepareMsg{5, 2}.encode());
+  PromiseMsg promise;
+  promise.round = 3;
+  promise.entries.push_back(PromiseEntry{1, 2, true, Bytes{std::byte{9}}});
+  encodings.emplace_back("PromiseMsg", promise.encode());
+  encodings.emplace_back("AcceptMsg",
+                         AcceptMsg{1, 2, 3, Bytes{std::byte{4}}}.encode());
+  encodings.emplace_back("AcceptedMsg", AcceptedMsg{1, 2}.encode());
+  encodings.emplace_back("NackMsg", NackMsg{1, 2}.encode());
+  encodings.emplace_back("DecideMsg",
+                         DecideMsg{7, Bytes{std::byte{1}}}.encode());
+  encodings.emplace_back("DecideAckMsg", DecideAckMsg{7}.encode());
+  encodings.emplace_back("ForwardMsg",
+                         ForwardMsg{Bytes{std::byte{1}}}.encode());
+  Command cmd;
+  cmd.origin = 1;
+  cmd.seq = 2;
+  cmd.op = KvOp::kCas;
+  cmd.key = "key";
+  cmd.value = "value";
+  cmd.expected = "expected";
+  encodings.emplace_back("Command", cmd.encode());
+
+  auto all = decoders();
+  for (const auto& [name, bytes] : encodings) {
+    for (const auto& [dec_name, decode] : all) {
+      if (dec_name != name) continue;
+      for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        BytesView prefix(bytes.data(), cut);
+        EXPECT_THROW(decode(prefix), SerializationError)
+            << name << " accepted a " << cut << "-byte prefix of a "
+            << bytes.size() << "-byte encoding";
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, LengthFieldLyingAboutSizeThrows) {
+  // A PromiseMsg whose entry count claims more entries than are present.
+  BufWriter w;
+  w.put<Round>(1);
+  w.put<std::uint32_t>(1000);  // entry count lie
+  EXPECT_THROW(PromiseMsg::decode(w.view()), SerializationError);
+
+  // A Command whose key length runs past the end.
+  BufWriter c;
+  c.put<ProcessId>(0);
+  c.put<std::uint64_t>(1);
+  c.put<KvOp>(KvOp::kPut);
+  c.put<std::uint32_t>(0xffffff);  // key length lie
+  EXPECT_THROW(Command::decode(c.view()), SerializationError);
+}
+
+TEST(CodecFuzz, MutatedValidEncodingsNeverCrash) {
+  Rng rng(0x777);
+  Command cmd;
+  cmd.origin = 3;
+  cmd.seq = 42;
+  cmd.op = KvOp::kAppend;
+  cmd.key = "some-key";
+  cmd.value = "some-value";
+  Bytes base = cmd.encode();
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = base;
+    auto pos = static_cast<std::size_t>(rng.next_below(mutated.size()));
+    mutated[pos] = static_cast<std::byte>(rng.next_below(256));
+    expect_no_crash([](BytesView v) { Command::decode(v); }, mutated,
+                    "Command");
+  }
+}
+
+}  // namespace
+}  // namespace lls

@@ -1,0 +1,234 @@
+// Property tests of the consensus stack: safety in every execution
+// (including hostile ones where liveness is forfeit), liveness whenever the
+// paper's premises hold (majority correct + system S), failover behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "consensus/experiment.h"
+#include "net/topology.h"
+
+namespace lls {
+namespace {
+
+ConsensusExperiment system_s_experiment(int n, std::uint64_t seed,
+                                        ProcessId source, int values) {
+  ConsensusExperiment exp;
+  exp.n = n;
+  exp.seed = seed;
+  SystemSParams params;
+  params.sources = {source};
+  params.gst = 1 * kSecond;
+  exp.links = make_system_s(params);
+  exp.num_values = values;
+  exp.first_propose = 500 * kMillisecond;  // before GST: chaos included
+  exp.horizon = 120 * kSecond;
+  return exp;
+}
+
+// ---------------------------------------------------------------------------
+// Liveness + safety sweeps on system S.
+// ---------------------------------------------------------------------------
+
+struct LiveCase {
+  int n;
+  std::uint64_t seed;
+  ProcessId source;
+  int crashes;  // < n/2, staggered, lowest ids first (excluding source)
+  const char* label;
+};
+
+std::string live_name(const ::testing::TestParamInfo<LiveCase>& info) {
+  return info.param.label;
+}
+
+class ConsensusLiveSweep : public ::testing::TestWithParam<LiveCase> {};
+
+TEST_P(ConsensusLiveSweep, DecidesEverythingOnSystemS) {
+  const LiveCase& c = GetParam();
+  auto exp = system_s_experiment(c.n, c.seed, c.source, /*values=*/15);
+  int crashed = 0;
+  for (ProcessId p = 0; crashed < c.crashes &&
+                        p < static_cast<ProcessId>(c.n); ++p) {
+    if (p == c.source) continue;
+    exp.crashes.emplace_back(p, (3 + 2 * crashed) * kSecond);
+    ++crashed;
+  }
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.validity_ok);
+  EXPECT_TRUE(r.all_decided) << r.values_decided_everywhere << "/"
+                             << r.values_proposed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConsensusLiveSweep,
+    ::testing::Values(LiveCase{3, 201, 2, 0, "n3_source2"},
+                      LiveCase{3, 202, 1, 1, "n3_source1_crash1"},
+                      LiveCase{5, 203, 4, 0, "n5_source4"},
+                      LiveCase{5, 204, 3, 2, "n5_source3_crash2"},
+                      LiveCase{7, 205, 6, 3, "n7_source6_crash3"},
+                      LiveCase{9, 206, 8, 4, "n9_source8_crash4"}),
+    live_name);
+
+class ConsensusSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsensusSeedSweep, SafetyAndLivenessAcrossSeeds) {
+  auto exp = system_s_experiment(5, GetParam(), /*source=*/2, /*values=*/10);
+  exp.crashes = {{0, 4 * kSecond}};
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.validity_ok);
+  EXPECT_TRUE(r.all_decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsensusSeedSweep,
+                         ::testing::Range<std::uint64_t>(300, 315));
+
+// ---------------------------------------------------------------------------
+// Failover.
+// ---------------------------------------------------------------------------
+
+TEST(ConsensusFailover, LeaderCrashMidStreamStillDecidesAll) {
+  // Process 0 is the initial leader; kill it in the middle of the workload.
+  auto exp = system_s_experiment(5, 42, /*source=*/3, /*values=*/30);
+  exp.propose_interval = 200 * kMillisecond;
+  exp.crashes = {{0, 3500 * kMillisecond}};
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.all_decided) << r.values_decided_everywhere << "/"
+                             << r.values_proposed;
+}
+
+TEST(ConsensusFailover, BackToBackLeaderCrashes) {
+  auto exp = system_s_experiment(7, 43, /*source=*/6, /*values=*/30);
+  exp.propose_interval = 300 * kMillisecond;
+  exp.crashes = {{0, 2 * kSecond}, {1, 5 * kSecond}, {2, 8 * kSecond}};
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.all_decided);
+}
+
+TEST(ConsensusFailover, SubmitterCrashAfterForwarding) {
+  // The submitting process dies right after its proposals; values already
+  // forwarded may or may not survive — but whatever is decided must be
+  // consistent, and values decided anywhere must reach every correct
+  // process.
+  auto exp = system_s_experiment(5, 44, /*source=*/2, /*values=*/5);
+  exp.proposer = 4;
+  exp.propose_interval = 10 * kMillisecond;
+  exp.crashes = {{4, exp.first_propose + 60 * kMillisecond}};
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.validity_ok);
+  // Every value decided at one correct process is decided at all of them.
+  EXPECT_EQ(r.latency_all.count(), r.latency_first.count());
+}
+
+// ---------------------------------------------------------------------------
+// Safety under hostility (liveness intentionally absent).
+// ---------------------------------------------------------------------------
+
+TEST(ConsensusSafety, MinorityPartitionNeverDecides) {
+  // 2 of 5 processes are cut off from the rest; the minority side must not
+  // decide anything on its own. The majority side decides fine.
+  ConsensusExperiment exp;
+  exp.n = 5;
+  exp.seed = 50;
+  exp.num_values = 10;
+  exp.horizon = 30 * kSecond;
+  auto majority_side = [](ProcessId p) { return p <= 2; };
+  exp.links = [majority_side](ProcessId src,
+                              ProcessId dst) -> std::unique_ptr<LinkModel> {
+    if (majority_side(src) != majority_side(dst)) {
+      return std::make_unique<DeadLink>();
+    }
+    return std::make_unique<TimelyLink>(DelayRange{500, 2 * kMillisecond});
+  };
+  exp.proposer = 0;  // submit on the majority side
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  // All values decided on the majority side; the minority (3, 4) decided
+  // nothing, which shows up as latency_all having no samples for them...
+  // directly: everywhere-decided count must be 0 (processes 3, 4 are
+  // correct but partitioned, so nothing is decided at *all* correct
+  // processes).
+  EXPECT_EQ(r.values_decided_everywhere, 0);
+  EXPECT_GT(r.latency_first.count(), 0u);  // majority side did decide
+}
+
+TEST(ConsensusSafety, NoSourceChaosKeepsSafety) {
+  // No ♦-source, heavy loss everywhere: liveness may be lost, but any
+  // decisions that do happen must agree and be valid.
+  ConsensusExperiment exp;
+  exp.n = 5;
+  exp.seed = 51;
+  exp.num_values = 10;
+  exp.horizon = 30 * kSecond;
+  exp.links = make_all_fair_lossy({0.85, 7, {1 * kMillisecond, 200 * kMillisecond}});
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.validity_ok);
+}
+
+TEST(ConsensusSafety, DuelingLeadersResolveThroughCounterSeeSaw) {
+  // Processes 0 and 1 share only heavily lossy links, so each repeatedly
+  // times out on the other while the rest of the system is timely. Per the
+  // paper's mechanism, whichever of the pair leads gets accused by the
+  // other (accusations are fair-lossy, so they eventually land), its
+  // counter climbs, leadership see-saws between them — until both counters
+  // exceed those of processes 2-4, whose links are timely and who are
+  // therefore never accused again. A ♦-source ends up leading, consensus
+  // proceeds, and no divergence is possible at any point thanks to ballots.
+  ConsensusExperiment exp;
+  exp.n = 5;
+  exp.seed = 52;
+  exp.num_values = 12;
+  exp.horizon = 120 * kSecond;
+  exp.links = [](ProcessId src, ProcessId dst) -> std::unique_ptr<LinkModel> {
+    if ((src == 0 && dst == 1) || (src == 1 && dst == 0)) {
+      return std::make_unique<FairLossyLink>(FairLossyLink::Params{
+          0.95, 12, {50 * kMillisecond, 400 * kMillisecond}});
+    }
+    return std::make_unique<TimelyLink>(DelayRange{500, 2 * kMillisecond});
+  };
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.validity_ok);
+  EXPECT_TRUE(r.all_decided) << r.values_decided_everywhere << "/"
+                             << r.values_proposed;
+}
+
+TEST(ConsensusSafety, RotatingBaselineSafeUnderLoss) {
+  ConsensusExperiment exp;
+  exp.n = 5;
+  exp.seed = 53;
+  exp.algo = ConsensusAlgo::kRotating;
+  exp.num_values = 8;
+  exp.horizon = 60 * kSecond;
+  exp.links = make_all_fair_lossy({0.3, 5, {1 * kMillisecond, 20 * kMillisecond}});
+  auto r = run_consensus_experiment(exp);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.validity_ok);
+  // Retransmission + decided-echo make the baseline live under bounded
+  // fair loss as well.
+  EXPECT_TRUE(r.all_decided);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+
+TEST(ConsensusDeterminism, IdenticalRunsProduceIdenticalResults) {
+  auto exp = system_s_experiment(5, 60, /*source=*/1, /*values=*/10);
+  exp.crashes = {{0, 4 * kSecond}};
+  auto a = run_consensus_experiment(exp);
+  auto b = run_consensus_experiment(exp);
+  EXPECT_EQ(a.total_msgs, b.total_msgs);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.values_decided_everywhere, b.values_decided_everywhere);
+  EXPECT_EQ(a.latency_all.mean(), b.latency_all.mean());
+}
+
+}  // namespace
+}  // namespace lls

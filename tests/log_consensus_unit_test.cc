@@ -1,0 +1,344 @@
+// White-box tests of the LogConsensus protocol state machine, driven
+// message-by-message through a FakeRuntime with a scripted Omega oracle.
+// These pin down the wire-level contract: ballot arithmetic, Phase 1
+// merging, no-op gap filling, nack-triggered abdication, decide
+// retransmission and the commit_upto piggyback.
+#include <gtest/gtest.h>
+
+#include "consensus/log_consensus.h"
+#include "testing_util.h"
+
+namespace lls {
+namespace {
+
+using testing::FakeRuntime;
+
+/// Omega stub with an externally scripted output.
+class FixedOmega final : public OmegaActor {
+ public:
+  explicit FixedOmega(ProcessId leader) : leader_(leader) {}
+  void on_start(Runtime&) override {}
+  void on_message(Runtime&, ProcessId, MessageType, BytesView) override {}
+  void on_timer(Runtime&, TimerId) override {}
+  [[nodiscard]] ProcessId leader() const override { return leader_; }
+  void set(ProcessId leader) { leader_ = leader; }
+
+ private:
+  ProcessId leader_;
+};
+
+Bytes val(std::uint8_t x) { return Bytes{std::byte{x}}; }
+
+struct Fixture {
+  FixedOmega omega;
+  LogConsensus consensus;
+  FakeRuntime rt;
+
+  explicit Fixture(ProcessId self, int n, ProcessId leader)
+      : omega(leader),
+        consensus(LogConsensusConfig{}, &omega),
+        rt(self, n) {
+    consensus.on_start(rt);
+  }
+
+  /// Fires the single pending tick timer.
+  void tick() { ASSERT_TRUE(rt.fire_next_timer(consensus)); }
+
+  void deliver(ProcessId src, MessageType type, const Bytes& payload) {
+    consensus.on_message(rt, src, type, payload);
+  }
+
+  /// Last message of `type` sent to `dst`, decoded by the caller.
+  [[nodiscard]] const Bytes* last_sent(ProcessId dst, MessageType type) const {
+    const Bytes* found = nullptr;
+    for (const auto& s : rt.sent()) {
+      if (s.dst == dst && s.type == type) found = &s.payload;
+    }
+    return found;
+  }
+};
+
+TEST(LogConsensusUnit, LeaderPreparesWithOwnBallot) {
+  Fixture f(/*self=*/1, /*n=*/3, /*leader=*/1);
+  f.tick();
+  const Bytes* prep = f.last_sent(0, msg_type::kPrepare);
+  ASSERT_NE(prep, nullptr);
+  auto msg = PrepareMsg::decode(*prep);
+  EXPECT_EQ(msg.round % 3, 1);  // ballot owned by process 1
+  EXPECT_EQ(msg.from, 0u);
+  EXPECT_NE(f.last_sent(2, msg_type::kPrepare), nullptr);
+  EXPECT_FALSE(f.consensus.is_leader_ready());
+}
+
+TEST(LogConsensusUnit, NonLeaderForwardsProposals) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  f.consensus.propose(val(9));
+  const Bytes* fwd = f.last_sent(0, msg_type::kForward);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(ForwardMsg::decode(*fwd).value, val(9));
+  // And it re-forwards on ticks until the value is decided.
+  f.rt.clear_sent();
+  f.tick();
+  EXPECT_NE(f.last_sent(0, msg_type::kForward), nullptr);
+}
+
+TEST(LogConsensusUnit, MajorityPromisesMakeLeaderReady) {
+  Fixture f(/*self=*/0, /*n=*/5, /*leader=*/0);
+  f.tick();  // sends PREPARE(round 0)
+  EXPECT_FALSE(f.consensus.is_leader_ready());
+  Round r = f.consensus.current_round();
+  // Two promises + self = majority of 5.
+  f.deliver(1, msg_type::kPromise, PromiseMsg{r, {}}.encode());
+  EXPECT_FALSE(f.consensus.is_leader_ready());
+  f.deliver(2, msg_type::kPromise, PromiseMsg{r, {}}.encode());
+  EXPECT_TRUE(f.consensus.is_leader_ready());
+}
+
+TEST(LogConsensusUnit, ReadyLeaderDrivesProposalToDecision) {
+  Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
+  f.tick();
+  Round r = f.consensus.current_round();
+  f.deliver(1, msg_type::kPromise, PromiseMsg{r, {}}.encode());
+  ASSERT_TRUE(f.consensus.is_leader_ready());
+
+  f.rt.clear_sent();
+  f.consensus.propose(val(7));  // eager dispatch: ACCEPTs go out now
+  const Bytes* acc = f.last_sent(1, msg_type::kAccept);
+  ASSERT_NE(acc, nullptr);
+  auto msg = AcceptMsg::decode(*acc);
+  EXPECT_EQ(msg.round, r);
+  EXPECT_EQ(msg.instance, 0u);
+  EXPECT_EQ(msg.value, val(7));
+
+  // One ACCEPTED completes the majority (self counts).
+  f.deliver(1, msg_type::kAccepted, AcceptedMsg{r, 0}.encode());
+  ASSERT_TRUE(f.consensus.decision(0).has_value());
+  EXPECT_EQ(*f.consensus.decision(0), val(7));
+  // Decide broadcast with ack tracking.
+  EXPECT_NE(f.last_sent(1, msg_type::kDecide), nullptr);
+  EXPECT_NE(f.last_sent(2, msg_type::kDecide), nullptr);
+}
+
+TEST(LogConsensusUnit, DecideRetransmittedUntilAcked) {
+  Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
+  f.tick();
+  Round r = f.consensus.current_round();
+  f.deliver(1, msg_type::kPromise, PromiseMsg{r, {}}.encode());
+  f.consensus.propose(val(7));
+  f.deliver(1, msg_type::kAccepted, AcceptedMsg{r, 0}.encode());
+  ASSERT_TRUE(f.consensus.decision(0).has_value());
+
+  // p1 acks; p2 does not. The next tick retransmits only to p2.
+  f.deliver(1, msg_type::kDecideAck, DecideAckMsg{0}.encode());
+  f.rt.clear_sent();
+  f.tick();
+  EXPECT_EQ(f.rt.count_sent(1, msg_type::kDecide), 0);
+  EXPECT_EQ(f.rt.count_sent(2, msg_type::kDecide), 1);
+
+  f.deliver(2, msg_type::kDecideAck, DecideAckMsg{0}.encode());
+  f.rt.clear_sent();
+  f.tick();
+  EXPECT_EQ(f.rt.count_sent(2, msg_type::kDecide), 0);  // quiescent
+}
+
+TEST(LogConsensusUnit, AcceptorGrantsAndReportsState) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  // Accept a value at round 0 (ballot of p0) for instance 1.
+  f.deliver(0, msg_type::kAccept, AcceptMsg{0, 1, 0, val(5)}.encode());
+  const Bytes* ack = f.last_sent(0, msg_type::kAccepted);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(AcceptedMsg::decode(*ack).instance, 1u);
+
+  // A later PREPARE from p1 must report the accepted pair.
+  f.rt.clear_sent();
+  f.deliver(1, msg_type::kPrepare, PrepareMsg{1, 0}.encode());
+  const Bytes* prom = f.last_sent(1, msg_type::kPromise);
+  ASSERT_NE(prom, nullptr);
+  auto msg = PromiseMsg::decode(*prom);
+  ASSERT_EQ(msg.entries.size(), 1u);
+  EXPECT_EQ(msg.entries[0].instance, 1u);
+  EXPECT_EQ(msg.entries[0].accepted_round, 0);
+  EXPECT_FALSE(msg.entries[0].decided);
+  EXPECT_EQ(msg.entries[0].value, val(5));
+}
+
+TEST(LogConsensusUnit, StalePrepareGetsNack) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  f.deliver(1, msg_type::kPrepare, PrepareMsg{7, 0}.encode());
+  f.rt.clear_sent();
+  f.deliver(0, msg_type::kPrepare, PrepareMsg{3, 0}.encode());  // below 7
+  const Bytes* nack = f.last_sent(0, msg_type::kNack);
+  ASSERT_NE(nack, nullptr);
+  auto msg = NackMsg::decode(*nack);
+  EXPECT_EQ(msg.rejected_round, 3);
+  EXPECT_EQ(msg.promised_round, 7);
+}
+
+TEST(LogConsensusUnit, NackMakesLeaderAbdicateAndRetryHigher) {
+  Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
+  f.tick();
+  Round first = f.consensus.current_round();
+  // A NACK citing a higher promise forces abdication...
+  f.deliver(2, msg_type::kNack, NackMsg{first, first + 1}.encode());
+  EXPECT_FALSE(f.consensus.is_leader_ready());
+  // ...and the next tick re-prepares above the cited round.
+  f.rt.clear_sent();
+  f.tick();
+  const Bytes* prep = f.last_sent(1, msg_type::kPrepare);
+  ASSERT_NE(prep, nullptr);
+  EXPECT_GT(PrepareMsg::decode(*prep).round, first + 1);
+}
+
+TEST(LogConsensusUnit, PhaseOneRecoversAcceptedValue) {
+  // The new leader must re-propose a value some acceptor already accepted,
+  // not its own pending value, for that instance.
+  Fixture f(/*self=*/1, /*n=*/3, /*leader=*/1);
+  f.consensus.propose(val(9));
+  f.tick();  // PREPARE
+  Round r = f.consensus.current_round();
+  PromiseMsg promise;
+  promise.round = r;
+  promise.entries.push_back(PromiseEntry{0, /*accepted_round=*/0, false, val(5)});
+  f.rt.clear_sent();
+  f.deliver(0, msg_type::kPromise, promise.encode());
+  ASSERT_TRUE(f.consensus.is_leader_ready());
+
+  // Instance 0 must carry the recovered value 5; the local proposal 9 goes
+  // to instance 1.
+  const Bytes* acc0 = nullptr;
+  const Bytes* acc1 = nullptr;
+  for (const auto& s : f.rt.sent()) {
+    if (s.type != msg_type::kAccept || s.dst != 0) continue;
+    auto m = AcceptMsg::decode(s.payload);
+    if (m.instance == 0) acc0 = &s.payload;
+    if (m.instance == 1) acc1 = &s.payload;
+  }
+  ASSERT_NE(acc0, nullptr);
+  ASSERT_NE(acc1, nullptr);
+  EXPECT_EQ(AcceptMsg::decode(*acc0).value, val(5));
+  EXPECT_EQ(AcceptMsg::decode(*acc1).value, val(9));
+}
+
+TEST(LogConsensusUnit, PhaseOneFillsGapsWithNoops) {
+  Fixture f(/*self=*/1, /*n=*/3, /*leader=*/1);
+  f.tick();
+  Round r = f.consensus.current_round();
+  // Acceptor reports an accepted value only at instance 2: instances 0, 1
+  // are holes the new leader must fill with no-ops.
+  PromiseMsg promise;
+  promise.round = r;
+  promise.entries.push_back(PromiseEntry{2, 0, false, val(5)});
+  f.rt.clear_sent();
+  f.deliver(0, msg_type::kPromise, promise.encode());
+
+  int noops = 0;
+  for (const auto& s : f.rt.sent()) {
+    if (s.type != msg_type::kAccept || s.dst != 0) continue;
+    auto m = AcceptMsg::decode(s.payload);
+    if (m.instance < 2) {
+      EXPECT_TRUE(m.value.empty());
+      ++noops;
+    }
+  }
+  EXPECT_EQ(noops, 2);
+}
+
+TEST(LogConsensusUnit, DecidedEntryInPromiseIsLearnedDirectly) {
+  Fixture f(/*self=*/1, /*n=*/3, /*leader=*/1);
+  f.tick();
+  Round r = f.consensus.current_round();
+  PromiseMsg promise;
+  promise.round = r;
+  promise.entries.push_back(PromiseEntry{0, kNoRound, true, val(8)});
+  f.deliver(0, msg_type::kPromise, promise.encode());
+  ASSERT_TRUE(f.consensus.decision(0).has_value());
+  EXPECT_EQ(*f.consensus.decision(0), val(8));
+}
+
+TEST(LogConsensusUnit, CommitUptoPiggybackDecidesPipelinedInstances) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  // Accept instance 0 at round 0, then an ACCEPT for instance 1 carrying
+  // commit_upto = 1 (same round): instance 0 becomes decided locally
+  // without an explicit DECIDE.
+  f.deliver(0, msg_type::kAccept, AcceptMsg{0, 0, 0, val(1)}.encode());
+  EXPECT_FALSE(f.consensus.decision(0).has_value());
+  f.deliver(0, msg_type::kAccept, AcceptMsg{0, 1, 1, val(2)}.encode());
+  ASSERT_TRUE(f.consensus.decision(0).has_value());
+  EXPECT_EQ(*f.consensus.decision(0), val(1));
+}
+
+TEST(LogConsensusUnit, CommitUptoIgnoresOtherRoundAcceptances) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  // Instance 0 accepted at round 0; a *different* leader (round 1, ballot
+  // of p1) claims commit_upto=1 — our round-0 value must NOT be committed
+  // off that claim.
+  f.deliver(0, msg_type::kAccept, AcceptMsg{0, 0, 0, val(1)}.encode());
+  f.deliver(1, msg_type::kAccept, AcceptMsg{1, 1, 1, val(2)}.encode());
+  EXPECT_FALSE(f.consensus.decision(0).has_value());
+}
+
+TEST(LogConsensusUnit, DecisionListenerFiresInInstanceOrder) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  std::vector<Instance> order;
+  f.consensus.set_decision_listener(
+      [&](Instance i, const Bytes&) { order.push_back(i); });
+  f.deliver(0, msg_type::kDecide, DecideMsg{1, val(2)}.encode());
+  EXPECT_TRUE(order.empty());  // instance 0 unknown: hold the line
+  f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
+  EXPECT_EQ(order, (std::vector<Instance>{0, 1}));
+  EXPECT_EQ(f.consensus.first_unknown(), 2u);
+}
+
+TEST(LogConsensusUnit, DuplicateDecideIsIdempotentAndAcked) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  int notifications = 0;
+  f.consensus.set_decision_listener(
+      [&](Instance, const Bytes&) { ++notifications; });
+  f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
+  f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(f.rt.count_sent(0, msg_type::kDecideAck), 2);  // always ack
+}
+
+TEST(LogConsensusUnit, ConflictingDecideThrowsAgreementTripwire) {
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
+  EXPECT_THROW(
+      f.deliver(0, msg_type::kDecide, DecideMsg{0, val(2)}.encode()),
+      std::logic_error);
+}
+
+TEST(LogConsensusUnit, LeaderChangeAbandonsProposerRole) {
+  Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
+  f.tick();
+  Round r = f.consensus.current_round();
+  f.deliver(1, msg_type::kPromise, PromiseMsg{r, {}}.encode());
+  ASSERT_TRUE(f.consensus.is_leader_ready());
+  f.consensus.propose(val(4));
+  EXPECT_EQ(f.consensus.pending_count(), 0u);  // in flight
+
+  // Omega switches away; the next tick abdicates and forwards the
+  // unfinished value to the new leader.
+  f.omega.set(2);
+  f.rt.clear_sent();
+  f.tick();
+  EXPECT_FALSE(f.consensus.is_leader_ready());
+  const Bytes* fwd = f.last_sent(2, msg_type::kForward);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(ForwardMsg::decode(*fwd).value, val(4));
+}
+
+TEST(LogConsensusUnit, ForwardDeduplicatesAgainstLogAndQueue) {
+  Fixture f(/*self=*/0, /*n=*/3, /*leader=*/2);
+  f.deliver(1, msg_type::kForward, ForwardMsg{val(6)}.encode());
+  f.deliver(1, msg_type::kForward, ForwardMsg{val(6)}.encode());
+  EXPECT_EQ(f.consensus.pending_count(), 1u);
+  // Once decided, further forwards of the same value are dropped too.
+  f.deliver(2, msg_type::kDecide, DecideMsg{0, val(6)}.encode());
+  EXPECT_EQ(f.consensus.pending_count(), 0u);  // pruned by the decision
+  f.deliver(1, msg_type::kForward, ForwardMsg{val(6)}.encode());
+  EXPECT_EQ(f.consensus.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lls

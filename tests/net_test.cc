@@ -1,0 +1,185 @@
+// Unit tests for the link models and the network fabric.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "net/link.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace lls {
+namespace {
+
+Message msg(ProcessId src, ProcessId dst, MessageType type = 1) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = type;
+  return m;
+}
+
+TEST(TimelyLink, AlwaysDeliversWithinRange) {
+  Rng rng(1);
+  TimelyLink link({100, 500});
+  for (int i = 0; i < 1000; ++i) {
+    auto d = link.on_send(0, 1, rng);
+    ASSERT_TRUE(d.deliver);
+    EXPECT_GE(d.delay, 100);
+    EXPECT_LE(d.delay, 500);
+  }
+}
+
+TEST(EventuallyTimelyLink, TimelyAfterGst) {
+  Rng rng(2);
+  EventuallyTimelyLink link(/*gst=*/1000, /*timely=*/{10, 50},
+                            /*pre=*/{0.9, {10, 100000}});
+  for (int i = 0; i < 1000; ++i) {
+    auto d = link.on_send(1000 + i, 1, rng);
+    ASSERT_TRUE(d.deliver);
+    EXPECT_LE(d.delay, 50);
+  }
+}
+
+TEST(EventuallyTimelyLink, ChaoticBeforeGst) {
+  Rng rng(3);
+  EventuallyTimelyLink link(/*gst=*/1'000'000, /*timely=*/{10, 50},
+                            /*pre=*/{0.5, {10, 100000}});
+  int dropped = 0;
+  int slow = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto d = link.on_send(i, 1, rng);
+    if (!d.deliver) ++dropped;
+    else if (d.delay > 50) ++slow;
+  }
+  EXPECT_GT(dropped, 500);  // ~50% loss
+  EXPECT_GT(slow, 100);     // delays exceed the post-GST bound
+}
+
+TEST(FairLossyLink, DeterministicKthDeliveryGuaranteesFairness) {
+  Rng rng(4);
+  FairLossyLink link({/*loss_prob=*/1.0, /*deliver_every_kth=*/5, {1, 1}});
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (link.on_send(0, /*type=*/7, rng).deliver) ++delivered;
+  }
+  EXPECT_EQ(delivered, 20);  // exactly every 5th despite loss_prob = 1
+}
+
+TEST(FairLossyLink, FairnessIsPerMessageType) {
+  Rng rng(5);
+  FairLossyLink link({1.0, 3, {1, 1}});
+  // Interleave two types; each type's own counter drives forced delivery.
+  int delivered_a = 0;
+  int delivered_b = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (link.on_send(0, 1, rng).deliver) ++delivered_a;
+    if (link.on_send(0, 2, rng).deliver) ++delivered_b;
+  }
+  EXPECT_EQ(delivered_a, 10);
+  EXPECT_EQ(delivered_b, 10);
+}
+
+TEST(FairLossyLink, ProbabilisticModeDropsRoughlyAtRate) {
+  Rng rng(6);
+  FairLossyLink link({0.3, 0, {1, 1}});
+  int delivered = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (link.on_send(0, 1, rng).deliver) ++delivered;
+  }
+  EXPECT_NEAR(delivered, 7000, 200);
+}
+
+TEST(LossyAsyncLink, CanDropEverything) {
+  Rng rng(7);
+  LossyAsyncLink link(1.0, {1, 1});
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(link.on_send(0, 1, rng).deliver);
+}
+
+TEST(DeadLink, DropsAll) {
+  Rng rng(8);
+  DeadLink link;
+  EXPECT_FALSE(link.on_send(0, 1, rng).deliver);
+}
+
+TEST(ScriptedLink, RunsScript) {
+  Rng rng(9);
+  ScriptedLink link([](TimePoint t, MessageType, Rng&) {
+    return t < 100 ? LinkDecision::dropped() : LinkDecision::after(42);
+  });
+  EXPECT_FALSE(link.on_send(50, 1, rng).deliver);
+  auto d = link.on_send(150, 1, rng);
+  ASSERT_TRUE(d.deliver);
+  EXPECT_EQ(d.delay, 42);
+}
+
+TEST(Network, RoutesAndCountsStats) {
+  Rng rng(10);
+  Network net(3, make_all_timely({5, 5}), rng, /*bucket=*/100);
+  auto at = net.route(msg(0, 1), 10);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(*at, 15);
+  net.route(msg(0, 2), 10);
+  net.route(msg(1, 0), 110);
+
+  const NetStats& s = net.stats();
+  EXPECT_EQ(s.sent_total(), 3u);
+  EXPECT_EQ(s.sent_by(0), 2u);
+  EXPECT_EQ(s.sent_by(1), 1u);
+  EXPECT_EQ(s.sent_on_link(0, 1), 1u);
+  EXPECT_EQ(s.senders_in_bucket(0), 1u);
+  EXPECT_EQ(s.links_in_bucket(0), 2u);
+  EXPECT_EQ(s.senders_between(0, 200).size(), 2u);
+  EXPECT_EQ(s.links_between(0, 200).size(), 3u);
+  EXPECT_EQ(s.msgs_between(0, 100), 2u);
+}
+
+TEST(Network, SelfRouteRejected) {
+  Rng rng(11);
+  Network net(2, make_all_timely({1, 1}), rng, 100);
+  EXPECT_THROW(net.route(msg(0, 0), 0), std::invalid_argument);
+}
+
+TEST(Network, DroppedMessagesCounted) {
+  Rng rng(12);
+  Network net(2, [](ProcessId, ProcessId) { return std::make_unique<DeadLink>(); },
+              rng, 100);
+  EXPECT_FALSE(net.route(msg(0, 1), 0).has_value());
+  EXPECT_EQ(net.stats().dropped_total(), 1u);
+  EXPECT_EQ(net.stats().sent_total(), 1u);
+}
+
+TEST(Network, SetLinkReplacesModel) {
+  Rng rng(13);
+  Network net(2, make_all_timely({1, 1}), rng, 100);
+  net.set_link(0, 1, std::make_unique<DeadLink>());
+  EXPECT_FALSE(net.route(msg(0, 1), 0).has_value());
+  EXPECT_TRUE(net.route(msg(1, 0), 0).has_value());
+}
+
+TEST(Topology, SystemSGivesSourcesTimelyOutgoingLinks) {
+  SystemSParams params;
+  params.sources = {2};
+  params.gst = 0;
+  params.timely = {10, 20};
+  auto factory = make_system_s(params);
+  Rng rng(14);
+
+  // Outgoing link of the source: delivered within the bound after GST.
+  auto src_link = factory(2, 0);
+  for (int i = 0; i < 100; ++i) {
+    auto d = src_link->on_send(1000, 1, rng);
+    ASSERT_TRUE(d.deliver);
+    EXPECT_LE(d.delay, 20);
+  }
+  // A non-source link is fair lossy: some loss must occur.
+  auto other = factory(0, 2);
+  int dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!other->on_send(1000, 1, rng).deliver) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+}
+
+}  // namespace
+}  // namespace lls

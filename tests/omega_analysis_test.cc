@@ -1,0 +1,173 @@
+// Direct tests of the stabilization analyzer (the function the experiment
+// harness and benchmarks trust for every "stabilized at t" claim) and
+// white-box tests of the all-to-all baseline's state machine.
+#include <gtest/gtest.h>
+
+#include "omega/all2all_omega.h"
+#include "omega/experiment.h"
+#include "testing_util.h"
+
+namespace lls {
+namespace {
+
+using testing::FakeRuntime;
+
+OmegaSample sample(TimePoint t, std::vector<ProcessId> leaders) {
+  OmegaSample s;
+  s.t = t;
+  s.leaders = std::move(leaders);
+  return s;
+}
+
+TEST(StabilizationIndex, EmptyInputsNeverStabilize) {
+  EXPECT_EQ(stabilization_index({}, {0}), 0u);
+  std::vector<OmegaSample> samples{sample(0, {0, 0})};
+  EXPECT_EQ(stabilization_index(samples, {}), 1u);
+}
+
+TEST(StabilizationIndex, ImmediateAgreement) {
+  std::vector<OmegaSample> samples{
+      sample(10, {0, 0, 0}),
+      sample(20, {0, 0, 0}),
+  };
+  EXPECT_EQ(stabilization_index(samples, {0, 1, 2}), 0u);
+}
+
+TEST(StabilizationIndex, FindsTheAgreementBoundary) {
+  std::vector<OmegaSample> samples{
+      sample(10, {0, 1, 0}),  // disagree
+      sample(20, {1, 1, 1}),
+      sample(30, {1, 1, 1}),
+  };
+  EXPECT_EQ(stabilization_index(samples, {0, 1, 2}), 1u);
+}
+
+TEST(StabilizationIndex, LateFlapResetsTheBoundary) {
+  std::vector<OmegaSample> samples{
+      sample(10, {1, 1, 1}),
+      sample(20, {1, 1, 2}),  // flap near the end
+      sample(30, {2, 2, 2}),
+  };
+  EXPECT_EQ(stabilization_index(samples, {0, 1, 2}), 2u);
+}
+
+TEST(StabilizationIndex, ChangeOfAgreedLeaderIsNotPermanent) {
+  // Unanimous on 1, then unanimous on 0: only the suffix on 0 counts.
+  std::vector<OmegaSample> samples{
+      sample(10, {1, 1}),
+      sample(20, {1, 1}),
+      sample(30, {0, 0}),
+  };
+  EXPECT_EQ(stabilization_index(samples, {0, 1}), 2u);
+}
+
+TEST(StabilizationIndex, LeaderMustBeCorrect) {
+  // All agree on process 2, but 2 is not in the correct set (it crashed).
+  std::vector<OmegaSample> samples{
+      sample(10, {2, 2, kNoProcess}),
+      sample(20, {2, 2, kNoProcess}),
+  };
+  EXPECT_EQ(stabilization_index(samples, {0, 1}), 2u);
+}
+
+TEST(StabilizationIndex, CrashedProcessesAreIgnored) {
+  // Process 2 crashed (kNoProcess in samples) and is excluded from the
+  // correct set: agreement among {0, 1} suffices.
+  std::vector<OmegaSample> samples{
+      sample(10, {0, 0, kNoProcess}),
+      sample(20, {0, 0, kNoProcess}),
+  };
+  EXPECT_EQ(stabilization_index(samples, {0, 1}), 0u);
+}
+
+TEST(StabilizationIndex, NoLeaderSampleBlocksAgreement) {
+  std::vector<OmegaSample> samples{
+      sample(10, {0, kNoProcess}),
+      sample(20, {0, 0}),
+  };
+  EXPECT_EQ(stabilization_index(samples, {0, 1}), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// All-to-all baseline white-box.
+// ---------------------------------------------------------------------------
+
+All2AllOmegaConfig a2a_config() {
+  All2AllOmegaConfig c;
+  c.eta = 10;
+  c.initial_timeout = 30;
+  c.additive_step = 10;
+  return c;
+}
+
+TEST(All2AllUnit, BroadcastsHeartbeatEveryTick) {
+  All2AllOmega p(a2a_config());
+  FakeRuntime rt(/*id=*/1, /*n=*/4);
+  p.on_start(rt);
+  ASSERT_TRUE(rt.fire_next_timer(p));
+  EXPECT_EQ(rt.count_sent(0, msg_type::kAll2AllHeartbeat), 1);
+  EXPECT_EQ(rt.count_sent(2, msg_type::kAll2AllHeartbeat), 1);
+  EXPECT_EQ(rt.count_sent(3, msg_type::kAll2AllHeartbeat), 1);
+  ASSERT_TRUE(rt.fire_next_timer(p));
+  EXPECT_EQ(rt.count_sent(0, msg_type::kAll2AllHeartbeat), 2);
+}
+
+TEST(All2AllUnit, SuspectsSilentProcessesAfterTimeout) {
+  All2AllOmega p(a2a_config());
+  FakeRuntime rt(/*id=*/1, /*n=*/3);
+  p.on_start(rt);
+  EXPECT_EQ(p.leader(), 0u);
+  // Heartbeats from 2 keep arriving, silence from 0.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rt.fire_next_timer(p));  // tick advances clock by eta
+    p.on_message(rt, 2, msg_type::kAll2AllHeartbeat, {});
+  }
+  EXPECT_TRUE(p.suspects(0));
+  EXPECT_FALSE(p.suspects(2));
+  EXPECT_EQ(p.leader(), 1u);  // min unsuspected (self)
+}
+
+TEST(All2AllUnit, HeartbeatRehabilitatesAndWidensTimeout) {
+  All2AllOmega p(a2a_config());
+  FakeRuntime rt(/*id=*/1, /*n=*/3);
+  p.on_start(rt);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(rt.fire_next_timer(p));
+  ASSERT_TRUE(p.suspects(0));
+  p.on_message(rt, 0, msg_type::kAll2AllHeartbeat, {});
+  EXPECT_FALSE(p.suspects(0));
+  EXPECT_EQ(p.leader(), 0u);
+  // The widened timeout tolerates one extra-late heartbeat: after 4 ticks
+  // (40us) with timeout now 40us, 0 is not yet suspected again.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(rt.fire_next_timer(p));
+  EXPECT_FALSE(p.suspects(0));
+}
+
+TEST(All2AllUnit, LeaderListenerFiresOnChange) {
+  All2AllOmega p(a2a_config());
+  FakeRuntime rt(/*id=*/2, /*n=*/3);
+  std::vector<ProcessId> changes;
+  p.set_leader_listener([&](ProcessId l) { changes.push_back(l); });
+  p.on_start(rt);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0], 0u);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rt.fire_next_timer(p));
+    p.on_message(rt, 1, msg_type::kAll2AllHeartbeat, {});
+  }
+  ASSERT_GE(changes.size(), 2u);
+  EXPECT_EQ(changes.back(), 1u);  // 0 suspected; 1 still heartbeating
+}
+
+TEST(All2AllUnit, IgnoresForeignMessages) {
+  All2AllOmega p(a2a_config());
+  FakeRuntime rt(/*id=*/1, /*n=*/3);
+  p.on_start(rt);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rt.fire_next_timer(p));
+    p.on_message(rt, 0, msg_type::kCeOmegaAlive, {});  // wrong protocol
+  }
+  EXPECT_TRUE(p.suspects(0));  // foreign traffic is not a heartbeat
+}
+
+}  // namespace
+}  // namespace lls

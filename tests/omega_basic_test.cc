@@ -1,0 +1,112 @@
+// Basic behavioural tests of CE-Omega on friendly networks: election,
+// failover, message discipline. Adversarial/property coverage lives in
+// omega_property_test.cc.
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "omega/experiment.h"
+
+namespace lls {
+namespace {
+
+OmegaExperiment timely_experiment(int n, std::uint64_t seed = 1) {
+  OmegaExperiment exp;
+  exp.n = n;
+  exp.seed = seed;
+  exp.links = make_all_timely({500, 2 * kMillisecond});
+  exp.horizon = 10 * kSecond;
+  return exp;
+}
+
+TEST(CeOmegaBasic, ElectsProcessZeroOnTimelyNetwork) {
+  auto result = run_omega_experiment(timely_experiment(5));
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(result.final_leader, 0u);
+  // Nobody ever had a reason to accuse anyone: stabilization is immediate
+  // (first sample).
+  EXPECT_LE(result.stabilization_time, 20 * kMillisecond);
+}
+
+TEST(CeOmegaBasic, IsCommunicationEfficientOnTimelyNetwork) {
+  auto result = run_omega_experiment(timely_experiment(5));
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.communication_efficient());
+  // Leader heartbeats to the other n-1 processes only.
+  EXPECT_EQ(result.trailing_links, 4u);
+}
+
+TEST(CeOmegaBasic, FailsOverWhenLeaderCrashes) {
+  auto exp = timely_experiment(5);
+  exp.crashes = {{0, 3 * kSecond}};
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(result.final_leader, 1u);
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+TEST(CeOmegaBasic, CascadingCrashesEndWithSmallestSurvivor) {
+  auto exp = timely_experiment(6);
+  exp.horizon = 20 * kSecond;
+  exp.crashes = {{0, 2 * kSecond}, {1, 5 * kSecond}, {2, 8 * kSecond}};
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(result.final_leader, 3u);
+  EXPECT_EQ(result.correct, (std::set<ProcessId>{3, 4, 5}));
+}
+
+TEST(CeOmegaBasic, TwoProcessSystem) {
+  auto result = run_omega_experiment(timely_experiment(2));
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(result.final_leader, 0u);
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+TEST(CeOmegaBasic, SoleSurvivorLeadsItself) {
+  auto exp = timely_experiment(3);
+  exp.crashes = {{0, 1 * kSecond}, {1, 2 * kSecond}};
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(result.final_leader, 2u);
+}
+
+TEST(CeOmegaBasic, SystemSWithNonZeroSourceStabilizes) {
+  // Process 0 has lossy links; process 3 is the ♦-source. After GST the
+  // system must settle on a correct process that is never again accused.
+  auto exp = default_system_s_experiment(5, /*seed=*/3, /*source=*/3);
+  exp.horizon = 60 * kSecond;
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.correct.contains(result.final_leader));
+  EXPECT_TRUE(result.communication_efficient())
+      << "trailing senders: " << result.trailing_senders.size();
+}
+
+TEST(All2AllBaseline, ElectsMinAliveProcess) {
+  OmegaExperiment exp;
+  exp.n = 5;
+  exp.seed = 2;
+  exp.algo = OmegaAlgo::kAllToAll;
+  exp.links = make_all_timely({500, 2 * kMillisecond});
+  exp.crashes = {{0, 3 * kSecond}};
+  exp.horizon = 10 * kSecond;
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(result.final_leader, 1u);
+}
+
+TEST(All2AllBaseline, IsNotCommunicationEfficient) {
+  OmegaExperiment exp;
+  exp.n = 5;
+  exp.seed = 2;
+  exp.algo = OmegaAlgo::kAllToAll;
+  exp.links = make_all_timely({500, 2 * kMillisecond});
+  exp.horizon = 10 * kSecond;
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_FALSE(result.communication_efficient());
+  EXPECT_EQ(result.trailing_senders.size(), 5u);   // everyone keeps sending
+  EXPECT_EQ(result.trailing_links, 20u);           // n(n-1) links
+}
+
+}  // namespace
+}  // namespace lls

@@ -1,0 +1,367 @@
+// Property tests of CE-Omega under the paper's system-S assumptions and
+// under adversarial schedules. Parameterized sweeps over n, seed, source
+// placement and crash patterns check the two theorems on every execution:
+//   (1) eventual leadership: all correct processes converge permanently on
+//       one correct process;
+//   (2) communication efficiency: in the trailing window only the leader
+//       sends, on exactly n-1 links.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/topology.h"
+#include "omega/experiment.h"
+
+namespace lls {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep over system-S configurations.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  int n;
+  std::uint64_t seed;
+  ProcessId source;       // the ♦-source
+  int crashes;            // how many non-source processes crash
+  const char* label;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return info.param.label;
+}
+
+class SystemSSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SystemSSweep, EventualLeadershipAndEfficiency) {
+  const SweepCase& c = GetParam();
+  auto exp = default_system_s_experiment(c.n, c.seed, c.source);
+  exp.horizon = 90 * kSecond;
+  exp.trailing_window = 5 * kSecond;
+  // Crash the lowest-id non-source processes at staggered times. Crashing
+  // low ids is the worst case: they are the initial (counter, id) favorites.
+  int crashed = 0;
+  for (ProcessId p = 0; crashed < c.crashes &&
+                        p < static_cast<ProcessId>(c.n); ++p) {
+    if (p == c.source) continue;
+    exp.crashes.emplace_back(p, (2 + crashed) * kSecond);
+    ++crashed;
+  }
+
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized) << "no stabilization within horizon";
+  EXPECT_TRUE(result.correct.contains(result.final_leader))
+      << "leader " << result.final_leader << " is not correct";
+  EXPECT_TRUE(result.communication_efficient())
+      << "senders in trailing window: " << result.trailing_senders.size();
+  // Efficiency in links: the leader heartbeats to all n-1 peers (alive or
+  // not — the algorithm does not know who crashed).
+  EXPECT_EQ(result.trailing_links, static_cast<std::size_t>(c.n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SystemSSweep,
+    ::testing::Values(
+        SweepCase{3, 11, 0, 0, "n3_source0"},
+        SweepCase{3, 12, 2, 0, "n3_source2"},
+        SweepCase{3, 13, 2, 1, "n3_source2_crash1"},
+        SweepCase{5, 21, 0, 0, "n5_source0"},
+        SweepCase{5, 22, 4, 0, "n5_source4"},
+        SweepCase{5, 23, 2, 2, "n5_source2_crash2"},
+        SweepCase{5, 24, 4, 3, "n5_source4_crash3"},
+        SweepCase{8, 31, 7, 0, "n8_source7"},
+        SweepCase{8, 32, 3, 3, "n8_source3_crash3"},
+        SweepCase{10, 41, 9, 0, "n10_source9"},
+        SweepCase{10, 42, 5, 4, "n10_source5_crash4"},
+        SweepCase{16, 51, 15, 5, "n16_source15_crash5"}),
+    sweep_name);
+
+// Seeds sweep: the same topology under many random executions.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, StabilizesOnSystemS) {
+  auto exp = default_system_s_experiment(6, GetParam(), /*source=*/3);
+  exp.horizon = 90 * kSecond;
+  exp.crashes = {{0, 2 * kSecond}};
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.correct.contains(result.final_leader));
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+// ---------------------------------------------------------------------------
+// Targeted adversarial behaviours.
+// ---------------------------------------------------------------------------
+
+TEST(OmegaAdversarial, LeaderWithOneDeadOutgoingLinkIsDethroned) {
+  // Process 0 looks perfect to everyone except process 4, which never hears
+  // it. The paper's accusation mechanism must inflate 0's counter until the
+  // whole system abandons it — with 0 still alive and otherwise healthy.
+  OmegaExperiment exp;
+  exp.n = 5;
+  exp.seed = 77;
+  exp.horizon = 120 * kSecond;
+  exp.trailing_window = 5 * kSecond;
+  exp.links = [](ProcessId src, ProcessId dst) -> std::unique_ptr<LinkModel> {
+    if (src == 0 && dst == 4) return std::make_unique<DeadLink>();
+    return std::make_unique<TimelyLink>(DelayRange{500, 2 * kMillisecond});
+  };
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_NE(result.final_leader, 0u);
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+/// Adversarial schedule with no ♦-source anywhere: every link goes silent
+/// during windows [2^k, 1.5 * 2^k) seconds, whose lengths grow without
+/// bound, so no adaptive timeout ever becomes permanently sufficient.
+LinkDecision silence_window_schedule(TimePoint t, MessageType, Rng& rng) {
+  double sec = static_cast<double>(t) / static_cast<double>(kSecond);
+  if (sec >= 1.0) {
+    double window = 1.0;
+    while (window * 2.0 <= sec) window *= 2.0;
+    if (sec < window * 1.5) return LinkDecision::dropped();
+  }
+  return LinkDecision::after(rng.next_range(500, 2 * kMillisecond));
+}
+
+TEST(OmegaAdversarial, NoSourceUnboundedSilencePreventsStabilization) {
+  // Operational content of the paper's necessity result: when no process
+  // has eventually timely output links — here every link suffers silence
+  // bursts of unboundedly growing length — leadership never settles.
+  OmegaExperiment exp;
+  exp.n = 4;
+  exp.seed = 99;
+  // Horizon inside the [64s, 96s) silence burst: the run ends mid-chaos.
+  exp.horizon = 90 * kSecond;
+  exp.links = [](ProcessId, ProcessId) -> std::unique_ptr<LinkModel> {
+    return std::make_unique<ScriptedLink>(silence_window_schedule);
+  };
+  auto result = run_omega_experiment(exp);
+  EXPECT_FALSE(result.stabilized);
+}
+
+TEST(OmegaAdversarial, SourceCounterStaysBoundedOthersGrow) {
+  // In system S, the ♦-source must be accused only finitely often. Compare
+  // its final accusation counter against a process that keeps claiming
+  // leadership over lossy links.
+  SystemSParams params;
+  params.sources = {2};
+  params.gst = 1 * kSecond;
+  SimConfig config;
+  config.n = 4;
+  config.seed = 5;
+  Simulator sim(config, make_system_s(params));
+  std::vector<CeOmega*> omegas;
+  for (ProcessId p = 0; p < 4; ++p) {
+    omegas.push_back(&sim.emplace_actor<CeOmega>(p, CeOmegaConfig{}));
+  }
+  sim.start();
+  sim.run_until(60 * kSecond);
+  std::uint64_t source_acc_mid = omegas[2]->accusations(2);
+  sim.run_until(120 * kSecond);
+  std::uint64_t source_acc_end = omegas[2]->accusations(2);
+  // Bounded: no accusations of the source in the second half.
+  EXPECT_EQ(source_acc_mid, source_acc_end);
+  // And the system settled on a single leader with everyone agreeing.
+  ProcessId l = omegas[0]->leader();
+  for (auto* o : omegas) EXPECT_EQ(o->leader(), l);
+}
+
+TEST(OmegaAdversarial, RecoversAfterTransientPartitionOfLeader) {
+  // The elected leader's outgoing links die for a while, then heal. The
+  // system must re-elect during the partition and may return afterwards;
+  // either way it must end stabilized and efficient.
+  OmegaExperiment exp;
+  exp.n = 5;
+  exp.seed = 31;
+  exp.horizon = 120 * kSecond;
+  exp.trailing_window = 5 * kSecond;
+  exp.links = [](ProcessId src, ProcessId) -> std::unique_ptr<LinkModel> {
+    if (src == 0) {
+      // Dead between 5s and 15s, timely otherwise.
+      return std::make_unique<ScriptedLink>(
+          [](TimePoint t, MessageType, Rng& rng) {
+            if (t >= 5 * kSecond && t < 15 * kSecond) {
+              return LinkDecision::dropped();
+            }
+            return LinkDecision::after(rng.next_range(500, 2 * kMillisecond));
+          });
+    }
+    return std::make_unique<TimelyLink>(DelayRange{500, 2 * kMillisecond});
+  };
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.communication_efficient());
+  EXPECT_GT(result.stabilization_time, 5 * kSecond);
+}
+
+TEST(OmegaAdversarial, AllButOneCrash) {
+  auto exp = default_system_s_experiment(5, /*seed=*/8, /*source=*/4);
+  exp.horizon = 90 * kSecond;
+  exp.crashes = {{0, 2 * kSecond},
+                 {1, 3 * kSecond},
+                 {2, 4 * kSecond},
+                 {3, 5 * kSecond}};
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(result.final_leader, 4u);
+  EXPECT_EQ(result.correct, (std::set<ProcessId>{4}));
+}
+
+TEST(OmegaAdversarial, SimultaneousCrashes) {
+  auto exp = default_system_s_experiment(8, /*seed=*/9, /*source=*/7);
+  exp.horizon = 90 * kSecond;
+  exp.crashes = {{0, 2 * kSecond}, {1, 2 * kSecond}, {2, 2 * kSecond}};
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.correct.contains(result.final_leader));
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+TEST(OmegaAdversarial, ExperimentIsDeterministic) {
+  auto exp = default_system_s_experiment(6, /*seed=*/123, /*source=*/2);
+  exp.horizon = 30 * kSecond;
+  exp.crashes = {{0, 2 * kSecond}};
+  auto a = run_omega_experiment(exp);
+  auto b = run_omega_experiment(exp);
+  EXPECT_EQ(a.stabilized, b.stabilized);
+  EXPECT_EQ(a.stabilization_time, b.stabilization_time);
+  EXPECT_EQ(a.final_leader, b.final_leader);
+  EXPECT_EQ(a.total_msgs, b.total_msgs);
+  EXPECT_EQ(a.total_events, b.total_events);
+}
+
+// ---------------------------------------------------------------------------
+// Ablations as properties.
+// ---------------------------------------------------------------------------
+
+TEST(OmegaAblation, MultiplicativeTimeoutsAlsoStabilize) {
+  auto exp = default_system_s_experiment(6, /*seed=*/55, /*source=*/5);
+  exp.ce.timeout_policy = CeOmegaConfig::TimeoutPolicy::kMultiplicative;
+  exp.horizon = 90 * kSecond;
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+TEST(OmegaAblation, NoTimeoutAdaptationBreaksConvergenceUnderSlowSource) {
+  // With adaptation disabled and the source's post-GST delay above the fixed
+  // timeout, the source keeps getting accused: its counter grows forever and
+  // leadership cannot settle on anyone (every candidate is eventually
+  // accused). This is why the paper's algorithm adapts timeouts.
+  OmegaExperiment exp;
+  exp.n = 4;
+  exp.seed = 66;
+  exp.horizon = 120 * kSecond;
+  exp.ce.timeout_policy = CeOmegaConfig::TimeoutPolicy::kNone;
+  exp.ce.initial_timeout = 15 * kMillisecond;
+  SystemSParams params;
+  params.sources = {0, 1, 2, 3};  // every link eventually timely...
+  params.gst = 0;
+  params.timely = {20 * kMillisecond, 40 * kMillisecond};  // ...but too slow
+  exp.links = make_system_s(params);
+  auto result = run_omega_experiment(exp);
+  EXPECT_FALSE(result.stabilized);
+}
+
+TEST(OmegaAblation, BroadcastAccusationsStillStabilizeButCostMore) {
+  auto unicast = default_system_s_experiment(8, /*seed=*/77, /*source=*/7);
+  unicast.horizon = 60 * kSecond;
+  auto broadcast = unicast;
+  broadcast.ce.broadcast_accusations = true;
+  auto ru = run_omega_experiment(unicast);
+  auto rb = run_omega_experiment(broadcast);
+  ASSERT_TRUE(ru.stabilized);
+  ASSERT_TRUE(rb.stabilized);
+  EXPECT_GT(rb.total_msgs, ru.total_msgs);
+}
+
+}  // namespace
+}  // namespace lls
+
+namespace lls {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stability: the elected leader should not churn needlessly.
+// ---------------------------------------------------------------------------
+
+TEST(OmegaStability, NonLeaderCrashDoesNotDisturbTheLeader) {
+  // After stabilization on leader ℓ, crashing a follower must not change
+  // anyone's output: followers are silent, so their death is invisible to
+  // the (counter, id) election state.
+  auto exp = default_system_s_experiment(6, /*seed=*/88, /*source=*/0);
+  exp.horizon = 60 * kSecond;
+  exp.crashes = {{4, 20 * kSecond}};  // follower, well after stabilization
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  // Stabilization must predate the crash: the crash did not reset it.
+  EXPECT_LT(result.stabilization_time, 20 * kSecond);
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+TEST(OmegaStability, LeaderViewsNeverFlapAfterStabilization) {
+  auto exp = default_system_s_experiment(5, /*seed=*/89, /*source=*/4);
+  exp.horizon = 60 * kSecond;
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  // By construction of stabilization_index the suffix is flap-free; also
+  // sanity-check that it is a large fraction of the run (>80% of samples).
+  std::size_t stable_samples = 0;
+  for (const auto& s : result.samples) {
+    if (s.t >= result.stabilization_time) ++stable_samples;
+  }
+  EXPECT_GT(stable_samples * 5, result.samples.size() * 4);
+}
+
+// ---------------------------------------------------------------------------
+// Wider parameterized coverage: loss intensity × timeout policy.
+// ---------------------------------------------------------------------------
+
+struct MatrixCase {
+  double loss;
+  CeOmegaConfig::TimeoutPolicy policy;
+  std::uint64_t seed;
+};
+
+class LossPolicyMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(LossPolicyMatrix, StabilizesAcrossTheMatrix) {
+  const MatrixCase& c = GetParam();
+  OmegaExperiment exp;
+  exp.n = 5;
+  exp.seed = c.seed;
+  exp.ce.timeout_policy = c.policy;
+  SystemSParams params;
+  params.sources = {4};
+  params.gst = 1 * kSecond;
+  params.fair_lossy.loss_prob = c.loss;
+  exp.links = make_system_s(params);
+  exp.horizon = 90 * kSecond;
+  auto result = run_omega_experiment(exp);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.communication_efficient());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LossPolicyMatrix,
+    ::testing::Values(
+        MatrixCase{0.1, CeOmegaConfig::TimeoutPolicy::kAdditive, 501},
+        MatrixCase{0.5, CeOmegaConfig::TimeoutPolicy::kAdditive, 502},
+        MatrixCase{0.8, CeOmegaConfig::TimeoutPolicy::kAdditive, 503},
+        MatrixCase{0.1, CeOmegaConfig::TimeoutPolicy::kMultiplicative, 504},
+        MatrixCase{0.5, CeOmegaConfig::TimeoutPolicy::kMultiplicative, 505},
+        MatrixCase{0.8, CeOmegaConfig::TimeoutPolicy::kMultiplicative, 506}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return "loss" + std::to_string(static_cast<int>(info.param.loss * 10)) +
+             (info.param.policy == CeOmegaConfig::TimeoutPolicy::kAdditive
+                  ? "_add"
+                  : "_mul");
+    });
+
+}  // namespace
+}  // namespace lls

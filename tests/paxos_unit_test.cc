@@ -1,0 +1,140 @@
+// Unit tests for Paxos codecs, ballot arithmetic and acceptor safety rules.
+#include <gtest/gtest.h>
+
+#include "consensus/paxos.h"
+
+namespace lls {
+namespace {
+
+Bytes bytes_of(std::initializer_list<int> xs) {
+  Bytes b;
+  for (int x : xs) b.push_back(static_cast<std::byte>(x));
+  return b;
+}
+
+TEST(Ballot, NextBallotIsOwnedAndAboveBound) {
+  // Process 2 in a system of 5 owns ballots 2, 7, 12, ...
+  EXPECT_EQ(next_ballot(2, 5, kNoRound), 2);
+  EXPECT_EQ(next_ballot(2, 5, 2), 7);
+  EXPECT_EQ(next_ballot(2, 5, 6), 7);
+  EXPECT_EQ(next_ballot(2, 5, 7), 12);
+  EXPECT_EQ(next_ballot(0, 5, kNoRound), 0);
+  EXPECT_EQ(next_ballot(0, 5, 0), 5);
+}
+
+TEST(Ballot, BallotSetsAreDisjoint) {
+  for (int n : {2, 3, 5, 8}) {
+    for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+      Round r = next_ballot(p, n, 100);
+      EXPECT_EQ(r % n, static_cast<Round>(p));
+      EXPECT_GT(r, 100);
+    }
+  }
+}
+
+TEST(PaxosCodec, PrepareRoundTrip) {
+  PrepareMsg m{42, 7};
+  auto d = PrepareMsg::decode(m.encode());
+  EXPECT_EQ(d.round, 42);
+  EXPECT_EQ(d.from, 7u);
+}
+
+TEST(PaxosCodec, PromiseRoundTripWithEntries) {
+  PromiseMsg m;
+  m.round = 9;
+  m.entries.push_back(PromiseEntry{3, 4, false, bytes_of({1, 2})});
+  m.entries.push_back(PromiseEntry{5, kNoRound, true, bytes_of({9})});
+  auto d = PromiseMsg::decode(m.encode());
+  EXPECT_EQ(d.round, 9);
+  ASSERT_EQ(d.entries.size(), 2u);
+  EXPECT_EQ(d.entries[0].instance, 3u);
+  EXPECT_EQ(d.entries[0].accepted_round, 4);
+  EXPECT_FALSE(d.entries[0].decided);
+  EXPECT_EQ(d.entries[0].value, bytes_of({1, 2}));
+  EXPECT_EQ(d.entries[1].instance, 5u);
+  EXPECT_TRUE(d.entries[1].decided);
+  EXPECT_EQ(d.entries[1].value, bytes_of({9}));
+}
+
+TEST(PaxosCodec, AcceptRoundTrip) {
+  AcceptMsg m{11, 4, 3, bytes_of({7, 7, 7})};
+  auto d = AcceptMsg::decode(m.encode());
+  EXPECT_EQ(d.round, 11);
+  EXPECT_EQ(d.instance, 4u);
+  EXPECT_EQ(d.commit_upto, 3u);
+  EXPECT_EQ(d.value, bytes_of({7, 7, 7}));
+}
+
+TEST(PaxosCodec, SmallMessagesRoundTrip) {
+  auto a = AcceptedMsg::decode(AcceptedMsg{5, 2}.encode());
+  EXPECT_EQ(a.round, 5);
+  EXPECT_EQ(a.instance, 2u);
+  auto nk = NackMsg::decode(NackMsg{3, 8}.encode());
+  EXPECT_EQ(nk.rejected_round, 3);
+  EXPECT_EQ(nk.promised_round, 8);
+  auto dm = DecideMsg::decode(DecideMsg{6, bytes_of({1})}.encode());
+  EXPECT_EQ(dm.instance, 6u);
+  EXPECT_EQ(dm.value, bytes_of({1}));
+  auto da = DecideAckMsg::decode(DecideAckMsg{6}.encode());
+  EXPECT_EQ(da.instance, 6u);
+  auto f = ForwardMsg::decode(ForwardMsg{bytes_of({4, 5})}.encode());
+  EXPECT_EQ(f.value, bytes_of({4, 5}));
+}
+
+TEST(Acceptor, PromiseMonotone) {
+  Acceptor a;
+  EXPECT_TRUE(a.on_prepare(3));
+  EXPECT_EQ(a.promised(), 3);
+  EXPECT_FALSE(a.on_prepare(2));   // lower ballot rejected
+  EXPECT_TRUE(a.on_prepare(3));    // equal ballot re-granted (idempotent)
+  EXPECT_TRUE(a.on_prepare(10));
+  EXPECT_EQ(a.promised(), 10);
+}
+
+TEST(Acceptor, AcceptRespectsPromise) {
+  Acceptor a;
+  ASSERT_TRUE(a.on_prepare(5));
+  EXPECT_FALSE(a.on_accept(4, 0, bytes_of({1})));  // below promise
+  EXPECT_TRUE(a.on_accept(5, 0, bytes_of({2})));
+  ASSERT_NE(a.accepted(0), nullptr);
+  EXPECT_EQ(a.accepted(0)->round, 5);
+  EXPECT_EQ(a.accepted(0)->value, bytes_of({2}));
+}
+
+TEST(Acceptor, AcceptRaisesPromise) {
+  Acceptor a;
+  EXPECT_TRUE(a.on_accept(7, 1, bytes_of({3})));
+  EXPECT_EQ(a.promised(), 7);
+  EXPECT_FALSE(a.on_prepare(6));
+}
+
+TEST(Acceptor, HigherRoundOverwritesAccepted) {
+  Acceptor a;
+  ASSERT_TRUE(a.on_accept(2, 0, bytes_of({1})));
+  ASSERT_TRUE(a.on_accept(9, 0, bytes_of({2})));
+  EXPECT_EQ(a.accepted(0)->round, 9);
+  EXPECT_EQ(a.accepted(0)->value, bytes_of({2}));
+}
+
+TEST(Acceptor, InstancesAreIndependent) {
+  Acceptor a;
+  ASSERT_TRUE(a.on_accept(2, 0, bytes_of({1})));
+  ASSERT_TRUE(a.on_accept(2, 5, bytes_of({5})));
+  EXPECT_EQ(a.accepted(0)->value, bytes_of({1}));
+  EXPECT_EQ(a.accepted(5)->value, bytes_of({5}));
+  EXPECT_EQ(a.accepted(3), nullptr);
+}
+
+TEST(Acceptor, ForgetUptoCompacts) {
+  Acceptor a;
+  for (Instance i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a.on_accept(1, i, bytes_of({static_cast<int>(i)})));
+  }
+  a.forget_upto(7);
+  EXPECT_EQ(a.accepted(6), nullptr);
+  ASSERT_NE(a.accepted(7), nullptr);
+  EXPECT_EQ(a.all_accepted().size(), 3u);
+}
+
+}  // namespace
+}  // namespace lls

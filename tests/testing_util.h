@@ -1,0 +1,95 @@
+// Test doubles shared by the unit-test suites.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/actor.h"
+
+namespace lls::testing {
+
+/// Hand-cranked Runtime: records sends, lets tests fire timers explicitly
+/// and advance the clock. Used to unit-test protocol state machines without
+/// a simulator.
+class FakeRuntime final : public Runtime {
+ public:
+  struct Sent {
+    ProcessId dst;
+    MessageType type;
+    Bytes payload;
+  };
+
+  FakeRuntime(ProcessId id, int n) : id_(id), n_(n), rng_(id + 1) {}
+
+  [[nodiscard]] ProcessId id() const override { return id_; }
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] TimePoint now() const override { return now_; }
+
+  void send(ProcessId dst, MessageType type, BytesView payload) override {
+    sent_.push_back({dst, type, Bytes(payload.begin(), payload.end())});
+  }
+
+  TimerId set_timer(Duration delay) override {
+    TimerId id = next_timer_++;
+    timers_[id] = now_ + delay;
+    return id;
+  }
+
+  void cancel_timer(TimerId timer) override { timers_.erase(timer); }
+
+  Rng& rng() override { return rng_; }
+
+  // Test controls -----------------------------------------------------------
+  void advance(Duration d) { now_ += d; }
+
+  [[nodiscard]] const std::vector<Sent>& sent() const { return sent_; }
+  void clear_sent() { sent_.clear(); }
+
+  [[nodiscard]] std::size_t pending_timers() const { return timers_.size(); }
+
+  [[nodiscard]] bool timer_pending(TimerId id) const {
+    return timers_.contains(id);
+  }
+
+  /// Fires the earliest pending timer on `actor`, advancing the clock to its
+  /// deadline. Returns false if no timer is pending.
+  bool fire_next_timer(Actor& actor) {
+    if (timers_.empty()) return false;
+    auto best = timers_.begin();
+    for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+      if (it->second < best->second) best = it;
+    }
+    TimerId id = best->first;
+    if (best->second > now_) now_ = best->second;
+    timers_.erase(best);
+    actor.on_timer(*this, id);
+    return true;
+  }
+
+  /// Fires a specific timer (test must know it is pending).
+  void fire_timer(Actor& actor, TimerId id) {
+    timers_.erase(id);
+    actor.on_timer(*this, id);
+  }
+
+  /// Messages of `type` sent to `dst`.
+  [[nodiscard]] int count_sent(ProcessId dst, MessageType type) const {
+    int count = 0;
+    for (const auto& s : sent_) {
+      if (s.dst == dst && s.type == type) ++count;
+    }
+    return count;
+  }
+
+ private:
+  ProcessId id_;
+  int n_;
+  TimePoint now_ = 0;
+  std::vector<Sent> sent_;
+  std::map<TimerId, TimePoint> timers_;
+  TimerId next_timer_ = 1;
+  Rng rng_;
+};
+
+}  // namespace lls::testing

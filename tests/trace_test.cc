@@ -1,0 +1,142 @@
+// Tests of the execution-trace facility: event capture, ring semantics,
+// ordering, and the dump format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/serialization.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace lls {
+namespace {
+
+class PingPong final : public Actor {
+ public:
+  void on_start(Runtime& rt) override {
+    if (rt.id() == 0) rt.send(1, 0x0901, {});
+    rt.set_timer(100);
+  }
+  void on_message(Runtime& rt, ProcessId src, MessageType, BytesView) override {
+    if (rt.id() == 1) rt.send(src, 0x0902, {});
+  }
+  void on_timer(Runtime&, TimerId) override {}
+};
+
+TEST(Trace, CapturesSendDeliverTimerAndCrash) {
+  SimConfig config;
+  config.n = 2;
+  config.seed = 1;
+  Simulator sim(config, make_all_timely({10, 10}));
+  RingTrace trace(1024);
+  sim.set_trace(&trace);
+  sim.emplace_actor<PingPong>(0);
+  sim.emplace_actor<PingPong>(1);
+  sim.crash_at(0, 50);  // before p0's 100us timer: that fire is suppressed
+  sim.start();
+  sim.run_until(1000);
+
+  int sends = 0;
+  int delivers = 0;
+  int timers = 0;
+  int crashes = 0;
+  for (const auto& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kSend: ++sends; break;
+      case TraceEvent::Kind::kDeliver: ++delivers; break;
+      case TraceEvent::Kind::kTimerFire: ++timers; break;
+      case TraceEvent::Kind::kCrash: ++crashes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(sends, 2);     // ping + pong
+  EXPECT_EQ(delivers, 2);
+  EXPECT_EQ(timers, 1);    // p1's timer; p0's suppressed by crash
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(trace.total_seen(), static_cast<std::uint64_t>(sends + delivers +
+                                                           timers + crashes));
+}
+
+TEST(Trace, EventsAreChronological) {
+  SimConfig config;
+  config.n = 2;
+  config.seed = 2;
+  Simulator sim(config, make_all_timely({10, 10}));
+  RingTrace trace(1024);
+  sim.set_trace(&trace);
+  sim.emplace_actor<PingPong>(0);
+  sim.emplace_actor<PingPong>(1);
+  sim.start();
+  sim.run_until(1000);
+  auto events = trace.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t, events[i].t);
+  }
+}
+
+TEST(Trace, DropsAreDistinguishedFromSends) {
+  SimConfig config;
+  config.n = 2;
+  config.seed = 3;
+  Simulator sim(config, [](ProcessId, ProcessId) {
+    return std::make_unique<DeadLink>();
+  });
+  RingTrace trace(16);
+  sim.set_trace(&trace);
+  sim.emplace_actor<PingPong>(0);
+  sim.emplace_actor<PingPong>(1);
+  sim.start();
+  sim.run_until(1000);
+  bool saw_drop = false;
+  for (const auto& e : trace.events()) {
+    EXPECT_NE(e.kind, TraceEvent::Kind::kDeliver);
+    if (e.kind == TraceEvent::Kind::kDrop) saw_drop = true;
+  }
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(Trace, RingKeepsOnlyTheTail) {
+  RingTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kTimerFire;
+    e.t = i;
+    e.a = 0;
+    trace.on_event(e);
+  }
+  auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().t, 6);
+  EXPECT_EQ(events.back().t, 9);
+  EXPECT_EQ(trace.total_seen(), 10u);
+}
+
+TEST(Trace, DumpWritesOneLinePerEvent) {
+  RingTrace trace(8);
+  TraceEvent send;
+  send.kind = TraceEvent::Kind::kSend;
+  send.t = 42;
+  send.a = 0;
+  send.b = 1;
+  send.type = 0x0101;
+  send.bytes = 16;
+  trace.on_event(send);
+  TraceEvent crash;
+  crash.kind = TraceEvent::Kind::kCrash;
+  crash.t = 50;
+  crash.a = 2;
+  trace.on_event(crash);
+
+  char buf[512] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  ASSERT_NE(mem, nullptr);
+  trace.dump(mem);
+  std::fclose(mem);
+  std::string out(buf);
+  EXPECT_NE(out.find("SEND p0 -> p1 type=0x0101 bytes=16"), std::string::npos);
+  EXPECT_NE(out.find("CRSH p2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lls

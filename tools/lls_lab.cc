@@ -1,0 +1,186 @@
+// lls_lab — command-line experiment driver.
+//
+// Runs a configurable Omega or consensus experiment in the deterministic
+// simulator and prints a report, so scenarios can be explored without
+// writing code:
+//
+//   lls_lab omega --n 8 --seed 3 --source 7 --crash 0@2s --crash 1@4s
+//   lls_lab omega --n 6 --sources none --horizon 90s        # no ♦-source
+//   lls_lab omega --algo all2all --n 5
+//   lls_lab consensus --n 5 --values 30 --loss 0.4
+//   lls_lab consensus --algo rotating --n 7 --values 20
+//
+// Durations accept us/ms/s suffixes (default ms).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consensus/experiment.h"
+#include "net/topology.h"
+#include "omega/experiment.h"
+
+using namespace lls;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fputs(
+      "usage: lls_lab <omega|consensus> [options]\n"
+      "\n"
+      "common options:\n"
+      "  --n <int>          number of processes (default 5)\n"
+      "  --seed <u64>       random seed (default 1)\n"
+      "  --source <id>      the ♦-source process (default n-1)\n"
+      "  --sources none     remove all ♦-sources\n"
+      "  --gst <dur>        global stabilization time (default 1s)\n"
+      "  --loss <p>         fair-lossy drop probability (default 0.5)\n"
+      "  --horizon <dur>    simulated time (default 60s)\n"
+      "  --crash <id>@<dur> crash process id at time (repeatable)\n"
+      "\n"
+      "omega options:\n"
+      "  --algo <ce|all2all>   algorithm (default ce)\n"
+      "\n"
+      "consensus options:\n"
+      "  --algo <ce|rotating>  algorithm (default ce)\n"
+      "  --values <int>        proposals to submit (default 20)\n"
+      "  --interval <dur>      gap between proposals (default 100ms)\n",
+      stderr);
+  std::exit(2);
+}
+
+Duration parse_duration(const std::string& s) {
+  char* end = nullptr;
+  double x = std::strtod(s.c_str(), &end);
+  std::string unit(end);
+  if (unit == "s") return static_cast<Duration>(x * kSecond);
+  if (unit == "us") return static_cast<Duration>(x * kMicrosecond);
+  if (unit.empty() || unit == "ms") return static_cast<Duration>(x * kMillisecond);
+  usage(("bad duration: " + s).c_str());
+}
+
+struct Args {
+  std::string mode;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> crashes;
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0 || i + 1 >= argc) usage(("bad flag: " + flag).c_str());
+    std::string value = argv[++i];
+    if (flag == "--crash") {
+      args.crashes.push_back(value);
+    } else {
+      args.flags[flag.substr(2)] = value;
+    }
+  }
+  return args;
+}
+
+std::string flag_or(const Args& args, const std::string& name,
+                    const std::string& fallback) {
+  auto it = args.flags.find(name);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+std::vector<std::pair<ProcessId, TimePoint>> parse_crashes(const Args& args) {
+  std::vector<std::pair<ProcessId, TimePoint>> out;
+  for (const std::string& c : args.crashes) {
+    auto at = c.find('@');
+    if (at == std::string::npos) usage(("bad --crash: " + c).c_str());
+    out.emplace_back(static_cast<ProcessId>(std::stoul(c.substr(0, at))),
+                     parse_duration(c.substr(at + 1)));
+  }
+  return out;
+}
+
+LinkFactory build_links(const Args& args, int n) {
+  SystemSParams params;
+  if (flag_or(args, "sources", "") == "none") {
+    params.sources = {};
+  } else {
+    auto source = static_cast<ProcessId>(
+        std::stoul(flag_or(args, "source", std::to_string(n - 1))));
+    if (source >= static_cast<ProcessId>(n)) usage("--source out of range");
+    params.sources = {source};
+  }
+  params.gst = parse_duration(flag_or(args, "gst", "1s"));
+  params.fair_lossy.loss_prob = std::stod(flag_or(args, "loss", "0.5"));
+  return make_system_s(params);
+}
+
+int run_omega(const Args& args) {
+  OmegaExperiment exp;
+  exp.n = std::stoi(flag_or(args, "n", "5"));
+  exp.seed = std::stoull(flag_or(args, "seed", "1"));
+  exp.horizon = parse_duration(flag_or(args, "horizon", "60s"));
+  exp.trailing_window = 5 * kSecond;
+  exp.links = build_links(args, exp.n);
+  exp.crashes = parse_crashes(args);
+  std::string algo = flag_or(args, "algo", "ce");
+  exp.algo = algo == "all2all" ? OmegaAlgo::kAllToAll : OmegaAlgo::kCommEfficient;
+
+  auto r = run_omega_experiment(exp);
+  std::printf("algorithm        : %s\n", algo.c_str());
+  std::printf("stabilized       : %s\n", r.stabilized ? "yes" : "NO");
+  if (r.stabilized) {
+    std::printf("stabilization    : %.1f ms\n",
+                static_cast<double>(r.stabilization_time) / kMillisecond);
+    std::printf("final leader     : p%u (%s)\n", r.final_leader,
+                r.correct.contains(r.final_leader) ? "correct" : "INCORRECT");
+  }
+  std::printf("correct processes:");
+  for (ProcessId p : r.correct) std::printf(" p%u", p);
+  std::printf("\ntrailing senders :");
+  for (ProcessId p : r.trailing_senders) std::printf(" p%u", p);
+  std::printf("\ntrailing links   : %zu\n", r.trailing_links);
+  std::printf("total messages   : %llu\n",
+              static_cast<unsigned long long>(r.total_msgs));
+  std::printf("comm-efficient   : %s\n",
+              r.communication_efficient() ? "yes" : "no");
+  return r.stabilized ? 0 : 1;
+}
+
+int run_consensus(const Args& args) {
+  ConsensusExperiment exp;
+  exp.n = std::stoi(flag_or(args, "n", "5"));
+  exp.seed = std::stoull(flag_or(args, "seed", "1"));
+  exp.horizon = parse_duration(flag_or(args, "horizon", "60s"));
+  exp.links = build_links(args, exp.n);
+  exp.crashes = parse_crashes(args);
+  exp.num_values = std::stoi(flag_or(args, "values", "20"));
+  exp.propose_interval = parse_duration(flag_or(args, "interval", "100ms"));
+  std::string algo = flag_or(args, "algo", "ce");
+  exp.algo = algo == "rotating" ? ConsensusAlgo::kRotating : ConsensusAlgo::kCeLog;
+
+  auto r = run_consensus_experiment(exp);
+  std::printf("algorithm        : %s\n", algo.c_str());
+  std::printf("agreement        : %s\n", r.agreement_ok ? "ok" : "VIOLATED");
+  std::printf("validity         : %s\n", r.validity_ok ? "ok" : "VIOLATED");
+  std::printf("decided          : %d/%d everywhere-correct\n",
+              r.values_decided_everywhere, r.values_proposed);
+  std::printf("latency p50/p95  : %.1f / %.1f ms (first decide)\n",
+              r.latency_first.percentile(50) / kMillisecond,
+              r.latency_first.percentile(95) / kMillisecond);
+  std::printf("msgs/decision    : %.1f consensus-class (%.1f total)\n",
+              r.msgs_per_decision, r.msgs_per_decision_total);
+  std::printf("trailing senders : %zu\n", r.trailing_senders.size());
+  return r.agreement_ok && r.validity_ok && r.all_decided ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse(argc, argv);
+  if (args.mode == "omega") return run_omega(args);
+  if (args.mode == "consensus") return run_consensus(args);
+  usage(("unknown mode: " + args.mode).c_str());
+}
