@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_phases.dir/bench_a1_phases.cc.o"
+  "CMakeFiles/bench_a1_phases.dir/bench_a1_phases.cc.o.d"
+  "bench_a1_phases"
+  "bench_a1_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_timeouts.dir/bench_a2_timeouts.cc.o"
+  "CMakeFiles/bench_a2_timeouts.dir/bench_a2_timeouts.cc.o.d"
+  "bench_a2_timeouts"
+  "bench_a2_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

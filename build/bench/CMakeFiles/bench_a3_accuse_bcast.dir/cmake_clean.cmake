@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_accuse_bcast.dir/bench_a3_accuse_bcast.cc.o"
+  "CMakeFiles/bench_a3_accuse_bcast.dir/bench_a3_accuse_bcast.cc.o.d"
+  "bench_a3_accuse_bcast"
+  "bench_a3_accuse_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_accuse_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a3_accuse_bcast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_relay.dir/bench_a4_relay.cc.o"
+  "CMakeFiles/bench_a4_relay.dir/bench_a4_relay.cc.o.d"
+  "bench_a4_relay"
+  "bench_a4_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_batching.dir/bench_a5_batching.cc.o"
+  "CMakeFiles/bench_a5_batching.dir/bench_a5_batching.cc.o.d"
+  "bench_a5_batching"
+  "bench_a5_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

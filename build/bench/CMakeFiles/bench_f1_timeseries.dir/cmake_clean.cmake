@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_timeseries.dir/bench_f1_timeseries.cc.o"
+  "CMakeFiles/bench_f1_timeseries.dir/bench_f1_timeseries.cc.o.d"
+  "bench_f1_timeseries"
+  "bench_f1_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

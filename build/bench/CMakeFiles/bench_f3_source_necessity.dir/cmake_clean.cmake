@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_source_necessity.dir/bench_f3_source_necessity.cc.o"
+  "CMakeFiles/bench_f3_source_necessity.dir/bench_f3_source_necessity.cc.o.d"
+  "bench_f3_source_necessity"
+  "bench_f3_source_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_source_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

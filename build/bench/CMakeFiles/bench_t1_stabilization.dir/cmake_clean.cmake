@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_stabilization.dir/bench_t1_stabilization.cc.o"
+  "CMakeFiles/bench_t1_stabilization.dir/bench_t1_stabilization.cc.o.d"
+  "bench_t1_stabilization"
+  "bench_t1_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_consensus.dir/bench_t3_consensus.cc.o"
+  "CMakeFiles/bench_t3_consensus.dir/bench_t3_consensus.cc.o.d"
+  "bench_t3_consensus"
+  "bench_t3_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

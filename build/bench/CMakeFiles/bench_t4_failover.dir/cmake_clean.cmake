@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_failover.dir/bench_t4_failover.cc.o"
+  "CMakeFiles/bench_t4_failover.dir/bench_t4_failover.cc.o.d"
+  "bench_t4_failover"
+  "bench_t4_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

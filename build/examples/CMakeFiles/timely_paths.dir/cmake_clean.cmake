@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timely_paths.dir/timely_paths.cpp.o"
+  "CMakeFiles/timely_paths.dir/timely_paths.cpp.o.d"
+  "timely_paths"
+  "timely_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timely_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lls_consensus.dir/experiment.cc.o"
+  "CMakeFiles/lls_consensus.dir/experiment.cc.o.d"
+  "CMakeFiles/lls_consensus.dir/log_consensus.cc.o"
+  "CMakeFiles/lls_consensus.dir/log_consensus.cc.o.d"
+  "CMakeFiles/lls_consensus.dir/paxos.cc.o"
+  "CMakeFiles/lls_consensus.dir/paxos.cc.o.d"
+  "CMakeFiles/lls_consensus.dir/rotating_consensus.cc.o"
+  "CMakeFiles/lls_consensus.dir/rotating_consensus.cc.o.d"
+  "liblls_consensus.a"
+  "liblls_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lls_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lls_net.dir/network.cc.o"
+  "CMakeFiles/lls_net.dir/network.cc.o.d"
+  "CMakeFiles/lls_net.dir/relay.cc.o"
+  "CMakeFiles/lls_net.dir/relay.cc.o.d"
+  "CMakeFiles/lls_net.dir/topology.cc.o"
+  "CMakeFiles/lls_net.dir/topology.cc.o.d"
+  "liblls_net.a"
+  "liblls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omega/all2all_omega.cc" "src/omega/CMakeFiles/lls_omega.dir/all2all_omega.cc.o" "gcc" "src/omega/CMakeFiles/lls_omega.dir/all2all_omega.cc.o.d"
+  "/root/repo/src/omega/ce_omega.cc" "src/omega/CMakeFiles/lls_omega.dir/ce_omega.cc.o" "gcc" "src/omega/CMakeFiles/lls_omega.dir/ce_omega.cc.o.d"
+  "/root/repo/src/omega/cr_omega.cc" "src/omega/CMakeFiles/lls_omega.dir/cr_omega.cc.o" "gcc" "src/omega/CMakeFiles/lls_omega.dir/cr_omega.cc.o.d"
+  "/root/repo/src/omega/experiment.cc" "src/omega/CMakeFiles/lls_omega.dir/experiment.cc.o" "gcc" "src/omega/CMakeFiles/lls_omega.dir/experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

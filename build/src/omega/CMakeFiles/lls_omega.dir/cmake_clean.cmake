@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lls_omega.dir/all2all_omega.cc.o"
+  "CMakeFiles/lls_omega.dir/all2all_omega.cc.o.d"
+  "CMakeFiles/lls_omega.dir/ce_omega.cc.o"
+  "CMakeFiles/lls_omega.dir/ce_omega.cc.o.d"
+  "CMakeFiles/lls_omega.dir/cr_omega.cc.o"
+  "CMakeFiles/lls_omega.dir/cr_omega.cc.o.d"
+  "CMakeFiles/lls_omega.dir/experiment.cc.o"
+  "CMakeFiles/lls_omega.dir/experiment.cc.o.d"
+  "liblls_omega.a"
+  "liblls_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lls_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

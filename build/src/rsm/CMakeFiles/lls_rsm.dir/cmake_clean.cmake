@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lls_rsm.dir/kv_store.cc.o"
+  "CMakeFiles/lls_rsm.dir/kv_store.cc.o.d"
+  "CMakeFiles/lls_rsm.dir/linearizability.cc.o"
+  "CMakeFiles/lls_rsm.dir/linearizability.cc.o.d"
+  "CMakeFiles/lls_rsm.dir/replica.cc.o"
+  "CMakeFiles/lls_rsm.dir/replica.cc.o.d"
+  "liblls_rsm.a"
+  "liblls_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lls_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lls_runtime.dir/thread_runtime.cc.o"
+  "CMakeFiles/lls_runtime.dir/thread_runtime.cc.o.d"
+  "CMakeFiles/lls_runtime.dir/udp_runtime.cc.o"
+  "CMakeFiles/lls_runtime.dir/udp_runtime.cc.o.d"
+  "liblls_runtime.a"
+  "liblls_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lls_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

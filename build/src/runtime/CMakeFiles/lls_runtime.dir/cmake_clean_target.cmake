@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblls_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lls_sim.dir/nemesis.cc.o"
+  "CMakeFiles/lls_sim.dir/nemesis.cc.o.d"
+  "CMakeFiles/lls_sim.dir/simulator.cc.o"
+  "CMakeFiles/lls_sim.dir/simulator.cc.o.d"
+  "liblls_sim.a"
+  "liblls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ce_omega_unit_test.dir/ce_omega_unit_test.cc.o"
+  "CMakeFiles/ce_omega_unit_test.dir/ce_omega_unit_test.cc.o.d"
+  "ce_omega_unit_test"
+  "ce_omega_unit_test.pdb"
+  "ce_omega_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ce_omega_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_kv_test.dir/cr_kv_test.cc.o"
+  "CMakeFiles/cr_kv_test.dir/cr_kv_test.cc.o.d"
+  "cr_kv_test"
+  "cr_kv_test.pdb"
+  "cr_kv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

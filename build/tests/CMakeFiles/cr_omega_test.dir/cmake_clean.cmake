@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_omega_test.dir/cr_omega_test.cc.o"
+  "CMakeFiles/cr_omega_test.dir/cr_omega_test.cc.o.d"
+  "cr_omega_test"
+  "cr_omega_test.pdb"
+  "cr_omega_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_omega_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

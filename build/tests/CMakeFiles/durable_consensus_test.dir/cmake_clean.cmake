@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_consensus_test.dir/durable_consensus_test.cc.o"
+  "CMakeFiles/durable_consensus_test.dir/durable_consensus_test.cc.o.d"
+  "durable_consensus_test"
+  "durable_consensus_test.pdb"
+  "durable_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linearizability_test.cc" "tests/CMakeFiles/linearizability_test.dir/linearizability_test.cc.o" "gcc" "tests/CMakeFiles/linearizability_test.dir/linearizability_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/lls_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/lls_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/lls_rsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

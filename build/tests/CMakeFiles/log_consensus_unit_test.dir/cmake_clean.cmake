@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_consensus_unit_test.dir/log_consensus_unit_test.cc.o"
+  "CMakeFiles/log_consensus_unit_test.dir/log_consensus_unit_test.cc.o.d"
+  "log_consensus_unit_test"
+  "log_consensus_unit_test.pdb"
+  "log_consensus_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_consensus_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_test.dir/mux_test.cc.o"
+  "CMakeFiles/mux_test.dir/mux_test.cc.o.d"
+  "mux_test"
+  "mux_test.pdb"
+  "mux_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

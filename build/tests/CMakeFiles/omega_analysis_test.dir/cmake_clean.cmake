@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_analysis_test.dir/omega_analysis_test.cc.o"
+  "CMakeFiles/omega_analysis_test.dir/omega_analysis_test.cc.o.d"
+  "omega_analysis_test"
+  "omega_analysis_test.pdb"
+  "omega_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_basic_test.dir/omega_basic_test.cc.o"
+  "CMakeFiles/omega_basic_test.dir/omega_basic_test.cc.o.d"
+  "omega_basic_test"
+  "omega_basic_test.pdb"
+  "omega_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_property_test.dir/omega_property_test.cc.o"
+  "CMakeFiles/omega_property_test.dir/omega_property_test.cc.o.d"
+  "omega_property_test"
+  "omega_property_test.pdb"
+  "omega_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

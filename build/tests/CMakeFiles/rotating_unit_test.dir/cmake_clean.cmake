@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotating_unit_test.dir/rotating_unit_test.cc.o"
+  "CMakeFiles/rotating_unit_test.dir/rotating_unit_test.cc.o.d"
+  "rotating_unit_test"
+  "rotating_unit_test.pdb"
+  "rotating_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotating_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_test.dir/rsm_test.cc.o"
+  "CMakeFiles/rsm_test.dir/rsm_test.cc.o.d"
+  "rsm_test"
+  "rsm_test.pdb"
+  "rsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

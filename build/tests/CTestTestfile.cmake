@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/omega_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/ce_omega_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/omega_property_test[1]_include.cmake")
+include("/root/repo/build/tests/paxos_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_property_test[1]_include.cmake")
+include("/root/repo/build/tests/relay_test[1]_include.cmake")
+include("/root/repo/build/tests/linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/rsm_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/log_consensus_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/mux_test[1]_include.cmake")
+include("/root/repo/build/tests/net_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/rotating_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/compaction_test[1]_include.cmake")
+include("/root/repo/build/tests/omega_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/nemesis_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/cr_omega_test[1]_include.cmake")
+include("/root/repo/build/tests/durable_consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/cr_kv_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lls_lab.dir/lls_lab.cc.o"
+  "CMakeFiles/lls_lab.dir/lls_lab.cc.o.d"
+  "lls_lab"
+  "lls_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lls_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
