@@ -262,7 +262,18 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     return;
   }
   log_[rel] = value;
-  inflight_.erase(i);
+  if (auto it = inflight_.find(i); it != inflight_.end()) {
+    // The instance decided against a different value: another leader won
+    // the slot while ours was in flight (e.g. this proposer was partitioned
+    // when it assigned the instance). The displaced value is still owed
+    // placement — re-queue it for a fresh instance. It may end up decided
+    // twice if the competing path also carried it; that is the documented
+    // at-least-once contract, deduplicated by the replica layer.
+    if (!it->second.value.empty() && it->second.value != value) {
+      pending_.push_back(std::move(it->second.value));
+    }
+    inflight_.erase(it);
+  }
   if (config_.durable) persist(rt);
 
   // The decided log is the completion signal for pending submissions.

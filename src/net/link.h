@@ -15,8 +15,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -38,8 +39,36 @@ struct LinkDecision {
   bool deliver = false;
   Duration delay = 0;
 
-  static LinkDecision dropped() { return {false, 0}; }
-  static LinkDecision after(Duration d) { return {true, d}; }
+  /// Fault extensions (all zero on well-behaved links). The primary copy may
+  /// be corrupted (payload bit flips, detected and discarded by the
+  /// transport's checksum guard), and up to kMaxDuplicates extra copies of
+  /// the message may be delivered with their own delays/corruption. Inline
+  /// arrays keep the well-behaved send path allocation-free.
+  static constexpr std::uint8_t kMaxDuplicates = 3;
+  bool corrupt = false;
+  std::uint8_t duplicates = 0;
+  Duration dup_delay[kMaxDuplicates] = {};
+  bool dup_corrupt[kMaxDuplicates] = {};
+
+  static LinkDecision dropped() { return {}; }
+  static LinkDecision after(Duration d) {
+    LinkDecision out;
+    out.deliver = true;
+    out.delay = d;
+    return out;
+  }
+
+  void add_duplicate(Duration delay_of_copy, bool corrupted = false) {
+    if (duplicates >= kMaxDuplicates) return;
+    dup_delay[duplicates] = delay_of_copy;
+    dup_corrupt[duplicates] = corrupted;
+    ++duplicates;
+  }
+
+  /// Total copies that will be delivered (0 when dropped).
+  [[nodiscard]] int copies() const {
+    return deliver ? 1 + duplicates : 0;
+  }
 };
 
 class LinkModel {
@@ -106,8 +135,7 @@ class FairLossyLink final : public LinkModel {
 
   LinkDecision on_send(TimePoint, MessageType type, Rng& rng) override {
     if (params_.deliver_every_kth > 0) {
-      auto& count = sent_by_type_[type];
-      ++count;
+      std::uint64_t count = ++count_for(type);
       if (count % params_.deliver_every_kth == 0) {
         return LinkDecision::after(params_.delay.sample(rng));
       }
@@ -117,8 +145,19 @@ class FairLossyLink final : public LinkModel {
   }
 
  private:
+  /// Per-type send counter. Protocols use a handful of distinct types, so a
+  /// flat vector with linear search beats an ordered map on the hot path
+  /// (no node allocations, one cache line for typical type counts) and its
+  /// growth is bounded by the number of distinct types ever sent.
+  std::uint64_t& count_for(MessageType type) {
+    for (auto& [t, c] : sent_by_type_) {
+      if (t == type) return c;
+    }
+    return sent_by_type_.emplace_back(type, 0).second;
+  }
+
   Params params_;
-  std::map<MessageType, std::uint64_t> sent_by_type_;
+  std::vector<std::pair<MessageType, std::uint64_t>> sent_by_type_;
 };
 
 /// Lossy asynchronous: may drop everything (loss_prob may be 1.0); surviving
@@ -164,7 +203,74 @@ class ScriptedLink final : public LinkModel {
   Script script_;
 };
 
+/// Fault profile layered by FaultyLink on top of any base model.
+struct FaultyLinkParams {
+  /// Chance that a delivered message gains one extra copy; rolled again per
+  /// copy, so duplication cascades geometrically up to
+  /// LinkDecision::kMaxDuplicates extra copies (UDP-style duplication).
+  double duplicate_prob = 0.0;
+  /// Additional delay of each duplicate over the base delivery delay.
+  DelayRange duplicate_extra{0, 10 * kMillisecond};
+
+  /// Chance that any individual copy's payload is bit-flipped in flight.
+  /// The transport's checksum guard detects and discards such copies, so
+  /// corruption degrades to (accounted) loss — which is exactly what the
+  /// paper's fair-loss premise must absorb.
+  double corrupt_prob = 0.0;
+
+  /// Chance that a copy is held back by extra jitter, forcing reordering
+  /// against messages sent later (links are non-FIFO already; this makes
+  /// reordering windows adversarially long).
+  double reorder_prob = 0.0;
+  DelayRange reorder_jitter{5 * kMillisecond, 50 * kMillisecond};
+};
+
+/// Decorator: layers duplication, reordering jitter and payload corruption
+/// on any base LinkModel, so every link-synchrony class in the taxonomy
+/// composes with the fault classes real transports (UDP) exhibit. The base
+/// model still decides loss and the base delay; FaultyLink only adds faults
+/// to messages the base would deliver.
+class FaultyLink final : public LinkModel {
+ public:
+  FaultyLink(std::unique_ptr<LinkModel> base, FaultyLinkParams params)
+      : base_(std::move(base)), params_(params) {}
+
+  LinkDecision on_send(TimePoint send_time, MessageType type,
+                       Rng& rng) override {
+    LinkDecision d = base_->on_send(send_time, type, rng);
+    if (!d.deliver) return d;
+    if (params_.reorder_prob > 0 && rng.chance(params_.reorder_prob)) {
+      d.delay += params_.reorder_jitter.sample(rng);
+    }
+    if (params_.corrupt_prob > 0 && rng.chance(params_.corrupt_prob)) {
+      d.corrupt = true;
+    }
+    while (d.duplicates < LinkDecision::kMaxDuplicates &&
+           params_.duplicate_prob > 0 && rng.chance(params_.duplicate_prob)) {
+      Duration extra = params_.duplicate_extra.sample(rng);
+      bool corrupted =
+          params_.corrupt_prob > 0 && rng.chance(params_.corrupt_prob);
+      d.add_duplicate(d.delay + extra, corrupted);
+    }
+    return d;
+  }
+
+  [[nodiscard]] const LinkModel& base() const { return *base_; }
+
+ private:
+  std::unique_ptr<LinkModel> base_;
+  FaultyLinkParams params_;
+};
+
 using LinkFactory =
     std::function<std::unique_ptr<LinkModel>(ProcessId src, ProcessId dst)>;
+
+/// Wraps an existing factory so every produced link carries the fault
+/// profile. Composes: wrap_faulty(make_system_s(...), params).
+inline LinkFactory wrap_faulty(LinkFactory base, FaultyLinkParams params) {
+  return [base = std::move(base), params](ProcessId src, ProcessId dst) {
+    return std::make_unique<FaultyLink>(base(src, dst), params);
+  };
+}
 
 }  // namespace lls

@@ -8,6 +8,19 @@
 
 namespace lls {
 
+/// FNV-1a over the payload — the integrity check a real transport (UDP/IP
+/// checksums, or an application-level CRC) provides. The checksum guard in
+/// the delivery path discards copies whose payload no longer matches,
+/// turning in-flight bit flips into accounted loss.
+inline std::uint64_t payload_checksum(BytesView payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : payload) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 struct Message {
   ProcessId src = kNoProcess;
   ProcessId dst = kNoProcess;
@@ -15,6 +28,9 @@ struct Message {
   Bytes payload;
   /// Network-assigned unique sequence for tracing; not visible to actors.
   std::uint64_t seq = 0;
+  /// payload_checksum at send time; verified by the delivery path when a
+  /// link marked the copy corrupted.
+  std::uint64_t checksum = 0;
 };
 
 }  // namespace lls

@@ -60,9 +60,21 @@ class NetStats {
 
   void on_deliver(ProcessId dst) { ++delivered_by_process_[dst]; }
 
+  /// A link duplicated a message (one call per extra copy).
+  void on_duplicate() { ++duplicated_total_; }
+
+  /// The checksum guard discarded a corrupted copy at delivery.
+  void on_corrupt_drop() { ++corrupted_total_; }
+
   [[nodiscard]] std::uint64_t sent_total() const { return sent_total_; }
   [[nodiscard]] std::uint64_t bytes_total() const { return bytes_total_; }
   [[nodiscard]] std::uint64_t dropped_total() const { return dropped_total_; }
+  [[nodiscard]] std::uint64_t duplicated_total() const {
+    return duplicated_total_;
+  }
+  [[nodiscard]] std::uint64_t corrupted_total() const {
+    return corrupted_total_;
+  }
 
   [[nodiscard]] std::uint64_t sent_by(ProcessId p) const {
     return sent_by_process_[p];
@@ -153,6 +165,8 @@ class NetStats {
   std::vector<std::uint64_t> sent_by_process_;
   std::vector<std::uint64_t> delivered_by_process_;
   std::uint64_t dropped_total_;
+  std::uint64_t duplicated_total_ = 0;
+  std::uint64_t corrupted_total_ = 0;
   std::vector<std::uint64_t> sent_by_link_;
   std::array<std::uint64_t, kClasses> sent_by_class_{};
   std::vector<std::set<ProcessId>> bucket_senders_;

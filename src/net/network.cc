@@ -25,6 +25,12 @@ void Network::set_link(ProcessId src, ProcessId dst,
 }
 
 std::optional<TimePoint> Network::route(const Message& msg, TimePoint now) {
+  Routing routing = route_copies(msg, now);
+  if (routing.count == 0) return std::nullopt;
+  return routing.copies[0].deliver_at;
+}
+
+Network::Routing Network::route_copies(const Message& msg, TimePoint now) {
   if (msg.src == msg.dst || msg.src >= static_cast<ProcessId>(n_) ||
       msg.dst >= static_cast<ProcessId>(n_)) {
     throw std::invalid_argument("bad route endpoints");
@@ -33,8 +39,20 @@ std::optional<TimePoint> Network::route(const Message& msg, TimePoint now) {
   LinkDecision decision = link.model->on_send(now, msg.type, link.rng);
   stats_.on_send(now, msg.src, msg.dst, msg.type, decision.deliver,
                  msg.payload.size());
-  if (!decision.deliver) return std::nullopt;
-  return now + decision.delay;
+  Routing routing;
+  if (!decision.deliver) return routing;
+  auto add_copy = [&](Duration delay, bool corrupted) {
+    RoutedCopy& copy = routing.copies[routing.count++];
+    copy.deliver_at = now + delay;
+    copy.corrupted = corrupted;
+    if (corrupted) copy.corrupt_seed = link.rng.next_u64();
+  };
+  add_copy(decision.delay, decision.corrupt);
+  for (std::uint8_t i = 0; i < decision.duplicates; ++i) {
+    add_copy(decision.dup_delay[i], decision.dup_corrupt[i]);
+    stats_.on_duplicate();
+  }
+  return routing;
 }
 
 }  // namespace lls

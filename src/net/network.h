@@ -6,6 +6,7 @@
 // fault plans stage partitions and de-synchronization.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -29,8 +30,30 @@ class Network {
   void set_link(ProcessId src, ProcessId dst, std::unique_ptr<LinkModel> model);
 
   /// Routes a message sent at `now`; returns its delivery time, or nullopt
-  /// when the link drops it. Records stats either way.
+  /// when the link drops it. Records stats either way. Convenience wrapper
+  /// around route_copies that reports only the primary copy — use
+  /// route_copies on paths that must honor duplication/corruption faults.
   std::optional<TimePoint> route(const Message& msg, TimePoint now);
+
+  /// One delivered copy of a routed message. A corrupted copy carries a
+  /// deterministic per-copy seed (drawn from the link's random stream) that
+  /// the delivery path uses to choose which payload bits to flip.
+  struct RoutedCopy {
+    TimePoint deliver_at = 0;
+    bool corrupted = false;
+    std::uint64_t corrupt_seed = 0;
+  };
+
+  /// Small fixed-size result: primary copy plus up to kMaxDuplicates
+  /// duplicates, zero entries when the link dropped the message.
+  struct Routing {
+    std::uint8_t count = 0;
+    std::array<RoutedCopy, 1 + LinkDecision::kMaxDuplicates> copies{};
+  };
+
+  /// Fault-aware routing: returns every copy the link delivers. Records
+  /// stats (send, drop, duplicates) either way.
+  Routing route_copies(const Message& msg, TimePoint now);
 
   void note_delivered(ProcessId dst) { stats_.on_deliver(dst); }
 

@@ -1,0 +1,502 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "consensus/experiment.h"
+#include "consensus/node.h"
+#include "net/topology.h"
+#include "omega/all2all_omega.h"
+#include "omega/ce_omega.h"
+#include "omega/cr_omega.h"
+#include "rsm/linearizability.h"
+#include "rsm/replica.h"
+#include "sim/nemesis.h"
+#include "sim/simulator.h"
+
+namespace lls {
+
+const char* scenario_name(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kCeOmega: return "ce";
+    case Scenario::kAll2AllOmega: return "all2all";
+    case Scenario::kCrOmegaStable: return "cr";
+    case Scenario::kConsensus: return "consensus";
+    case Scenario::kKvLinearizable: return "kv";
+  }
+  return "?";
+}
+
+bool parse_scenario(const std::string& name, Scenario* out) {
+  for (Scenario s : kAllScenarios) {
+    if (name == scenario_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// One shared fault-schedule template per run. The nemesis seed is derived
+/// from the run seed (not equal to it) so link randomness and schedule
+/// randomness are decorrelated, yet both replay from the single CLI seed.
+NemesisConfig nemesis_for(const CampaignConfig& config, std::uint64_t seed) {
+  NemesisConfig nc;
+  nc.seed = seed * 0x9e3779b97f4a7c15ULL + static_cast<int>(config.scenario);
+  nc.start = 1 * kSecond;
+  nc.quiesce = config.quiesce;
+  return nc;
+}
+
+/// The ♦-source for the system-S scenarios. Protected from crash-stop: the
+/// liveness premises require at least one correct ♦-source.
+ProcessId source_of(const CampaignConfig& config) {
+  return static_cast<ProcessId>(config.n - 1);
+}
+
+LinkFactory system_s_links(const CampaignConfig& config) {
+  SystemSParams params;
+  params.sources = {source_of(config)};
+  params.gst = 500 * kMillisecond;
+  return make_system_s(params);
+}
+
+CeOmegaConfig ce_config(const CampaignConfig& config) {
+  CeOmegaConfig oc;
+  if (config.sabotage) {
+    // Timeout below the heartbeat period and no adaptation: every leader is
+    // perpetually accused and elections flap forever. NOT zero — a zero
+    // timeout with no adaptation would re-arm at the same virtual instant
+    // and the event loop would never advance time.
+    oc.initial_timeout = oc.eta / 2;
+    oc.timeout_policy = CeOmegaConfig::TimeoutPolicy::kNone;
+  }
+  return oc;
+}
+
+/// Checks that every alive process trusts the same alive process. `leader_of`
+/// is called per process so callers can re-fetch actors (recovery replaces
+/// the actor instance). Returns the agreed leader when unique.
+template <typename LeaderOf>
+std::optional<ProcessId> check_unique_leader(
+    const Simulator& sim, LeaderOf&& leader_of,
+    std::vector<std::string>& violations) {
+  std::optional<ProcessId> agreed;
+  bool disagreement = false;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(sim.n()); ++p) {
+    if (!sim.alive(p)) continue;
+    ProcessId l = leader_of(p);
+    if (!agreed) {
+      agreed = l;
+    } else if (*agreed != l) {
+      disagreement = true;
+    }
+  }
+  if (disagreement) {
+    std::ostringstream what;
+    what << "leader disagreement after quiesce:";
+    for (ProcessId p = 0; p < static_cast<ProcessId>(sim.n()); ++p) {
+      if (sim.alive(p)) what << " p" << p << "->" << int(leader_of(p));
+    }
+    violations.push_back(what.str());
+    return std::nullopt;
+  }
+  if (!agreed) {
+    violations.emplace_back("no process alive at horizon");
+    return std::nullopt;
+  }
+  if (*agreed == kNoProcess || !sim.alive(*agreed)) {
+    std::ostringstream what;
+    what << "agreed leader p" << int(*agreed) << " is not an alive process";
+    violations.push_back(what.str());
+    return std::nullopt;
+  }
+  return agreed;
+}
+
+/// Communication efficiency: in the trailing window only the leader sends
+/// (n-1 links). Quantified over actual senders, so crashed processes are
+/// excluded by construction.
+void check_efficiency(const Simulator& sim, const CampaignConfig& config,
+                      ProcessId leader, std::vector<std::string>& violations) {
+  auto senders = sim.network().stats().senders_between(
+      config.horizon - config.check_window, config.horizon);
+  if (senders.size() == 1 && *senders.begin() == leader) return;
+  std::ostringstream what;
+  what << "efficiency violated: senders in trailing window {";
+  for (ProcessId p : senders) what << " p" << p;
+  what << " }, expected only leader p" << leader;
+  violations.push_back(what.str());
+}
+
+/// Crash accounting cross-check: every kill Nemesis reports must be dead in
+/// the simulator, and kills never exceed a strict minority.
+void check_kill_accounting(const Simulator& sim, const Nemesis& nemesis,
+                           std::vector<std::string>& violations) {
+  for (ProcessId p : nemesis.killed()) {
+    if (sim.alive(p)) {
+      std::ostringstream what;
+      what << "correct-set accounting broken: p" << p
+           << " is in killed() but alive at horizon";
+      violations.push_back(what.str());
+    }
+  }
+  if (static_cast<int>(nemesis.killed().size()) * 2 >= sim.n()) {
+    violations.emplace_back("nemesis killed a majority of processes");
+  }
+}
+
+std::vector<std::string> run_ce_omega(const CampaignConfig& config,
+                                      std::uint64_t seed) {
+  SimConfig sc;
+  sc.n = config.n;
+  sc.seed = seed;
+  LinkFactory base = system_s_links(config);
+  Simulator sim(sc, base);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    sim.emplace_actor<CeOmega>(p, ce_config(config));
+  }
+  NemesisConfig nc = nemesis_for(config, seed);
+  nc.crash_stop_budget = config.crash_stop_budget;
+  nc.protected_processes = {source_of(config)};
+  Nemesis nemesis(sim, base, nc);
+  sim.start();
+  sim.run_until(config.horizon);
+
+  std::vector<std::string> violations;
+  check_kill_accounting(sim, nemesis, violations);
+  auto leader = check_unique_leader(
+      sim,
+      [&](ProcessId p) { return sim.actor_as<const CeOmega>(p).leader(); },
+      violations);
+  if (leader) check_efficiency(sim, config, *leader, violations);
+  return violations;
+}
+
+std::vector<std::string> run_all2all(const CampaignConfig& config,
+                                     std::uint64_t seed) {
+  SimConfig sc;
+  sc.n = config.n;
+  sc.seed = seed;
+  // The baseline needs every link eventually timely (its premise).
+  LinkFactory base = make_all_eventually_timely(
+      500 * kMillisecond, {500 * kMicrosecond, 2 * kMillisecond},
+      {0.5, {500 * kMicrosecond, 20 * kMillisecond}});
+  Simulator sim(sc, base);
+  All2AllOmegaConfig oc;
+  if (config.sabotage) {
+    oc.initial_timeout = oc.eta / 2;
+    oc.additive_step = 0;
+  }
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    sim.emplace_actor<All2AllOmega>(p, oc);
+  }
+  NemesisConfig nc = nemesis_for(config, seed);
+  nc.crash_stop_budget = config.crash_stop_budget;
+  Nemesis nemesis(sim, base, nc);
+  sim.start();
+  sim.run_until(config.horizon);
+
+  std::vector<std::string> violations;
+  check_kill_accounting(sim, nemesis, violations);
+  // No efficiency check: all-to-all heartbeats forever by design.
+  check_unique_leader(
+      sim,
+      [&](ProcessId p) {
+        return sim.actor_as<const All2AllOmega>(p).leader();
+      },
+      violations);
+  return violations;
+}
+
+std::vector<std::string> run_cr_omega(const CampaignConfig& config,
+                                      std::uint64_t seed) {
+  SimConfig sc;
+  sc.n = config.n;
+  sc.seed = seed;
+  CrOmegaConfig oc;
+  DelayRange delay{500 * kMicrosecond, 2 * kMillisecond};
+  if (config.sabotage) {
+    // Links slower than the (non-adaptive) timeout: perpetual premature
+    // suspicion. Timeouts stay eta-scale, so virtual time still advances.
+    delay = {15 * kMillisecond, 25 * kMillisecond};
+    oc.timeout_step = 0;
+  }
+  LinkFactory base = make_all_timely(delay);
+  Simulator sim(sc, base);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    sim.set_actor_factory(
+        p, [oc]() { return std::make_unique<CrOmegaStable>(oc); });
+  }
+  NemesisConfig nc = nemesis_for(config, seed);
+  nc.crash_restart = true;  // the crash-recovery model's signature fault
+  nc.crash_stop_budget = config.crash_stop_budget;
+  Nemesis nemesis(sim, base, nc);
+  sim.start();
+  sim.run_until(config.horizon);
+
+  std::vector<std::string> violations;
+  check_kill_accounting(sim, nemesis, violations);
+  // Recovery replaces actor instances — fetch through the simulator, never
+  // through pointers captured before the run.
+  auto leader = check_unique_leader(
+      sim,
+      [&](ProcessId p) {
+        return sim.actor_as<const CrOmegaStable>(p).leader();
+      },
+      violations);
+  if (leader) check_efficiency(sim, config, *leader, violations);
+  return violations;
+}
+
+std::vector<std::string> run_consensus(const CampaignConfig& config,
+                                       std::uint64_t seed) {
+  SimConfig sc;
+  sc.n = config.n;
+  sc.seed = seed;
+  LinkFactory base = system_s_links(config);
+  Simulator sim(sc, base);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    sim.emplace_actor<CeNode>(p, ce_config(config), LogConsensusConfig{});
+  }
+  NemesisConfig nc = nemesis_for(config, seed);
+  nc.crash_stop_budget = config.crash_stop_budget;
+  nc.protected_processes = {source_of(config)};
+  Nemesis nemesis(sim, base, nc);
+
+  // Values proposed mid-chaos, round-robin across processes. A proposal is
+  // only *owed* a decision if its submitter was alive at submission and was
+  // never crash-stopped (a killed submitter's value may be lost with it).
+  constexpr std::uint64_t kValues = 15;
+  std::vector<ProcessId> submitter(kValues);
+  std::vector<bool> submitted_alive(kValues, false);
+  for (std::uint64_t k = 0; k < kValues; ++k) {
+    submitter[k] = static_cast<ProcessId>(k % config.n);
+    sim.schedule(1 * kSecond + k * 500 * kMillisecond, [&sim, &submitted_alive,
+                                                        k]() {
+      ProcessId p = static_cast<ProcessId>(
+          k % static_cast<std::uint64_t>(sim.n()));
+      if (!sim.alive(p)) return;
+      submitted_alive[k] = true;
+      sim.actor_as<CeNode>(p).consensus().propose(make_value(k + 1));
+    });
+  }
+  sim.start();
+  sim.run_until(config.horizon);
+
+  std::vector<std::string> violations;
+  check_kill_accounting(sim, nemesis, violations);
+
+  const auto& killed = nemesis.killed();
+  auto was_killed = [&](ProcessId p) {
+    return std::find(killed.begin(), killed.end(), p) != killed.end();
+  };
+
+  // Agreement: across alive nodes, any two decisions for the same instance
+  // are identical (checked pairwise against the first decided value).
+  Instance max_len = 0;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    if (!sim.alive(p)) continue;
+    max_len = std::max(max_len,
+                       sim.actor_as<CeNode>(p).consensus().first_unknown());
+  }
+  std::set<std::uint64_t> decided_ids;
+  for (Instance i = 0; i < max_len; ++i) {
+    std::optional<Bytes> expected;
+    for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+      if (!sim.alive(p)) continue;
+      auto v = sim.actor_as<CeNode>(p).consensus().decision(i);
+      if (!v) continue;
+      if (!expected) {
+        expected = v;
+        if (!v->empty()) decided_ids.insert(value_id(*v));
+      } else if (*v != *expected) {
+        std::ostringstream what;
+        what << "decision disagreement at instance " << i;
+        violations.push_back(what.str());
+      }
+    }
+  }
+
+  // Liveness + completeness: every owed value decided, on every alive node.
+  Instance min_len = max_len;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    if (!sim.alive(p)) continue;
+    min_len = std::min(min_len,
+                       sim.actor_as<CeNode>(p).consensus().first_unknown());
+  }
+  for (std::uint64_t k = 0; k < kValues; ++k) {
+    if (!submitted_alive[k] || was_killed(submitter[k])) continue;
+    if (!decided_ids.count(k + 1)) {
+      std::ostringstream what;
+      what << "value " << (k + 1) << " (submitted by alive p"
+           << int(submitter[k]) << ") never decided";
+      violations.push_back(what.str());
+    }
+  }
+  if (min_len < max_len) {
+    std::ostringstream what;
+    what << "alive nodes have not converged: log lengths " << min_len
+         << " vs " << max_len << " at horizon";
+    violations.push_back(what.str());
+  }
+  return violations;
+}
+
+std::vector<std::string> run_kv(const CampaignConfig& config,
+                                std::uint64_t seed) {
+  SimConfig sc;
+  sc.n = config.n;
+  sc.seed = seed;
+  LinkFactory base = system_s_links(config);
+  Simulator sim(sc, base);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{});
+  }
+  NemesisConfig nc = nemesis_for(config, seed);
+  nc.crash_stop_budget = config.crash_stop_budget;
+  nc.protected_processes = {source_of(config)};
+  Nemesis nemesis(sim, base, nc);
+
+  // A small client history (the checker is exponential in pending overlap):
+  // writes, reads and CAS on two keys, issued from varying replicas during
+  // the disturbance window. Ops from killed clients stay pending
+  // (responded == kTimeNever), which the checker treats as "may take effect
+  // at any later point or never" — exactly crash semantics.
+  struct Spec {
+    KvOp op;
+    const char* key;
+    const char* value;
+    const char* expected;
+  };
+  static constexpr Spec kOps[] = {
+      {KvOp::kPut, "x", "1", ""},  {KvOp::kPut, "y", "a", ""},
+      {KvOp::kGet, "x", "", ""},   {KvOp::kCas, "x", "2", "1"},
+      {KvOp::kAppend, "y", "b", ""}, {KvOp::kGet, "y", "", ""},
+      {KvOp::kCas, "x", "3", "1"}, {KvOp::kPut, "y", "c", ""},
+      {KvOp::kGet, "x", "", ""},   {KvOp::kDel, "y", "", ""},
+      {KvOp::kGet, "y", "", ""},   {KvOp::kAppend, "x", "z", ""},
+  };
+  constexpr std::size_t kOpCount = sizeof(kOps) / sizeof(kOps[0]);
+  auto history = std::make_shared<std::vector<HistoryOp>>();
+  history->reserve(kOpCount);
+  for (std::size_t k = 0; k < kOpCount; ++k) {
+    sim.schedule(
+        1 * kSecond + static_cast<Duration>(k) * 700 * kMillisecond,
+        [&sim, history, k, n = config.n]() {
+          const Spec& spec = kOps[k];
+          auto p = static_cast<ProcessId>((k * 2 + 1) % n);
+          if (!sim.alive(p)) return;
+          HistoryOp op;
+          op.cmd.origin = p;
+          op.cmd.op = spec.op;
+          op.cmd.key = spec.key;
+          op.cmd.value = spec.value;
+          op.cmd.expected = spec.expected;
+          op.invoked = sim.now();
+          std::size_t slot = history->size();
+          history->push_back(op);
+          sim.actor_as<KvReplica>(p).submit(
+              spec.op, spec.key, spec.value, spec.expected,
+              [history, slot, &sim](const KvResult& result) {
+                (*history)[slot].responded = sim.now();
+                (*history)[slot].result = result;
+              });
+        });
+  }
+  sim.start();
+  sim.run_until(config.horizon);
+
+  std::vector<std::string> violations;
+  check_kill_accounting(sim, nemesis, violations);
+
+  // Convergence: alive replicas hold byte-identical stores at the horizon.
+  std::optional<std::uint64_t> digest;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+    if (!sim.alive(p)) continue;
+    std::uint64_t d = sim.actor_as<KvReplica>(p).store().digest();
+    if (!digest) {
+      digest = d;
+    } else if (*digest != d) {
+      violations.emplace_back("alive replicas diverged: store digests differ");
+      break;
+    }
+  }
+
+  switch (LinearizabilityChecker::check(*history)) {
+    case LinearizabilityChecker::Verdict::kLinearizable:
+      break;
+    case LinearizabilityChecker::Verdict::kNotLinearizable:
+      violations.emplace_back("client history is not linearizable");
+      break;
+    case LinearizabilityChecker::Verdict::kBudgetExceeded:
+      violations.emplace_back("linearizability check exceeded search budget");
+      break;
+  }
+  return violations;
+}
+
+}  // namespace
+
+std::vector<std::string> run_campaign_case(const CampaignConfig& config,
+                                           std::uint64_t seed) {
+  switch (config.scenario) {
+    case Scenario::kCeOmega: return run_ce_omega(config, seed);
+    case Scenario::kAll2AllOmega: return run_all2all(config, seed);
+    case Scenario::kCrOmegaStable: return run_cr_omega(config, seed);
+    case Scenario::kConsensus: return run_consensus(config, seed);
+    case Scenario::kKvLinearizable: return run_kv(config, seed);
+  }
+  return {"unknown scenario"};
+}
+
+std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
+  std::ostringstream out;
+  out << "lls_campaign --scenario=" << scenario_name(config.scenario)
+      << " --n=" << config.n << " --seeds=1 --first-seed=" << seed
+      << " --horizon-ms=" << config.horizon / kMillisecond
+      << " --quiesce-ms=" << config.quiesce / kMillisecond
+      << " --kills=" << config.crash_stop_budget;
+  if (config.sabotage) out << " --sabotage";
+  out << " --verbose";
+  return out.str();
+}
+
+CampaignResult run_campaign(const CampaignConfig& config, std::FILE* log) {
+  CampaignResult result;
+  for (int i = 0; i < config.seeds; ++i) {
+    std::uint64_t seed = config.first_seed + static_cast<std::uint64_t>(i);
+    std::vector<std::string> violations = run_campaign_case(config, seed);
+    ++result.runs;
+    for (const std::string& what : violations) {
+      Violation v;
+      v.seed = seed;
+      v.what = what;
+      v.replay = replay_command(config, seed);
+      if (log != nullptr) {
+        std::fprintf(log,
+                     "[%s] VIOLATION seed=%" PRIu64 ": %s\n  replay: %s\n",
+                     scenario_name(config.scenario), seed, what.c_str(),
+                     v.replay.c_str());
+      }
+      result.violations.push_back(std::move(v));
+    }
+    if (log != nullptr && config.verbose && violations.empty()) {
+      std::fprintf(log, "[%s] seed=%" PRIu64 " ok\n",
+                   scenario_name(config.scenario), seed);
+    }
+  }
+  if (log != nullptr) {
+    std::fprintf(log, "[%s] %d runs, %zu violations\n",
+                 scenario_name(config.scenario), result.runs,
+                 result.violations.size());
+  }
+  return result;
+}
+
+}  // namespace lls

@@ -1,0 +1,99 @@
+// Randomized invariant campaigns: many seeds, full fault schedule, hard
+// safety/efficiency checks, deterministic replay.
+//
+// A campaign run builds one of the repo's protocol stacks, unleashes
+// Nemesis v2 on it (partitions, delay/duplication/reordering/corruption
+// storms, stalls, and opt-in crashes), lets the network heal by the quiesce
+// point and then checks the paper's claims at the horizon:
+//
+//   * unique leader  — every alive process trusts the same alive process
+//     (killed processes are excluded from the quantifier via
+//     Nemesis::killed(): they are not correct in that execution);
+//   * efficiency     — in the trailing window only the leader sends, i.e.
+//     at most n-1 links carry traffic (checked for the
+//     communication-efficient variants only; the all-to-all baseline is
+//     deliberately inefficient);
+//   * agreement      — consensus logs are identical across alive nodes and
+//     every value proposed by a never-killed process is decided everywhere;
+//   * linearizability — client histories over the replicated KV store pass
+//     the Wing & Gong checker.
+//
+// Every violation carries its seed and a CLI command that replays exactly
+// that execution: runs are pure functions of (scenario, n, seed, config).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lls {
+
+enum class Scenario {
+  kCeOmega,         ///< paper's CE-Omega over system S
+  kAll2AllOmega,    ///< all-to-all baseline over all-eventually-timely links
+  kCrOmegaStable,   ///< crash-recovery Omega (stable storage), restarts on
+  kConsensus,       ///< CE-Omega + log consensus, values proposed mid-chaos
+  kKvLinearizable,  ///< full RSM stack, client history linearizability
+};
+
+/// All scenarios, in a stable order (useful for "run everything" sweeps).
+inline constexpr Scenario kAllScenarios[] = {
+    Scenario::kCeOmega, Scenario::kAll2AllOmega, Scenario::kCrOmegaStable,
+    Scenario::kConsensus, Scenario::kKvLinearizable};
+
+[[nodiscard]] const char* scenario_name(Scenario scenario);
+/// Parses a scenario_name() string; returns false on unknown names.
+bool parse_scenario(const std::string& name, Scenario* out);
+
+struct CampaignConfig {
+  Scenario scenario = Scenario::kCeOmega;
+  int n = 5;
+  std::uint64_t first_seed = 1;
+  int seeds = 50;
+  /// Virtual end of each run; checks evaluate here.
+  TimePoint horizon = 60 * kSecond;
+  /// All disturbances heal by here (Nemesis quiesce).
+  TimePoint quiesce = 15 * kSecond;
+  /// Trailing window over which communication efficiency is measured.
+  Duration check_window = 5 * kSecond;
+  /// Crash-stop kills per run (0 disables; scenarios may cap further, and
+  /// Nemesis always preserves a strict majority and protected processes).
+  int crash_stop_budget = 1;
+  /// Deliberately cripples the timeout machinery (timeout below the
+  /// heartbeat period, adaptation off) so leadership flaps forever. A
+  /// sabotaged campaign MUST report violations — this is how the harness
+  /// itself is tested end to end.
+  bool sabotage = false;
+  bool verbose = false;
+};
+
+struct Violation {
+  std::uint64_t seed = 0;
+  std::string what;
+  std::string replay;  ///< CLI command reproducing this exact execution
+};
+
+struct CampaignResult {
+  int runs = 0;
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Runs one scenario once; returns human-readable violations (empty = pass).
+/// Deterministic: same (config, seed) yields the same outcome.
+std::vector<std::string> run_campaign_case(const CampaignConfig& config,
+                                           std::uint64_t seed);
+
+/// Sweeps seeds [first_seed, first_seed + seeds). When `log` is non-null,
+/// prints progress and, for each violation, the offending seed plus the
+/// deterministic replay command.
+CampaignResult run_campaign(const CampaignConfig& config,
+                            std::FILE* log = nullptr);
+
+/// The lls_campaign invocation that replays one seed of this configuration.
+[[nodiscard]] std::string replay_command(const CampaignConfig& config,
+                                         std::uint64_t seed);
+
+}  // namespace lls

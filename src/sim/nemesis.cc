@@ -1,28 +1,28 @@
 #include "sim/nemesis.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <stdexcept>
 
 namespace lls {
 
 Nemesis::Nemesis(Simulator& sim, LinkFactory base, NemesisConfig config)
-    : sim_(sim), base_(std::move(base)), config_(config), rng_(config.seed) {
-  plan();
-}
-
-void Nemesis::plan() {
-  TimePoint t = config_.start;
-  while (t < config_.quiesce) {
-    Duration gap = rng_.next_range(config_.mean_gap / 2, config_.mean_gap * 2);
-    t += gap;
-    if (t >= config_.quiesce) break;
-    auto kind = static_cast<Kind>(rng_.next_below(3));
-    Duration duration = config_.duration.sample(rng_);
-    // Clamp healing into the pre-quiesce window: by quiesce everything is
-    // restored, preserving the "eventually" premises.
-    if (t + duration > config_.quiesce) duration = config_.quiesce - t;
-    disturb_at(t, kind, duration);
-    ++events_planned_;
+    : sim_(sim),
+      base_(std::move(base)),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  if (config_.crash_restart) {
+    for (int p = 0; p < sim_.n(); ++p) {
+      if (!sim_.has_actor_factory(static_cast<ProcessId>(p))) {
+        throw std::logic_error(
+            "NemesisConfig::crash_restart requires an actor factory on every "
+            "process (Simulator::set_actor_factory)");
+      }
+    }
   }
+  build_plan();
+  for (const Planned& event : plan_) install(event);
   // Belt and braces: restore every link at quiesce regardless of history.
   sim_.schedule(config_.quiesce, [this]() {
     int n = sim_.n();
@@ -34,25 +34,120 @@ void Nemesis::plan() {
   });
 }
 
-void Nemesis::disturb_at(TimePoint t, Kind kind, Duration duration) {
-  int n = sim_.n();
-  switch (kind) {
-    case Kind::kIsolate: {
-      auto victim = static_cast<ProcessId>(rng_.next_below(n));
-      sim_.schedule(t, [this, victim, n]() {
+bool Nemesis::is_protected(ProcessId p) const {
+  return std::find(config_.protected_processes.begin(),
+                   config_.protected_processes.end(),
+                   p) != config_.protected_processes.end();
+}
+
+void Nemesis::build_plan() {
+  const int n = sim_.n();
+  // Processes that were ever picked for a crash-recovery restart. Such a
+  // process may have a pending recovery event, so it must never be selected
+  // for a (permanent) crash-stop afterwards — the recovery would revive it.
+  std::vector<bool> restarted(static_cast<std::size_t>(n), false);
+  int kills_left = config_.crash_stop_budget;
+  // Never reduce the alive set below a strict majority: quorum-based layers
+  // (consensus, CrOmegaVolatile) are only obligated to make progress while a
+  // majority is up, so kills beyond that would void the liveness premises.
+  const int max_kills_for_majority = (n - 1) / 2;
+
+  TimePoint t = config_.start;
+  while (t < config_.quiesce) {
+    Duration gap = rng_.next_range(config_.mean_gap / 2, config_.mean_gap * 2);
+    t += gap;
+    if (t >= config_.quiesce) break;
+
+    // Rebuild the kind pool each round: the crash kinds drop out as budgets
+    // and eligibility shrink, everything else follows the config toggles.
+    std::vector<Kind> pool;
+    if (config_.isolate) pool.push_back(Kind::kIsolate);
+    if (config_.partition_pair) pool.push_back(Kind::kPartitionPair);
+    if (config_.delay_storm) pool.push_back(Kind::kDelayStorm);
+    if (config_.duplicate_storm) pool.push_back(Kind::kDuplicateStorm);
+    if (config_.reorder_window) pool.push_back(Kind::kReorderWindow);
+    if (config_.corrupt_storm) pool.push_back(Kind::kCorruptStorm);
+    if (config_.stalls) pool.push_back(Kind::kStall);
+
+    std::vector<ProcessId> crashable;  // eligible for either crash kind
+    for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+      if (is_protected(p)) continue;
+      if (std::find(killed_.begin(), killed_.end(), p) != killed_.end()) {
+        continue;
+      }
+      crashable.push_back(p);
+    }
+    if (config_.crash_restart && !crashable.empty()) {
+      pool.push_back(Kind::kCrashRestart);
+    }
+    std::vector<ProcessId> killable;
+    if (kills_left > 0 &&
+        static_cast<int>(killed_.size()) < max_kills_for_majority) {
+      for (ProcessId p : crashable) {
+        if (!restarted[p]) killable.push_back(p);
+      }
+    }
+    if (!killable.empty()) pool.push_back(Kind::kCrashStop);
+    if (pool.empty()) continue;
+
+    Planned event;
+    event.t = t;
+    event.kind = pool[rng_.next_below(pool.size())];
+    event.duration = config_.duration.sample(rng_);
+    switch (event.kind) {
+      case Kind::kPartitionPair: {
+        event.a = static_cast<ProcessId>(rng_.next_below(n));
+        event.b = static_cast<ProcessId>(rng_.next_below(n));
+        if (event.a == event.b) {
+          event.b = static_cast<ProcessId>((event.b + 1) % n);
+        }
+        break;
+      }
+      case Kind::kStall:
+        event.a = static_cast<ProcessId>(rng_.next_below(n));
+        event.duration = config_.stall_duration.sample(rng_);
+        break;
+      case Kind::kCrashRestart:
+        event.a = crashable[rng_.next_below(crashable.size())];
+        restarted[event.a] = true;
+        break;
+      case Kind::kCrashStop:
+        event.a = killable[rng_.next_below(killable.size())];
+        event.duration = 0;  // permanent
+        killed_.push_back(event.a);
+        --kills_left;
+        break;
+      default:  // single-victim link disturbances
+        event.a = static_cast<ProcessId>(rng_.next_below(n));
+        break;
+    }
+    // Clamp healing into the pre-quiesce window: by quiesce everything is
+    // restored, preserving the "eventually" premises.
+    if (event.duration > 0 && t + event.duration > config_.quiesce) {
+      event.duration = config_.quiesce - t;
+    }
+    plan_.push_back(event);
+  }
+}
+
+void Nemesis::install(const Planned& event) {
+  const int n = sim_.n();
+  const TimePoint t = event.t;
+  const Duration duration = event.duration;
+  const ProcessId a = event.a;
+  switch (event.kind) {
+    case Kind::kIsolate:
+      sim_.schedule(t, [this, a, n]() {
         for (ProcessId q = 0; q < static_cast<ProcessId>(n); ++q) {
-          if (q == victim) continue;
-          sim_.network().set_link(victim, q, std::make_unique<DeadLink>());
-          sim_.network().set_link(q, victim, std::make_unique<DeadLink>());
+          if (q == a) continue;
+          sim_.network().set_link(a, q, std::make_unique<DeadLink>());
+          sim_.network().set_link(q, a, std::make_unique<DeadLink>());
         }
       });
-      sim_.schedule(t + duration, [this, victim]() { heal_process(victim); });
+      sim_.schedule(t + duration, [this, a]() { heal_process(a); });
       return;
-    }
     case Kind::kPartitionPair: {
-      auto a = static_cast<ProcessId>(rng_.next_below(n));
-      auto b = static_cast<ProcessId>(rng_.next_below(n));
-      if (a == b) b = static_cast<ProcessId>((b + 1) % n);
+      const ProcessId b = event.b;
       sim_.schedule(t, [this, a, b]() {
         sim_.network().set_link(a, b, std::make_unique<DeadLink>());
         sim_.network().set_link(b, a, std::make_unique<DeadLink>());
@@ -60,22 +155,59 @@ void Nemesis::disturb_at(TimePoint t, Kind kind, Duration duration) {
       sim_.schedule(t + duration, [this, a, b]() { heal_pair(a, b); });
       return;
     }
-    case Kind::kDelayStorm: {
+    case Kind::kDelayStorm:
       // One process's outgoing links slow to 50-500ms for the duration.
-      auto victim = static_cast<ProcessId>(rng_.next_below(n));
-      sim_.schedule(t, [this, victim, n]() {
+      sim_.schedule(t, [this, a, n]() {
         for (ProcessId q = 0; q < static_cast<ProcessId>(n); ++q) {
-          if (q == victim) continue;
+          if (q == a) continue;
           sim_.network().set_link(
-              victim, q,
+              a, q,
               std::make_unique<TimelyLink>(
                   DelayRange{50 * kMillisecond, 500 * kMillisecond}));
         }
       });
-      sim_.schedule(t + duration, [this, victim]() { heal_process(victim); });
+      sim_.schedule(t + duration, [this, a]() { heal_process(a); });
       return;
-    }
+    case Kind::kDuplicateStorm:
+      storm(a, t, duration, config_.duplicate_profile);
+      return;
+    case Kind::kReorderWindow:
+      storm(a, t, duration, config_.reorder_profile);
+      return;
+    case Kind::kCorruptStorm:
+      storm(a, t, duration, config_.corrupt_profile);
+      return;
+    case Kind::kStall:
+      sim_.schedule(t, [this, a, duration]() { sim_.stall(a, duration); });
+      return;
+    case Kind::kCrashRestart:
+      sim_.crash_at(a, t);
+      sim_.recover_at(a, t + duration);
+      return;
+    case Kind::kCrashStop:
+      sim_.crash_at(a, t);
+      return;
   }
+}
+
+void Nemesis::storm(ProcessId victim, TimePoint t, Duration duration,
+                    const FaultyLinkParams& profile) {
+  const int n = sim_.n();
+  sim_.schedule(t, [this, victim, n, profile]() {
+    for (ProcessId q = 0; q < static_cast<ProcessId>(n); ++q) {
+      if (q == victim) continue;
+      // Layer the fault profile over a fresh base link in both directions:
+      // the victim both emits and receives duplicated/reordered/corrupted
+      // traffic, as a flaky NIC or switch port would produce.
+      sim_.network().set_link(
+          victim, q,
+          std::make_unique<FaultyLink>(base_(victim, q), profile));
+      sim_.network().set_link(
+          q, victim,
+          std::make_unique<FaultyLink>(base_(q, victim), profile));
+    }
+  });
+  sim_.schedule(t + duration, [this, victim]() { heal_process(victim); });
 }
 
 void Nemesis::heal_process(ProcessId p) {
@@ -90,6 +222,39 @@ void Nemesis::heal_process(ProcessId p) {
 void Nemesis::heal_pair(ProcessId a, ProcessId b) {
   sim_.network().set_link(a, b, base_(a, b));
   sim_.network().set_link(b, a, base_(b, a));
+}
+
+const char* Nemesis::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kIsolate: return "isolate";
+    case Kind::kPartitionPair: return "partition_pair";
+    case Kind::kDelayStorm: return "delay_storm";
+    case Kind::kDuplicateStorm: return "duplicate_storm";
+    case Kind::kReorderWindow: return "reorder_window";
+    case Kind::kCorruptStorm: return "corrupt_storm";
+    case Kind::kStall: return "stall";
+    case Kind::kCrashRestart: return "crash_restart";
+    case Kind::kCrashStop: return "crash_stop";
+  }
+  return "?";
+}
+
+std::string Nemesis::schedule_dump() const {
+  std::string out;
+  char line[128];
+  for (const Planned& event : plan_) {
+    if (event.b != kNoProcess) {
+      std::snprintf(line, sizeof(line), "t=%lld %s p%u p%u dur=%lld\n",
+                    static_cast<long long>(event.t), kind_name(event.kind),
+                    event.a, event.b, static_cast<long long>(event.duration));
+    } else {
+      std::snprintf(line, sizeof(line), "t=%lld %s p%u dur=%lld\n",
+                    static_cast<long long>(event.t), kind_name(event.kind),
+                    event.a, static_cast<long long>(event.duration));
+    }
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace lls

@@ -1,19 +1,27 @@
-// Nemesis: randomized fault-schedule generator (Jepsen-style).
+// Nemesis v2: composable randomized fault-schedule generator (Jepsen-style).
 //
-// Drives a simulated cluster through a random sequence of disturbances —
-// process isolations, pair partitions, delay storms — and heals everything
-// by a configured quiesce time. Because all disturbances stop, the paper's
-// "eventually ..." premises (eventual timeliness of the ♦-source, fair loss
-// elsewhere) hold for the suffix of the execution, so eventual properties
-// (leader stabilization, consensus liveness) must still hold by the
-// horizon: any violation found under nemesis is a real bug, not a premise
-// violation.
+// Drives a simulated cluster through a random sequence of disturbances and
+// heals everything by a configured quiesce time. Because all disturbances
+// stop, the paper's "eventually ..." premises (eventual timeliness of the
+// ♦-source, fair loss elsewhere) hold for the suffix of the execution, so
+// eventual properties (leader stabilization, consensus liveness) must still
+// hold by the horizon: any violation found under nemesis is a real bug, not
+// a premise violation.
 //
-// Crash-stop crashes are deliberately not scheduled here (they change the
-// correct set); compose them explicitly in the experiment if wanted.
+// Disturbance taxonomy:
+//   * link-level — process isolation, pair partition, delay storm (v1), and
+//     the transport-fault storms UDP actually exhibits: duplication,
+//     reordering windows, payload bit-flip corruption (v2, via FaultyLink);
+//   * process-level — GC-pause-style stalls (clock freeze, v2);
+//   * crash-level (opt-in) — crash-recovery restarts and crash-stop kills.
+//     Kills change the execution's correct set; Nemesis accounts for them
+//     explicitly (killed()) and enforces a budget, a protected set (e.g.
+//     the ♦-source) and a surviving majority, so Ω/consensus invariant
+//     checkers know exactly which processes may be elected and must decide.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -25,38 +33,116 @@ namespace lls {
 struct NemesisConfig {
   std::uint64_t seed = 1;
   /// Disturbances are injected in [start, quiesce); all links are restored
-  /// to the base factory at quiesce.
+  /// to the base factory at quiesce, every crash-recovery victim is back up
+  /// and no stall outlasts it. Crash-stop kills are the one exception: they
+  /// are permanent by definition and tracked via killed().
   TimePoint start = 1 * kSecond;
   TimePoint quiesce = 20 * kSecond;
   /// Mean gap between disturbance events.
   Duration mean_gap = 1 * kSecond;
   /// How long one disturbance lasts before it heals (uniform in range).
   DelayRange duration{500 * kMillisecond, 3 * kSecond};
+
+  // --- kind toggles -------------------------------------------------------
+  // Link-level faults and stalls are premise-preserving and on by default.
+  bool isolate = true;
+  bool partition_pair = true;
+  bool delay_storm = true;
+  bool duplicate_storm = true;
+  bool reorder_window = true;
+  bool corrupt_storm = true;
+  bool stalls = true;
+  DelayRange stall_duration{50 * kMillisecond, 800 * kMillisecond};
+
+  /// Fault profiles used by the v2 link storms.
+  FaultyLinkParams duplicate_profile{
+      /*duplicate_prob=*/0.5, /*duplicate_extra=*/{0, 10 * kMillisecond},
+      /*corrupt_prob=*/0.0, /*reorder_prob=*/0.0, /*reorder_jitter=*/{0, 0}};
+  FaultyLinkParams reorder_profile{
+      /*duplicate_prob=*/0.0, /*duplicate_extra=*/{0, 0},
+      /*corrupt_prob=*/0.0, /*reorder_prob=*/0.6,
+      /*reorder_jitter=*/{5 * kMillisecond, 60 * kMillisecond}};
+  FaultyLinkParams corrupt_profile{
+      /*duplicate_prob=*/0.0, /*duplicate_extra=*/{0, 0},
+      /*corrupt_prob=*/0.4, /*reorder_prob=*/0.0, /*reorder_jitter=*/{0, 0}};
+
+  // --- crash-level faults (opt-in) ---------------------------------------
+  /// Crash-recovery restarts (crash, then recover before quiesce). Requires
+  /// an actor factory on every process (Simulator::set_actor_factory).
+  bool crash_restart = false;
+  /// Maximum crash-stop kills. Nemesis additionally never kills a protected
+  /// process and always leaves a strict majority of processes alive.
+  int crash_stop_budget = 0;
+  /// Processes that must never be crash-stopped (e.g. the only ♦-source,
+  /// whose timeliness the liveness premises depend on).
+  std::vector<ProcessId> protected_processes;
 };
 
 class Nemesis {
  public:
-  /// Installs the schedule on `sim`. `base` must be the factory the
-  /// network was built with; healing re-instantiates links from it.
-  /// The object must outlive the simulation run.
+  enum class Kind {
+    kIsolate,
+    kPartitionPair,
+    kDelayStorm,
+    kDuplicateStorm,
+    kReorderWindow,
+    kCorruptStorm,
+    kStall,
+    kCrashRestart,
+    kCrashStop,
+  };
+
+  /// One planned disturbance; exposed so tests can assert that the schedule
+  /// is a pure function of (config, n).
+  struct Planned {
+    TimePoint t = 0;
+    Kind kind = Kind::kIsolate;
+    Duration duration = 0;  ///< 0 for permanent (crash-stop)
+    ProcessId a = kNoProcess;
+    ProcessId b = kNoProcess;  ///< second endpoint for pair partitions
+  };
+
+  /// Plans and installs the schedule on `sim`. `base` must be the factory
+  /// the network was built with; healing re-instantiates links from it.
+  /// The object must outlive the simulation run. Throws std::logic_error
+  /// when crash_restart is requested but a process lacks an actor factory.
   Nemesis(Simulator& sim, LinkFactory base, NemesisConfig config);
 
   /// Number of disturbance events injected (known after construction).
-  [[nodiscard]] int events_planned() const { return events_planned_; }
+  [[nodiscard]] int events_planned() const {
+    return static_cast<int>(plan_.size());
+  }
+
+  [[nodiscard]] const std::vector<Planned>& plan() const { return plan_; }
+
+  /// Crash-stop victims, in kill order. These processes are not correct in
+  /// this execution: invariant checkers must exclude them from the
+  /// unique-leader quantifier and from liveness obligations.
+  [[nodiscard]] const std::vector<ProcessId>& killed() const {
+    return killed_;
+  }
+
+  /// Human-readable schedule, one line per event — for determinism tests
+  /// and for replay logs.
+  [[nodiscard]] std::string schedule_dump() const;
+
+  [[nodiscard]] static const char* kind_name(Kind kind);
 
  private:
-  enum class Kind { kIsolate, kPartitionPair, kDelayStorm };
-
-  void plan();
-  void disturb_at(TimePoint t, Kind kind, Duration duration);
+  void build_plan();
+  void install(const Planned& event);
+  void storm(ProcessId victim, TimePoint t, Duration duration,
+             const FaultyLinkParams& profile);
   void heal_process(ProcessId p);
   void heal_pair(ProcessId a, ProcessId b);
+  [[nodiscard]] bool is_protected(ProcessId p) const;
 
   Simulator& sim_;
   LinkFactory base_;
   NemesisConfig config_;
   Rng rng_;
-  int events_planned_ = 0;
+  std::vector<Planned> plan_;
+  std::vector<ProcessId> killed_;
 };
 
 }  // namespace lls

@@ -16,6 +16,7 @@ Simulator::Simulator(SimConfig config, const LinkFactory& links)
       storage_(static_cast<std::size_t>(config.n)),
       alive_(static_cast<std::size_t>(config.n), true),
       started_(static_cast<std::size_t>(config.n), false),
+      stalled_until_(static_cast<std::size_t>(config.n), 0),
       epoch_(static_cast<std::size_t>(config.n), 0) {
   runtimes_.reserve(static_cast<std::size_t>(config.n));
   for (int p = 0; p < config.n; ++p) {
@@ -84,6 +85,24 @@ void Simulator::dispatch(Event& e) {
     case EventKind::kDeliver: {
       ProcessId dst = e.msg.dst;
       if (!alive_[dst] || !started_[dst]) return;
+      if (now_ < stalled_until_[dst]) {
+        // The destination is frozen (GC pause): hold the delivery until the
+        // stall ends. Re-pushing in dispatch order preserves relative order.
+        Event deferred = std::move(e);
+        deferred.time = stalled_until_[dst];
+        push(std::move(deferred));
+        return;
+      }
+      if (payload_checksum(e.msg.payload) != e.msg.checksum) {
+        // The copy was corrupted in flight; the transport's checksum guard
+        // discards it, so corruption degrades to accounted loss.
+        network_.stats().on_corrupt_drop();
+        trace_event({TraceEvent::Kind::kCorruptDrop, now_, e.msg.src, dst,
+                     e.msg.type,
+                     static_cast<std::uint32_t>(e.msg.payload.size()),
+                     kInvalidTimer});
+        return;
+      }
       network_.note_delivered(dst);
       trace_event({TraceEvent::Kind::kDeliver, now_, e.msg.src, dst,
                    e.msg.type, static_cast<std::uint32_t>(e.msg.payload.size()),
@@ -100,6 +119,13 @@ void Simulator::dispatch(Event& e) {
       }
       // A timer armed by a previous incarnation dies with that incarnation.
       if (!alive_[e.pid] || e.epoch != epoch_[e.pid]) return;
+      if (now_ < stalled_until_[e.pid]) {
+        // Frozen process: its timer fires late, when the stall ends.
+        Event deferred = std::move(e);
+        deferred.time = stalled_until_[e.pid];
+        push(std::move(deferred));
+        return;
+      }
       trace_event({TraceEvent::Kind::kTimerFire, now_, e.pid, kNoProcess, 0, 0,
                    e.timer});
       actors_[e.pid]->on_timer(*runtimes_[e.pid], e.timer);
@@ -120,6 +146,8 @@ void Simulator::dispatch(Event& e) {
       if (!alive_[e.pid]) {
         alive_[e.pid] = true;
         ++epoch_[e.pid];
+        trace_event({TraceEvent::Kind::kRecover, now_, e.pid, kNoProcess, 0, 0,
+                     kInvalidTimer});
         // Volatile state is lost: rebuild the actor from its factory; only
         // storage_ (stable storage) survives the crash.
         actors_[e.pid] = factories_[e.pid]();
@@ -140,6 +168,13 @@ void Simulator::crash_at(ProcessId p, TimePoint t) {
 }
 
 void Simulator::crash_now(ProcessId p) { alive_[p] = false; }
+
+void Simulator::stall(ProcessId p, Duration d) {
+  TimePoint until = now_ + (d < 0 ? 0 : d);
+  if (until > stalled_until_[p]) stalled_until_[p] = until;
+  trace_event(
+      {TraceEvent::Kind::kStall, now_, p, kNoProcess, 0, 0, kInvalidTimer});
+}
 
 int Simulator::alive_count() const {
   int count = 0;
@@ -172,6 +207,37 @@ void Simulator::schedule_every(TimePoint first, Duration period,
                                std::move(fn))});
 }
 
+namespace {
+
+/// Applies deterministic in-flight damage to one corrupted copy: a few
+/// random payload bit flips, or — when there is no payload to flip — a bit
+/// flip in the envelope checksum itself. Either way the checksum guard at
+/// delivery sees a mismatch.
+void corrupt_copy(Message& msg, std::uint64_t seed) {
+  Rng rng(seed);
+  if (msg.payload.empty()) {
+    msg.checksum ^= 1ULL << rng.next_below(64);
+    return;
+  }
+  // Flip distinct bits: a repeated bit would flip back, and a "corrupted"
+  // copy that is byte-identical to the original must not exist.
+  auto flips = 1 + rng.next_below(3);
+  std::uint64_t chosen[3] = {};
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    std::uint64_t bit;
+    bool fresh;
+    do {
+      bit = rng.next_below(msg.payload.size() * 8);
+      fresh = true;
+      for (std::uint64_t j = 0; j < i; ++j) fresh = fresh && chosen[j] != bit;
+    } while (!fresh);
+    chosen[i] = bit;
+    msg.payload[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+}
+
+}  // namespace
+
 void Simulator::do_send(ProcessId src, ProcessId dst, MessageType type,
                         BytesView payload) {
   if (!alive_[src]) return;  // a crashed process cannot send
@@ -181,16 +247,26 @@ void Simulator::do_send(ProcessId src, ProcessId dst, MessageType type,
   msg.type = type;
   msg.payload.assign(payload.begin(), payload.end());
   msg.seq = next_msg_seq_++;
-  auto deliver_at = network_.route(msg, now_);
-  trace_event({deliver_at ? TraceEvent::Kind::kSend : TraceEvent::Kind::kDrop,
+  msg.checksum = payload_checksum(msg.payload);
+  Network::Routing routing = network_.route_copies(msg, now_);
+  trace_event({routing.count > 0 ? TraceEvent::Kind::kSend
+                                 : TraceEvent::Kind::kDrop,
                now_, src, dst, type,
                static_cast<std::uint32_t>(msg.payload.size()), kInvalidTimer});
-  if (!deliver_at) return;
-  Event e;
-  e.time = *deliver_at;
-  e.kind = EventKind::kDeliver;
-  e.msg = std::move(msg);
-  push(std::move(e));
+  for (std::uint8_t i = 0; i < routing.count; ++i) {
+    const Network::RoutedCopy& copy = routing.copies[i];
+    Event e;
+    e.time = copy.deliver_at;
+    e.kind = EventKind::kDeliver;
+    // The last copy can steal the message; earlier ones (duplicates) copy it.
+    if (i + 1 == routing.count) {
+      e.msg = std::move(msg);
+    } else {
+      e.msg = msg;
+    }
+    if (copy.corrupted) corrupt_copy(e.msg, copy.corrupt_seed);
+    push(std::move(e));
+  }
 }
 
 TimerId Simulator::do_set_timer(ProcessId p, Duration delay) {

@@ -84,6 +84,20 @@ class Simulator {
   [[nodiscard]] bool alive(ProcessId p) const { return alive_[p]; }
   [[nodiscard]] int alive_count() const;
 
+  /// True once set_actor_factory(p) was called (crash-recovery capable).
+  [[nodiscard]] bool has_actor_factory(ProcessId p) const {
+    return static_cast<bool>(factories_[p]);
+  }
+
+  /// GC-pause-style freeze: deliveries to p and p's timer fires occurring
+  /// before now + d are deferred (in order) to now + d. The process cannot
+  /// react — and therefore cannot send — while stalled; its clock appears
+  /// to jump. Overlapping stalls extend to the latest deadline.
+  void stall(ProcessId p, Duration d);
+  [[nodiscard]] bool stalled(ProcessId p) const {
+    return now_ < stalled_until_[p];
+  }
+
   /// Schedules an arbitrary callback at virtual time t (>= now).
   void schedule(TimePoint t, std::function<void()> fn);
 
@@ -153,6 +167,7 @@ class Simulator {
   std::vector<InMemoryStableStorage> storage_;
   std::vector<bool> alive_;
   std::vector<bool> started_;
+  std::vector<TimePoint> stalled_until_;
   /// Incarnation counter per process; timers armed in an older incarnation
   /// are discarded at fire time (volatile state did not survive).
   std::vector<std::uint32_t> epoch_;

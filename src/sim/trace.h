@@ -16,11 +16,14 @@ namespace lls {
 
 struct TraceEvent {
   enum class Kind : std::uint8_t {
-    kSend,      ///< a = src, b = dst, type/bytes meaningful
-    kDrop,      ///< like kSend, but the link dropped it
-    kDeliver,   ///< a = src, b = dst
-    kTimerFire, ///< a = process, timer meaningful
-    kCrash,     ///< a = process
+    kSend,        ///< a = src, b = dst, type/bytes meaningful
+    kDrop,        ///< like kSend, but the link dropped it
+    kDeliver,     ///< a = src, b = dst
+    kTimerFire,   ///< a = process, timer meaningful
+    kCrash,       ///< a = process
+    kRecover,     ///< a = process (crash-recovery restart)
+    kStall,       ///< a = process entered a stall (GC-pause-style freeze)
+    kCorruptDrop, ///< a = src, b = dst; checksum guard discarded the copy
   };
 
   Kind kind = Kind::kSend;
@@ -76,12 +79,16 @@ class RingTrace final : public TraceSink {
         case TraceEvent::Kind::kDeliver: kind = "RECV"; break;
         case TraceEvent::Kind::kTimerFire: kind = "TIMR"; break;
         case TraceEvent::Kind::kCrash: kind = "CRSH"; break;
+        case TraceEvent::Kind::kRecover: kind = "RCVR"; break;
+        case TraceEvent::Kind::kStall: kind = "STLL"; break;
+        case TraceEvent::Kind::kCorruptDrop: kind = "CSUM"; break;
       }
       std::fprintf(out, "%10lld %s p%u", static_cast<long long>(e.t), kind,
                    e.a);
       if (e.kind == TraceEvent::Kind::kSend ||
           e.kind == TraceEvent::Kind::kDrop ||
-          e.kind == TraceEvent::Kind::kDeliver) {
+          e.kind == TraceEvent::Kind::kDeliver ||
+          e.kind == TraceEvent::Kind::kCorruptDrop) {
         std::fprintf(out, " -> p%u type=0x%04x bytes=%u", e.b, e.type,
                      e.bytes);
       }

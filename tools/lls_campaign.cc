@@ -1,0 +1,129 @@
+// lls_campaign — randomized invariant campaign driver.
+//
+// Sweeps hundreds of seeds through the full fault-injection engine
+// (Nemesis v2) against each protocol stack and checks the paper's safety
+// and efficiency claims after the network heals. On any violation it
+// prints the offending seed and the exact command that replays that
+// execution deterministically.
+//
+//   lls_campaign --scenario=all --seeds=50            # 50 seeds x 5 stacks
+//   lls_campaign --scenario=ce --seeds=200
+//   lls_campaign --scenario=kv --seeds=25 --kills=0
+//   lls_campaign --scenario=ce --seeds=20 --sabotage  # MUST report failures
+//
+// Exit status: 0 when every run passed, 1 on violations — so CI can gate
+// on it directly.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.h"
+
+using namespace lls;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fputs(
+      "usage: lls_campaign [options]\n"
+      "\n"
+      "  --scenario=<ce|all2all|cr|consensus|kv|all>  stack to torture "
+      "(default all)\n"
+      "  --seeds=<int>         seeds per scenario (default 50)\n"
+      "  --first-seed=<u64>    first seed (default 1)\n"
+      "  --n=<int>             processes (default 5)\n"
+      "  --horizon-ms=<int>    virtual run length (default 60000)\n"
+      "  --quiesce-ms=<int>    all faults healed by here (default 15000)\n"
+      "  --kills=<int>         crash-stop kills per run (default 1)\n"
+      "  --sabotage            cripple timeouts; campaign must then FAIL\n"
+      "  --verbose             print per-seed progress\n",
+      stderr);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  std::uint64_t out = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    usage((std::string("bad value for ") + flag).c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig config;
+  bool all_scenarios = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sabotage") {
+      config.sabotage = true;
+      continue;
+    }
+    if (arg == "--verbose") {
+      config.verbose = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") usage();
+    auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      usage(("bad flag: " + arg).c_str());
+    }
+    std::string flag = arg.substr(0, eq);
+    std::string value = arg.substr(eq + 1);
+    if (flag == "--scenario") {
+      if (value == "all") {
+        all_scenarios = true;
+      } else if (parse_scenario(value, &config.scenario)) {
+        all_scenarios = false;
+      } else {
+        usage(("unknown scenario: " + value).c_str());
+      }
+    } else if (flag == "--seeds") {
+      config.seeds = static_cast<int>(parse_u64(value, "--seeds"));
+    } else if (flag == "--first-seed") {
+      config.first_seed = parse_u64(value, "--first-seed");
+    } else if (flag == "--n") {
+      config.n = static_cast<int>(parse_u64(value, "--n"));
+      if (config.n < 3) usage("--n must be >= 3");
+    } else if (flag == "--horizon-ms") {
+      config.horizon =
+          static_cast<Duration>(parse_u64(value, "--horizon-ms")) *
+          kMillisecond;
+    } else if (flag == "--quiesce-ms") {
+      config.quiesce =
+          static_cast<Duration>(parse_u64(value, "--quiesce-ms")) *
+          kMillisecond;
+    } else if (flag == "--kills") {
+      config.crash_stop_budget = static_cast<int>(parse_u64(value, "--kills"));
+    } else {
+      usage(("unknown flag: " + flag).c_str());
+    }
+  }
+  if (config.quiesce >= config.horizon) usage("--quiesce-ms must precede --horizon-ms");
+
+  std::vector<Scenario> scenarios;
+  if (all_scenarios) {
+    scenarios.assign(std::begin(kAllScenarios), std::end(kAllScenarios));
+  } else {
+    scenarios.push_back(config.scenario);
+  }
+
+  int runs = 0;
+  std::size_t violations = 0;
+  for (Scenario scenario : scenarios) {
+    CampaignConfig one = config;
+    one.scenario = scenario;
+    CampaignResult result = run_campaign(one, stderr);
+    runs += result.runs;
+    violations += result.violations.size();
+  }
+  std::fprintf(stderr, "campaign total: %d runs, %zu violations\n", runs,
+               violations);
+  return violations == 0 ? 0 : 1;
+}
