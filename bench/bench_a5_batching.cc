@@ -6,6 +6,8 @@
 // consensus-class messages per applied command, and completion time, across
 // batch sizes.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "net/topology.h"
@@ -77,6 +79,7 @@ int main() {
 
   Table table({"batch", "commands", "instances", "msgs/command",
                "completion(ms)", "converged"});
+  std::vector<std::pair<std::size_t, Outcome>> outcomes;
   for (std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16},
                             std::size_t{64}}) {
     Outcome o = run(batch, /*commands=*/128);
@@ -85,10 +88,34 @@ int main() {
                    format("%.2f", o.msgs_per_command),
                    format("%.0f", o.completion_ms),
                    o.converged ? "yes" : "NO"});
+    outcomes.emplace_back(batch, o);
   }
   table.print();
   std::printf(
       "\nExpectation: instances used drop ~1/batch; consensus messages per\n"
       "command drop accordingly while completion stays flat or improves.\n");
-  return 0;
+
+  // Regression guard: the batching dividend must actually materialize.
+  // Every run must converge and consensus messages per command must
+  // strictly decrease as the batch size grows from 1.
+  bool ok = true;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& [batch, o] = outcomes[i];
+    if (!o.converged) {
+      std::fprintf(stderr, "GUARD FAILED: batch=%zu did not converge\n",
+                   batch);
+      ok = false;
+    }
+    if (i > 0 && o.msgs_per_command >= outcomes[i - 1].second.msgs_per_command) {
+      std::fprintf(stderr,
+                   "GUARD FAILED: msgs/command did not strictly decrease: "
+                   "batch=%zu -> %.2f, batch=%zu -> %.2f\n",
+                   outcomes[i - 1].first,
+                   outcomes[i - 1].second.msgs_per_command, batch,
+                   o.msgs_per_command);
+      ok = false;
+    }
+  }
+  if (ok) std::printf("\nGUARD OK: msgs/command strictly decreasing.\n");
+  return ok ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 // coordinator protocol costs Θ(n²) messages per instance (all-to-all
 // estimate/ack plus echo-broadcast dissemination).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.h"
 #include "consensus/experiment.h"
@@ -15,7 +17,12 @@
 using namespace lls;
 using namespace lls::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
   banner("T3 — messages/instance and latency: CE consensus vs rotating "
          "coordinator",
          "Θ(n) vs Θ(n²) messages per decided instance; 2δ steady-state "
@@ -24,6 +31,13 @@ int main() {
   Table table({"n", "algorithm", "decided", "msgs/decision", "msgs/n",
                "lat_p50(ms)", "lat_p95(ms)"});
 
+  Json json;
+  json.begin_object();
+  json.key("tool").value("bench_t3_consensus");
+  json.key("claim")
+      .value("CE stack decides in Theta(n) messages per instance; rotating "
+             "coordinator costs Theta(n^2)");
+  json.key("runs").begin_array();
   for (int n : {3, 5, 7, 9, 13}) {
     for (auto algo : {ConsensusAlgo::kCeLog, ConsensusAlgo::kRotating}) {
       ConsensusExperiment exp;
@@ -44,9 +58,25 @@ int main() {
            format("%.2f", r.msgs_per_decision / n),
            format("%.1f", r.latency_first.percentile(50) / kMillisecond),
            format("%.1f", r.latency_all.percentile(95) / kMillisecond)});
+      json.begin_object();
+      json.key("n").value(n);
+      json.key("algorithm")
+          .value(algo == ConsensusAlgo::kCeLog ? "ce_leader" : "rotating");
+      json.key("proposed").value(r.values_proposed);
+      json.key("decided_everywhere").value(r.values_decided_everywhere);
+      json.key("msgs_per_decision").value(r.msgs_per_decision);
+      json.key("msgs_per_decision_per_n").value(r.msgs_per_decision / n);
+      json.key("latency_first_p50_ms")
+          .value(r.latency_first.percentile(50) / kMillisecond);
+      json.key("latency_all_p95_ms")
+          .value(r.latency_all.percentile(95) / kMillisecond);
+      json.end_object();
     }
   }
+  json.end_array();
+  json.end_object();
   table.print();
+  if (!json_path.empty() && !write_json_file(json_path, json)) return 1;
   std::printf(
       "\nExpectation: CE msgs/n stays ~constant (Θ(n) total: accept+ack+\n"
       "decide+dack on n-1 links); rotating msgs/n grows linearly with n\n"

@@ -1,0 +1,186 @@
+#include "client/cluster_client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lls {
+
+void ClusterClient::on_start(Runtime& rt) {
+  if (config_.cluster_n <= 0) {
+    throw std::logic_error("ClusterClientConfig::cluster_n must be set");
+  }
+  self_ = rt.id();
+  rt_ = &rt;
+  // First probe spread across replicas so a client swarm does not hammer
+  // replica 0; redirects converge everyone onto the leader.
+  target_ = static_cast<ProcessId>(static_cast<int>(self_) % config_.cluster_n);
+}
+
+std::uint64_t ClusterClient::submit(KvOp op, std::string key, std::string value,
+                                    std::string expected, Callback cb) {
+  if (rt_ == nullptr) {
+    throw std::logic_error("ClusterClient::submit before on_start");
+  }
+  InFlight f;
+  f.cmd.origin = self_;
+  f.cmd.seq = session_.next_seq();
+  f.cmd.op = op;
+  f.cmd.key = std::move(key);
+  f.cmd.value = std::move(value);
+  f.cmd.expected = std::move(expected);
+  f.encoded = f.cmd.encode();
+  f.cb = std::move(cb);
+  f.invoked = rt_->now();
+  std::uint64_t seq = f.cmd.seq;
+  queue_.push_back(std::move(f));
+  pump(*rt_);
+  return seq;
+}
+
+void ClusterClient::pump(Runtime& rt) {
+  while (inflight_.size() < config_.window && !queue_.empty()) {
+    InFlight f = std::move(queue_.front());
+    queue_.pop_front();
+    auto [it, inserted] = inflight_.emplace(f.cmd.seq, std::move(f));
+    (void)inserted;
+    send_attempt(rt, it->second);
+  }
+}
+
+void ClusterClient::send_attempt(Runtime& rt, InFlight& f) {
+  ClientRequestMsg req;
+  req.seq = f.cmd.seq;
+  req.ack_upto = session_.ack_upto();
+  req.command = f.encoded;
+  rt.send(target_, msg_type::kClientRequest, req.encode());
+  ++f.attempts;
+  if (f.attempts > 1) ++retries_;
+  Duration jitter =
+      f.backoff > 0 ? rt.rng().next_range(0, f.backoff / 2) : 0;
+  f.next_attempt = rt.now() + config_.attempt_timeout + f.backoff + jitter;
+  arm_tick(rt);
+}
+
+void ClusterClient::resend_all(Runtime& rt) {
+  for (auto& [seq, f] : inflight_) send_attempt(rt, f);
+}
+
+void ClusterClient::rotate_target() {
+  target_ = static_cast<ProcessId>((static_cast<int>(target_) + 1) %
+                                   config_.cluster_n);
+  since_progress_ = 0;
+  ++rotations_;
+}
+
+void ClusterClient::bump_backoff(Runtime& rt, InFlight& f) {
+  f.backoff = f.backoff == 0
+                  ? config_.backoff_base
+                  : std::min(config_.backoff_max, f.backoff * 2);
+  Duration jitter = rt.rng().next_range(0, f.backoff / 2);
+  f.next_attempt = rt.now() + config_.attempt_timeout + f.backoff + jitter;
+}
+
+void ClusterClient::arm_tick(Runtime& rt) {
+  if (tick_timer_ == kInvalidTimer) {
+    tick_timer_ = rt.set_timer(config_.tick);
+  }
+}
+
+void ClusterClient::on_timer(Runtime& rt, TimerId timer) {
+  if (timer != tick_timer_) return;
+  tick_timer_ = kInvalidTimer;
+  const TimePoint now = rt.now();
+  // Collect due seqs first: completion mutates inflight_.
+  std::vector<std::uint64_t> due;
+  for (auto& [seq, f] : inflight_) {
+    if (f.next_attempt <= now) due.push_back(seq);
+  }
+  for (std::uint64_t seq : due) {
+    auto it = inflight_.find(seq);
+    if (it == inflight_.end()) continue;
+    InFlight& f = it->second;
+    if (config_.request_deadline > 0 &&
+        now - f.invoked >= config_.request_deadline) {
+      complete(rt, seq, nullptr);
+      continue;
+    }
+    ++since_progress_;
+    if (since_progress_ >= config_.rotate_after) rotate_target();
+    bump_backoff(rt, f);
+    send_attempt(rt, f);
+  }
+  if (!inflight_.empty()) arm_tick(rt);
+}
+
+void ClusterClient::on_message(Runtime& rt, ProcessId src, MessageType type,
+                               BytesView payload) {
+  if (src >= static_cast<ProcessId>(config_.cluster_n)) return;
+  switch (type) {
+    case msg_type::kClientReply:
+      handle_reply(rt, ClientReplyMsg::decode(payload));
+      return;
+    case msg_type::kClientRedirect:
+      handle_redirect(rt, ClientRedirectMsg::decode(payload));
+      return;
+    case msg_type::kClientBusy:
+      handle_busy(rt, ClientBusyMsg::decode(payload));
+      return;
+    default:
+      return;
+  }
+}
+
+void ClusterClient::handle_reply(Runtime& rt, const ClientReplyMsg& msg) {
+  since_progress_ = 0;
+  complete(rt, msg.seq, &msg);
+}
+
+void ClusterClient::handle_redirect(Runtime& rt, const ClientRedirectMsg& msg) {
+  since_progress_ = 0;
+  ++redirects_;
+  if (msg.hint == kNoProcess ||
+      msg.hint >= static_cast<ProcessId>(config_.cluster_n)) {
+    return;  // "no leader here yet" — the tick's backoff/rotation handles it
+  }
+  if (msg.hint == target_) return;  // stale redirect from the old target
+  target_ = msg.hint;
+  // Chase the new leader immediately; per-request backoff is preserved so a
+  // redirect loop between two confused replicas still decays.
+  resend_all(rt);
+}
+
+void ClusterClient::handle_busy(Runtime& rt, const ClientBusyMsg& msg) {
+  since_progress_ = 0;
+  ++busy_;
+  auto it = inflight_.find(msg.seq);
+  if (it == inflight_.end()) return;
+  // The leader is healthy but saturated: back off without rotating away.
+  bump_backoff(rt, it->second);
+}
+
+void ClusterClient::complete(Runtime& rt, std::uint64_t seq,
+                             const ClientReplyMsg* reply) {
+  auto it = inflight_.find(seq);
+  if (it == inflight_.end()) return;  // duplicate reply for a finished request
+  InFlight f = std::move(it->second);
+  inflight_.erase(it);
+  session_.complete(seq);
+  ClientCompletion done;
+  done.cmd = std::move(f.cmd);
+  done.invoked = f.invoked;
+  done.completed = rt.now();
+  done.attempts = f.attempts;
+  if (reply != nullptr) {
+    ++acked_;
+    done.result.ok = reply->ok;
+    done.result.found = reply->found;
+    done.result.value = reply->value;
+  } else {
+    ++timed_out_;
+    done.timed_out = true;
+  }
+  if (f.cb) f.cb(done);
+  pump(rt);
+}
+
+}  // namespace lls

@@ -1,0 +1,280 @@
+#include "client/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/cluster_client.h"
+#include "common/metrics.h"
+#include "net/topology.h"
+#include "rsm/replica.h"
+#include "sim/simulator.h"
+
+namespace lls {
+
+namespace {
+
+/// Zipf-ish rank sampler over [0, keys): inverse-CDF over 1/(r+1)^s weights.
+class KeyPicker {
+ public:
+  KeyPicker(int keys, double s) {
+    if (s <= 0) return;  // uniform: cdf_ stays empty
+    cdf_.reserve(static_cast<std::size_t>(keys));
+    double total = 0;
+    for (int r = 0; r < keys; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  int pick(Rng& rng, int keys) const {
+    if (cdf_.empty()) return static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(keys)));
+    double u = rng.next_double();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
+  const int total = config.cluster_n + config.clients;
+  SimConfig sim_config;
+  sim_config.n = total;
+  sim_config.seed = config.seed;
+  Simulator sim(sim_config, make_all_timely({500, 2 * kMillisecond}));
+
+  KvReplicaConfig rc;
+  rc.cluster_n = config.cluster_n;
+  rc.max_batch = config.max_batch;
+  rc.batch_flush_delay = config.batch_flush_delay;
+  rc.admit_high_water = config.admit_high_water;
+  std::vector<KvReplica*> replicas;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n); ++p) {
+    replicas.push_back(&sim.emplace_actor<KvReplica>(
+        p, CeOmegaConfig{}, LogConsensusConfig{}, rc));
+  }
+
+  ClusterClientConfig cc;
+  cc.cluster_n = config.cluster_n;
+  cc.window = config.open_loop
+                  ? 4096  // open loop: queueing is the experiment
+                  : static_cast<std::size_t>(config.closed_outstanding);
+  cc.attempt_timeout = config.attempt_timeout;
+  cc.request_deadline = config.request_deadline;
+  std::vector<ClusterClient*> clients;
+  for (int c = 0; c < config.clients; ++c) {
+    clients.push_back(&sim.emplace_actor<ClusterClient>(
+        static_cast<ProcessId>(config.cluster_n + c), cc));
+  }
+
+  const TimePoint load_end = config.start + config.duration;
+  const TimePoint measure_from = config.start + config.warmup;
+  const KeyPicker picker(config.keys, config.zipf);
+
+  Summary latency_ms;
+  std::uint64_t measured_acked = 0;
+  std::vector<std::string> acked_tokens;   // verify mode: acked appends
+  std::uint64_t write_counter = 0;
+
+  // One request per call; in closed-loop mode the completion callback
+  // re-invokes it, keeping each client's window full until load_end.
+  auto submit_one = std::make_shared<std::function<void(int)>>();
+  *submit_one = [&, submit_one](int ci) {
+    Rng& rng = sim.rng();
+    ClusterClient& client = *clients[static_cast<std::size_t>(ci)];
+    std::string key = "k" + std::to_string(picker.pick(rng, config.keys));
+    const bool write = rng.chance(config.write_ratio);
+    std::string token;
+    if (write && config.verify) {
+      token = std::to_string(config.cluster_n + ci) + "." +
+              std::to_string(++write_counter) + ";";
+    }
+    auto cb = [&, submit_one, ci, token](const ClientCompletion& done) {
+      if (!done.timed_out) {
+        if (done.invoked >= measure_from && done.invoked < load_end) {
+          ++measured_acked;
+          latency_ms.record(
+              static_cast<double>(done.completed - done.invoked) /
+              static_cast<double>(kMillisecond));
+        }
+        if (!token.empty()) acked_tokens.push_back(token);
+      }
+      if (!config.open_loop && sim.now() < load_end) (*submit_one)(ci);
+    };
+    if (write) {
+      client.submit(KvOp::kAppend, std::move(key),
+                    config.verify ? token : std::string(config.value_size, 'x'),
+                    "", std::move(cb));
+    } else {
+      client.submit(KvOp::kGet, std::move(key), "", "", std::move(cb));
+    }
+  };
+
+  // Arrival process.
+  if (config.open_loop) {
+    const auto gap = static_cast<Duration>(
+        static_cast<double>(kSecond) / config.open_rate);
+    for (int c = 0; c < config.clients; ++c) {
+      // Stagger client start within one gap so arrivals interleave.
+      TimePoint first = config.start + (gap * c) / config.clients;
+      sim.schedule_every(first, gap, [&, submit_one, c]() {
+        if (sim.now() >= load_end) return false;
+        (*submit_one)(c);
+        return true;
+      });
+    }
+  } else {
+    sim.schedule(config.start, [&, submit_one]() {
+      for (int c = 0; c < config.clients; ++c) {
+        for (int k = 0; k < config.closed_outstanding; ++k) (*submit_one)(c);
+      }
+    });
+  }
+
+  // Leader assassination: kill whoever the (alive) cluster trusts.
+  LoadgenResult result;
+  if (config.crash_leader_at > 0) {
+    sim.schedule(config.crash_leader_at, [&]() {
+      for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n);
+           ++p) {
+        if (!sim.alive(p)) continue;
+        ProcessId leader = replicas[p]->omega().leader();
+        if (leader != kNoProcess &&
+            leader < static_cast<ProcessId>(config.cluster_n) &&
+            sim.alive(leader)) {
+          result.crashed = leader;
+          sim.crash_now(leader);
+        }
+        break;
+      }
+    });
+  }
+
+  sim.start();
+  sim.run_until(load_end);
+  // Drain: run until every client is idle (or give up at the deadline).
+  const TimePoint drain_deadline = load_end + config.drain;
+  TimePoint drained_at = drain_deadline;
+  while (sim.now() < drain_deadline) {
+    bool idle = true;
+    for (auto* c : clients) idle = idle && c->inflight() == 0 && c->queued() == 0;
+    if (idle) {
+      drained_at = sim.now();
+      result.drained = true;
+      break;
+    }
+    sim.run_for(20 * kMillisecond);
+  }
+
+  // The closed-loop closure captures its own shared_ptr; break the cycle.
+  *submit_one = nullptr;
+
+  // Roll up client counters.
+  for (auto* c : clients) {
+    result.submitted += c->session().issued();
+    result.acked += c->acked();
+    result.timed_out += c->timed_out();
+    result.retries += c->retries();
+    result.redirects += c->redirects();
+    result.busy_replies += c->busy_replies();
+    result.target_rotations += c->target_rotations();
+  }
+  result.p50_ms = latency_ms.percentile(50);
+  result.p90_ms = latency_ms.percentile(90);
+  result.p99_ms = latency_ms.percentile(99);
+  result.mean_ms = latency_ms.mean();
+  result.max_ms = latency_ms.max();
+  const double window_s =
+      static_cast<double>(load_end - measure_from) / kSecond;
+  result.throughput =
+      window_s > 0 ? static_cast<double>(measured_acked) / window_s : 0;
+
+  const NetStats& stats = sim.network().stats();
+  result.omega_msgs =
+      stats.sent_by_class(NetStats::type_class(msg_type::kCeOmegaAlive));
+  result.consensus_msgs =
+      stats.sent_by_class(NetStats::type_class(msg_type::kConsensusBase));
+  result.client_msgs =
+      stats.sent_by_class(NetStats::type_class(msg_type::kRsmBase));
+  if (result.acked > 0) {
+    result.consensus_msgs_per_cmd = static_cast<double>(result.consensus_msgs) /
+                                    static_cast<double>(result.acked);
+    result.total_msgs_per_cmd =
+        static_cast<double>(result.consensus_msgs + result.client_msgs) /
+        static_cast<double>(result.acked);
+  }
+
+  for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n); ++p) {
+    if (!sim.alive(p)) continue;
+    result.duplicates_suppressed += replicas[p]->duplicates_suppressed();
+    result.dup_proposals_suppressed +=
+        replicas[p]->consensus().dup_proposals_suppressed();
+    result.cached_replies += replicas[p]->cached_replies_sent();
+    result.busy_sent += replicas[p]->busy_sent();
+  }
+
+  // Exactly-once audit.
+  if (config.verify) {
+    auto fail = [&](std::string what) {
+      result.verify_ok = false;
+      result.verify_errors.push_back(std::move(what));
+    };
+    std::uint64_t ref_digest = 0;
+    bool have_ref = false;
+    for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n); ++p) {
+      if (!sim.alive(p)) continue;
+      const KvStore& store = replicas[p]->store();
+      if (!have_ref) {
+        ref_digest = store.digest();
+        have_ref = true;
+      } else if (store.digest() != ref_digest) {
+        fail("replica " + std::to_string(p) +
+             " store digest diverges from first alive replica");
+      }
+      // Token census: every value is a concatenation of ';'-terminated
+      // tokens (verify-mode writes are appends of exactly one token).
+      std::unordered_map<std::string, int> census;
+      for (const auto& [key, value] : store.data()) {
+        std::size_t begin = 0;
+        while (begin < value.size()) {
+          std::size_t end = value.find(';', begin);
+          if (end == std::string::npos) {
+            fail("replica " + std::to_string(p) + " key " + key +
+                 " holds a malformed token tail");
+            break;
+          }
+          ++census[value.substr(begin, end - begin + 1)];
+          begin = end + 1;
+        }
+      }
+      for (const auto& [token, count] : census) {
+        if (count > 1) {
+          fail("replica " + std::to_string(p) + ": token " + token +
+               " applied " + std::to_string(count) + " times (duplicate)");
+        }
+      }
+      for (const std::string& token : acked_tokens) {
+        if (census.find(token) == census.end()) {
+          fail("replica " + std::to_string(p) + ": acked token " + token +
+               " missing (lost write)");
+        }
+      }
+    }
+    if (!have_ref) fail("no alive replica to audit");
+  }
+
+  (void)drained_at;
+  return result;
+}
+
+}  // namespace lls

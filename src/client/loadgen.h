@@ -1,0 +1,103 @@
+// Workload driver for the client subsystem: many ClusterClient sessions
+// against a simulated replica cluster, with open- or closed-loop arrival,
+// key skew, a read/write mix, latency percentiles and an optional
+// exactly-once audit under an injected leader crash.
+//
+// The driver is deterministic: a run is a pure function of LoadgenConfig
+// (including the seed), so every reported number — and every audit
+// violation — can be replayed bit-for-bit from the command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lls {
+
+struct LoadgenConfig {
+  int cluster_n = 5;  ///< replicas, at process ids [0, cluster_n)
+  int clients = 8;    ///< client sessions, at ids [cluster_n, cluster_n+clients)
+
+  /// Closed loop (default): each client keeps `closed_outstanding` requests
+  /// in flight, issuing the next on each completion — throughput is
+  /// whatever the cluster sustains. Open loop: each client submits at
+  /// `open_rate` requests/second regardless of completions, so admission
+  /// control (BUSY) and queueing become visible.
+  bool open_loop = false;
+  int closed_outstanding = 1;
+  double open_rate = 200.0;  ///< per-client, requests/second
+
+  int keys = 64;             ///< key space size ("k0".."k<keys-1>")
+  double zipf = 0.0;         ///< key skew exponent; 0 = uniform
+  double write_ratio = 0.5;  ///< fraction of requests that mutate
+  std::size_t value_size = 16;  ///< written value bytes (non-verify mode)
+
+  std::uint64_t seed = 1;
+
+  TimePoint start = 2 * kSecond;   ///< load begins (lets election settle)
+  Duration warmup = 1 * kSecond;   ///< excluded from latency/throughput
+  Duration duration = 10 * kSecond;  ///< load window length
+  Duration drain = 20 * kSecond;     ///< max extra time to drain in-flight
+
+  // Replica knobs under test.
+  std::size_t max_batch = 1;
+  Duration batch_flush_delay = 2 * kMillisecond;
+  std::size_t admit_high_water = 1024;
+
+  // Client knobs.
+  Duration attempt_timeout = 120 * kMillisecond;
+  Duration request_deadline = 0;  ///< 0 = retry forever
+
+  /// Crash whatever the cluster believes is the leader at this virtual
+  /// time (0 disables). The load must ride through the failover.
+  TimePoint crash_leader_at = 0;
+
+  /// Exactly-once audit: writes become appends of per-request unique
+  /// tokens; at the end every acked token must appear exactly once on
+  /// every alive replica, no token twice, and all stores must agree.
+  bool verify = false;
+};
+
+struct LoadgenResult {
+  // Volume.
+  std::uint64_t submitted = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t redirects = 0;
+  std::uint64_t busy_replies = 0;
+  std::uint64_t target_rotations = 0;
+
+  // Latency over completions invoked after warmup, milliseconds.
+  double p50_ms = 0, p90_ms = 0, p99_ms = 0, mean_ms = 0, max_ms = 0;
+  /// Acked requests per second over the measured window.
+  double throughput = 0;
+
+  // Message economy (whole run).
+  std::uint64_t omega_msgs = 0;
+  std::uint64_t consensus_msgs = 0;
+  std::uint64_t client_msgs = 0;
+  /// Consensus-class messages per acked command — the batching dividend.
+  double consensus_msgs_per_cmd = 0;
+  double total_msgs_per_cmd = 0;
+
+  // Replica-side accounting (summed over replicas).
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t dup_proposals_suppressed = 0;
+  std::uint64_t cached_replies = 0;
+  std::uint64_t busy_sent = 0;
+
+  ProcessId crashed = kNoProcess;  ///< leader killed, or kNoProcess
+  bool drained = false;  ///< all clients idle before the drain deadline
+
+  bool verify_ok = true;  ///< true when !config.verify or audit passed
+  std::vector<std::string> verify_errors;
+};
+
+/// Runs the workload on the deterministic simulator. Pure function of
+/// `config`.
+LoadgenResult run_sim_loadgen(const LoadgenConfig& config);
+
+}  // namespace lls

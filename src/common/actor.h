@@ -55,6 +55,37 @@ class Runtime {
   [[nodiscard]] virtual StableStorage* storage() { return nullptr; }
 };
 
+/// Runtime view for a protocol cluster embedded in a larger process fabric:
+/// forwards everything to the base runtime but reports n() as the cluster
+/// size. Used when processes beyond the cluster (e.g. client sessions at ids
+/// >= cluster_n) share the network: quorum sizes, heartbeat fan-out and
+/// membership loops of the hosted protocols keep quantifying over the
+/// replicas only.
+class ClusterViewRuntime final : public Runtime {
+ public:
+  /// Must be called (typically from the host actor's on_start) before any
+  /// forwarded use. `cluster_n` must be in (0, base.n()].
+  void bind(Runtime& base, int cluster_n) {
+    base_ = &base;
+    n_ = cluster_n;
+  }
+
+  [[nodiscard]] ProcessId id() const override { return base_->id(); }
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] TimePoint now() const override { return base_->now(); }
+  void send(ProcessId dst, MessageType type, BytesView payload) override {
+    base_->send(dst, type, payload);
+  }
+  TimerId set_timer(Duration delay) override { return base_->set_timer(delay); }
+  void cancel_timer(TimerId timer) override { base_->cancel_timer(timer); }
+  Rng& rng() override { return base_->rng(); }
+  [[nodiscard]] StableStorage* storage() override { return base_->storage(); }
+
+ private:
+  Runtime* base_ = nullptr;
+  int n_ = 0;
+};
+
 /// A hosted protocol instance.
 class Actor {
  public:

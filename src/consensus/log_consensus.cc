@@ -69,8 +69,25 @@ void LogConsensus::restore(Runtime& rt) {
 }
 
 void LogConsensus::propose(Bytes value) {
+  ++proposals_;
   // Values must be unique per submission (the RSM layer guarantees this via
   // command ids): the decided log is the only completion signal we have.
+  // A byte-identical value already queued or in flight is the same
+  // submission racing itself (e.g. a client retry re-admitted before the
+  // first placement decided) — proposing it again could only burn an extra
+  // instance, so drop it here.
+  for (const Bytes& v : pending_) {
+    if (v == value) {
+      ++dup_proposals_suppressed_;
+      return;
+    }
+  }
+  for (const auto& [i, inf] : inflight_) {
+    if (inf.value == value) {
+      ++dup_proposals_suppressed_;
+      return;
+    }
+  }
   pending_.push_back(std::move(value));
   // Eager dispatch: a ready leader assigns immediately (2-message-delay
   // steady state); a follower forwards now rather than on the next tick.

@@ -86,6 +86,11 @@ class LogConsensus final : public ConsensusActor {
   [[nodiscard]] Instance log_size() const { return log_base_ + log_.size(); }
   [[nodiscard]] std::size_t log_entries_held() const { return log_.size(); }
   [[nodiscard]] const Acceptor& acceptor() const { return acceptor_; }
+  [[nodiscard]] std::uint64_t proposals() const { return proposals_; }
+  /// propose() calls dropped as byte-identical to a queued/in-flight value.
+  [[nodiscard]] std::uint64_t dup_proposals_suppressed() const {
+    return dup_proposals_suppressed_;
+  }
 
  private:
   // Leader-side driving, called on every tick and relevant state change.
@@ -172,6 +177,9 @@ class LogConsensus final : public ConsensusActor {
   /// Values submitted here (locally or forwarded) and not yet observed in
   /// the decided log. Re-forwarded to the current leader on every tick.
   std::deque<Bytes> pending_;
+
+  std::uint64_t proposals_ = 0;
+  std::uint64_t dup_proposals_suppressed_ = 0;
 };
 
 }  // namespace lls

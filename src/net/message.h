@@ -1,9 +1,12 @@
-// Wire message envelope used by the simulator and the in-process runtime.
+// Wire message envelope used by the simulator and the in-process runtime,
+// plus the client-facing request/reply protocol (0x03xx block).
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/bytes.h"
+#include "common/serialization.h"
 #include "common/types.h"
 
 namespace lls {
@@ -31,6 +34,122 @@ struct Message {
   /// payload_checksum at send time; verified by the delivery path when a
   /// link marked the copy corrupted.
   std::uint64_t checksum = 0;
+};
+
+// --- client service protocol (0x03xx, the RSM block) -------------------------
+//
+// Clients are ordinary processes in the same network fabric as the replicas
+// (ids >= the cluster size), speaking a small request/reply protocol to
+// whichever replica they currently believe is the leader. The protocol is
+// deliberately dumb-client-safe: every message is idempotent, any message may
+// be lost or duplicated, and a client that guesses the wrong replica is
+// redirected rather than served, preserving the leader-drives-everything
+// communication discipline of the paper's steady state.
+
+namespace msg_type {
+/// Client -> replica: one command submission (or retry of one).
+inline constexpr MessageType kClientRequest = 0x0310;
+/// Replica -> client: the command's result (sent on apply, resent on retry).
+inline constexpr MessageType kClientReply = 0x0311;
+/// Replica -> client: "I am not the leader; try `hint`" (NOT_LEADER).
+inline constexpr MessageType kClientRedirect = 0x0312;
+/// Replica -> client: admission queue over the high-water mark; back off.
+inline constexpr MessageType kClientBusy = 0x0313;
+}  // namespace msg_type
+
+/// One client command in flight. `command` is an rsm Command::encode() blob —
+/// opaque at this layer, so the net library stays below the RSM in the
+/// dependency order. (origin, seq) of the embedded command must equal
+/// (sending process, `seq`); the replica enforces this, so a client cannot
+/// impersonate another session.
+struct ClientRequestMsg {
+  std::uint64_t seq = 0;
+  /// All of this client's sequence numbers <= ack_upto have completed; the
+  /// replica may drop its cached results for them (retry can never ask).
+  std::uint64_t ack_upto = 0;
+  Bytes command;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(20 + command.size());
+    w.put(seq);
+    w.put(ack_upto);
+    w.put_bytes(command);
+    return w.take();
+  }
+  static ClientRequestMsg decode(BytesView payload) {
+    BufReader r(payload);
+    ClientRequestMsg m;
+    m.seq = r.get<std::uint64_t>();
+    m.ack_upto = r.get<std::uint64_t>();
+    m.command = r.get_bytes();
+    return m;
+  }
+};
+
+/// Result of one applied command (mirrors rsm KvResult field-for-field so
+/// this header does not depend on the RSM).
+struct ClientReplyMsg {
+  std::uint64_t seq = 0;
+  bool ok = false;
+  bool found = false;
+  std::string value;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(16 + value.size());
+    w.put(seq);
+    w.put(static_cast<std::uint8_t>(ok));
+    w.put(static_cast<std::uint8_t>(found));
+    w.put_string(value);
+    return w.take();
+  }
+  static ClientReplyMsg decode(BytesView payload) {
+    BufReader r(payload);
+    ClientReplyMsg m;
+    m.seq = r.get<std::uint64_t>();
+    m.ok = r.get<std::uint8_t>() != 0;
+    m.found = r.get<std::uint8_t>() != 0;
+    m.value = r.get_string();
+    return m;
+  }
+};
+
+/// NOT_LEADER: the replica's current Omega output, as a routing hint.
+/// kNoProcess means "no leader elected yet here; ask someone else / retry".
+struct ClientRedirectMsg {
+  ProcessId hint = kNoProcess;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(4);
+    w.put(hint);
+    return w.take();
+  }
+  static ClientRedirectMsg decode(BytesView payload) {
+    BufReader r(payload);
+    ClientRedirectMsg m;
+    m.hint = r.get<ProcessId>();
+    return m;
+  }
+};
+
+/// Backpressure: the leader's admission queue is over its high-water mark.
+/// `queue` is the current depth, so clients can scale their backoff.
+struct ClientBusyMsg {
+  std::uint64_t seq = 0;
+  std::uint32_t queue = 0;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(12);
+    w.put(seq);
+    w.put(queue);
+    return w.take();
+  }
+  static ClientBusyMsg decode(BytesView payload) {
+    BufReader r(payload);
+    ClientBusyMsg m;
+    m.seq = r.get<std::uint64_t>();
+    m.queue = r.get<std::uint32_t>();
+    return m;
+  }
 };
 
 }  // namespace lls

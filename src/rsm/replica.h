@@ -4,23 +4,33 @@
 //   CE-Omega  — elects the leader (communication-efficient);
 //   LogConsensus — orders commands (leader-driven, Θ(n) steady state);
 //   KvReplica — deduplicates decided commands and applies them to the
-//               deterministic KvStore, firing local completion callbacks.
+//               deterministic KvStore, firing local completion callbacks —
+//               and serves external client sessions (0x03xx protocol):
+//               redirecting non-leader traffic, admitting commands under a
+//               bounded in-flight window with BUSY backpressure, batching
+//               admitted commands into consensus values, and caching results
+//               so retried-but-already-applied requests are re-answered
+//               instead of re-executed.
 //
 // Consensus guarantees at-least-once placement of a submitted command (it
 // may appear in two instances across a leader change); the replica's
 // (origin, seq) dedup turns that into exactly-once application, so all
-// replicas' stores converge byte-for-byte.
+// replicas' stores converge byte-for-byte. Client sessions extend the same
+// pair end-to-end: the client id is the origin, so however often a session
+// retries across failover, each command applies exactly once.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/mux.h"
 #include "consensus/log_consensus.h"
+#include "net/message.h"
 #include "omega/ce_omega.h"
 #include "omega/cr_omega.h"
 #include "rsm/kv_store.h"
@@ -32,16 +42,33 @@ struct KvReplicaConfig {
   /// consensus log and holds the rest in a local session queue, giving
   /// FIFO per-client order. The paper's links are non-FIFO, so without
   /// this, concurrently submitted commands may be ordered arbitrarily.
+  /// Applies to local submissions only; external client sessions order
+  /// themselves through their own windows.
   bool fifo_client_order = false;
 
-  /// Commands per consensus value. With > 1, bursts of submissions are
-  /// packed into one log entry, amortizing the Θ(n) per-instance message
-  /// cost over the batch (extension; measured by bench_a5_batching).
-  /// Ignored in FIFO session mode.
+  /// Commands per consensus value. With > 1, bursts of submissions (local
+  /// or admitted from client sessions) are packed into one log entry,
+  /// amortizing the Θ(n) per-instance message cost over the batch
+  /// (extension; measured by bench_a5_batching). Ignored for local
+  /// submissions in FIFO session mode.
   std::size_t max_batch = 1;
 
   /// How long a partially filled batch may wait before being flushed.
   Duration batch_flush_delay = 5 * kMillisecond;
+
+  /// Replicas occupy process ids [0, cluster_n); any higher id in the same
+  /// runtime is a client session. 0 means "all processes are replicas" (no
+  /// external clients — the pre-client-layer configuration). The protocol
+  /// stack underneath (Omega, consensus) quantifies over the cluster only.
+  int cluster_n = 0;
+
+  /// Admission control: maximum client commands admitted by this replica
+  /// and not yet applied. Beyond it, requests get a BUSY reply.
+  std::size_t admit_high_water = 1024;
+
+  /// Per-session cap on cached results kept for reply resends beyond the
+  /// client's acked watermark (memory bound for sessions that never ack).
+  std::size_t results_cap = 4096;
 };
 
 /// Generic over the leader oracle: KvReplica (below) instantiates it with
@@ -70,10 +97,16 @@ class BasicKvReplica final : public Actor {
   void on_start(Runtime& rt) override {
     self_ = rt.id();
     rt_ = &rt;
-    mux_.on_start(rt);
+    cluster_n_ = config_.cluster_n > 0 ? config_.cluster_n : rt.n();
+    cluster_rt_.bind(rt, cluster_n_);
+    mux_.on_start(cluster_rt_);
   }
   void on_message(Runtime& rt, ProcessId src, MessageType type,
                   BytesView payload) override {
+    if (type == msg_type::kClientRequest) {
+      handle_client_request(rt, src, payload);
+      return;
+    }
     mux_.on_message(rt, src, type, payload);
   }
   void on_timer(Runtime& rt, TimerId timer) override {
@@ -101,11 +134,50 @@ class BasicKvReplica final : public Actor {
   [[nodiscard]] const OmegaT& omega() const { return omega_; }
   [[nodiscard]] const LogConsensus& consensus() const { return consensus_; }
 
+  // Client-service introspection --------------------------------------------
+  /// True when (origin, seq) has been applied to this replica's store.
+  [[nodiscard]] bool has_applied(ProcessId origin, std::uint64_t seq) const {
+    auto it = applied_.find(origin);
+    return it != applied_.end() && it->second.count(seq) != 0;
+  }
+  /// Client commands admitted here and not yet applied (the BUSY meter).
+  [[nodiscard]] std::size_t admitted_inflight() const {
+    return admitted_inflight_;
+  }
+  [[nodiscard]] std::uint64_t busy_sent() const { return busy_sent_; }
+  [[nodiscard]] std::uint64_t redirects_sent() const {
+    return redirects_sent_;
+  }
+  [[nodiscard]] std::uint64_t client_replies_sent() const {
+    return client_replies_sent_;
+  }
+  /// Retried requests answered from the result cache (no re-execution).
+  [[nodiscard]] std::uint64_t cached_replies_sent() const {
+    return cached_replies_sent_;
+  }
+
  private:
+  /// Per-session server-side state. `results` answers retries of applied
+  /// commands; `admitted` marks commands this replica queued for consensus
+  /// (it replies when they apply — other replicas apply silently).
+  struct ClientSessionSrv {
+    std::uint64_t ack_upto = 0;
+    std::map<std::uint64_t, KvResult> results;
+    std::set<std::uint64_t> admitted;
+  };
+
   void on_decided(Instance i, const Bytes& value);
   void apply_command(const Command& cmd);
   void pump_session_queue();
   void flush_batch();
+  void enqueue_for_consensus(Command cmd);
+  void handle_client_request(Runtime& rt, ProcessId src, BytesView payload);
+  void send_reply(ProcessId client, std::uint64_t seq, const KvResult& result);
+
+  [[nodiscard]] bool is_client(ProcessId p) const {
+    return p != kNoProcess && p >= static_cast<ProcessId>(cluster_n_) &&
+           cluster_n_ > 0;
+  }
 
   /// Sequence numbers must be unique across a process's incarnations: a
   /// crash-recovery replica namespaces them by the omega's incarnation
@@ -124,8 +196,12 @@ class BasicKvReplica final : public Actor {
   OmegaT omega_;
   LogConsensus consensus_;
   MuxActor mux_;
+  /// Runtime view handed to the protocol stack: n() is the cluster size, so
+  /// clients sharing the fabric never enter quorums or heartbeat fan-outs.
+  ClusterViewRuntime cluster_rt_;
 
   ProcessId self_ = kNoProcess;
+  int cluster_n_ = 0;
   KvStore store_;
   std::uint64_t next_seq_ = 0;
   bool seq_initialized_ = false;
@@ -135,6 +211,14 @@ class BasicKvReplica final : public Actor {
   /// leader changes (an old leader's stranded proposal can resurface late).
   std::unordered_map<ProcessId, std::unordered_set<std::uint64_t>> applied_;
   std::map<std::uint64_t, Callback> callbacks_;  // by local seq
+
+  // Client service.
+  std::unordered_map<ProcessId, ClientSessionSrv> clients_;
+  std::size_t admitted_inflight_ = 0;
+  std::uint64_t busy_sent_ = 0;
+  std::uint64_t redirects_sent_ = 0;
+  std::uint64_t client_replies_sent_ = 0;
+  std::uint64_t cached_replies_sent_ = 0;
 
   // FIFO session mode.
   std::deque<Command> session_queue_;
@@ -174,7 +258,15 @@ std::uint64_t BasicKvReplica<OmegaT, OmegaConfigT>::submit(KvOp op, std::string 
   if (config_.fifo_client_order) {
     session_queue_.push_back(std::move(cmd));
     pump_session_queue();
-  } else if (config_.max_batch > 1) {
+  } else {
+    enqueue_for_consensus(std::move(cmd));
+  }
+  return next_seq_ - 1;
+}
+
+template <typename OmegaT, typename OmegaConfigT>
+void BasicKvReplica<OmegaT, OmegaConfigT>::enqueue_for_consensus(Command cmd) {
+  if (config_.max_batch > 1) {
     batch_.push_back(std::move(cmd));
     if (batch_.size() >= config_.max_batch) {
       flush_batch();
@@ -184,7 +276,6 @@ std::uint64_t BasicKvReplica<OmegaT, OmegaConfigT>::submit(KvOp op, std::string 
   } else {
     consensus_.propose(detail::encode_single_command(cmd));
   }
-  return next_seq_ - 1;
 }
 
 template <typename OmegaT, typename OmegaConfigT>
@@ -209,6 +300,70 @@ void BasicKvReplica<OmegaT, OmegaConfigT>::pump_session_queue() {
 }
 
 template <typename OmegaT, typename OmegaConfigT>
+void BasicKvReplica<OmegaT, OmegaConfigT>::handle_client_request(
+    Runtime& rt, ProcessId src, BytesView payload) {
+  if (!is_client(src)) return;  // replicas do not speak the client protocol
+  ClientRequestMsg req = ClientRequestMsg::decode(payload);
+  Command cmd = Command::decode(req.command);
+  if (cmd.origin != src || cmd.seq != req.seq || req.seq == 0) {
+    return;  // malformed or impersonating another session: drop
+  }
+
+  ClientSessionSrv& sess = clients_[src];
+  if (req.ack_upto > sess.ack_upto) {
+    // The client completed everything up to ack_upto: it can never retry
+    // those seqs, so their cached results are dead weight.
+    sess.ack_upto = req.ack_upto;
+    sess.results.erase(sess.results.begin(),
+                       sess.results.upper_bound(sess.ack_upto));
+  }
+
+  auto hit = sess.results.find(req.seq);
+  if (hit != sess.results.end()) {
+    // Applied already (possibly admitted by a previous leader): re-answer
+    // from the cache instead of re-executing — the exactly-once reply path.
+    ++cached_replies_sent_;
+    send_reply(src, req.seq, hit->second);
+    return;
+  }
+  if (req.seq <= sess.ack_upto) return;  // acked and pruned: stale duplicate
+
+  if (omega_.leader() != self_) {
+    ++redirects_sent_;
+    rt.send(src, msg_type::kClientRedirect,
+            ClientRedirectMsg{omega_.leader()}.encode());
+    return;
+  }
+  if (sess.admitted.count(req.seq) != 0) {
+    return;  // already queued for consensus; the reply fires on apply
+  }
+  if (admitted_inflight_ >= config_.admit_high_water) {
+    ++busy_sent_;
+    ClientBusyMsg busy;
+    busy.seq = req.seq;
+    busy.queue = static_cast<std::uint32_t>(admitted_inflight_);
+    rt.send(src, msg_type::kClientBusy, busy.encode());
+    return;
+  }
+  sess.admitted.insert(req.seq);
+  ++admitted_inflight_;
+  enqueue_for_consensus(std::move(cmd));
+}
+
+template <typename OmegaT, typename OmegaConfigT>
+void BasicKvReplica<OmegaT, OmegaConfigT>::send_reply(ProcessId client,
+                                                      std::uint64_t seq,
+                                                      const KvResult& result) {
+  ClientReplyMsg reply;
+  reply.seq = seq;
+  reply.ok = result.ok;
+  reply.found = result.found;
+  reply.value = result.value;
+  ++client_replies_sent_;
+  rt_->send(client, msg_type::kClientReply, reply.encode());
+}
+
+template <typename OmegaT, typename OmegaConfigT>
 void BasicKvReplica<OmegaT, OmegaConfigT>::on_decided(Instance, const Bytes& value) {
   if (value.empty()) return;  // consensus no-op filler
   CommandBatch batch = CommandBatch::decode(value);
@@ -219,9 +374,31 @@ template <typename OmegaT, typename OmegaConfigT>
 void BasicKvReplica<OmegaT, OmegaConfigT>::apply_command(const Command& cmd) {
   if (!applied_[cmd.origin].insert(cmd.seq).second) {
     ++duplicates_;
+    // A duplicate instance of a command this replica also admitted: the
+    // first instance already answered, so only release the window slot.
+    if (is_client(cmd.origin)) {
+      auto it = clients_.find(cmd.origin);
+      if (it != clients_.end() && it->second.admitted.erase(cmd.seq) > 0) {
+        --admitted_inflight_;
+      }
+    }
     return;  // at-least-once from consensus -> exactly-once here
   }
   KvResult result = store_.apply(cmd);
+  if (is_client(cmd.origin)) {
+    ClientSessionSrv& sess = clients_[cmd.origin];
+    if (cmd.seq > sess.ack_upto) {
+      sess.results[cmd.seq] = result;
+      if (sess.results.size() > config_.results_cap) {
+        sess.results.erase(sess.results.begin());
+      }
+    }
+    if (sess.admitted.erase(cmd.seq) > 0) {
+      --admitted_inflight_;
+      send_reply(cmd.origin, cmd.seq, result);
+    }
+    return;
+  }
   if (cmd.origin == self_) {
     auto it = callbacks_.find(cmd.seq);
     if (it != callbacks_.end()) {

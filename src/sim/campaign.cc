@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
 
+#include "client/cluster_client.h"
 #include "consensus/experiment.h"
 #include "consensus/node.h"
 #include "net/topology.h"
@@ -26,6 +30,7 @@ const char* scenario_name(Scenario scenario) {
     case Scenario::kCrOmegaStable: return "cr";
     case Scenario::kConsensus: return "consensus";
     case Scenario::kKvLinearizable: return "kv";
+    case Scenario::kClientSession: return "client";
   }
   return "?";
 }
@@ -441,6 +446,147 @@ std::vector<std::string> run_kv(const CampaignConfig& config,
   return violations;
 }
 
+/// External client sessions under chaos: replicas at [0, n), ClusterClient
+/// processes above them on the same fabric. Clients run a closed loop of
+/// uniquely-tokened appends through the redirect/retry protocol while
+/// Nemesis disrupts the cluster (clients themselves are protected — the
+/// audited contract is the cluster's, not survival of the client process).
+/// At the horizon: alive stores identical, no token applied twice, every
+/// acked token present everywhere, and every client drained (liveness).
+std::vector<std::string> run_client_session(const CampaignConfig& config,
+                                            std::uint64_t seed) {
+  constexpr int kClients = 3;
+  const int cluster_n = config.n;
+  SimConfig sc;
+  sc.n = cluster_n + kClients;
+  sc.seed = seed;
+  LinkFactory base = system_s_links(config);
+  Simulator sim(sc, base);
+
+  KvReplicaConfig rc;
+  rc.cluster_n = cluster_n;
+  rc.max_batch = 4;
+  rc.batch_flush_delay = 2 * kMillisecond;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cluster_n); ++p) {
+    sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{},
+                                 rc);
+  }
+  ClusterClientConfig cc;
+  cc.cluster_n = cluster_n;
+  cc.window = 2;
+  // Client links are fair-lossy *forever* in system S (only the ♦-source's
+  // outgoing links turn timely), so draining is probabilistic in the number
+  // of retries. Keep the retry cadence tight so the drain window holds
+  // dozens of attempts per request and the residual miss probability is
+  // negligible.
+  cc.attempt_timeout = 100 * kMillisecond;
+  cc.backoff_max = 240 * kMillisecond;
+  std::vector<ClusterClient*> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(&sim.emplace_actor<ClusterClient>(
+        static_cast<ProcessId>(cluster_n + c), cc));
+  }
+
+  NemesisConfig nc = nemesis_for(config, seed);
+  nc.crash_stop_budget = config.crash_stop_budget;
+  nc.protected_processes.push_back(source_of(config));
+  for (int c = 0; c < kClients; ++c) {
+    nc.protected_processes.push_back(static_cast<ProcessId>(cluster_n + c));
+  }
+  Nemesis nemesis(sim, base, nc);
+
+  // Closed loop: each client keeps its window full of uniquely-tokened
+  // appends until submit_end, leaving the rest of the run to drain.
+  const TimePoint submit_end = config.quiesce + 2 * kSecond;
+  auto acked_tokens = std::make_shared<std::vector<std::string>>();
+  auto counter = std::make_shared<std::uint64_t>(0);
+  auto submit_one = std::make_shared<std::function<void(int)>>();
+  *submit_one = [&sim, clients, acked_tokens, counter, submit_end, cluster_n,
+                 submit_one](int ci) {
+    std::string token = std::to_string(cluster_n + ci) + "." +
+                        std::to_string(++*counter) + ";";
+    std::string key = "audit" + std::to_string(ci % 2);
+    clients[static_cast<std::size_t>(ci)]->submit(
+        KvOp::kAppend, std::move(key), token, "",
+        [&sim, acked_tokens, token, submit_end, submit_one,
+         ci](const ClientCompletion& done) {
+          if (!done.timed_out) acked_tokens->push_back(token);
+          if (sim.now() < submit_end) (*submit_one)(ci);
+        });
+  };
+  sim.schedule(1 * kSecond, [submit_one]() {
+    for (int c = 0; c < kClients; ++c) {
+      for (int k = 0; k < 2; ++k) (*submit_one)(c);
+    }
+  });
+
+  sim.start();
+  sim.run_until(config.horizon);
+  // The closed-loop closure captures its own shared_ptr; break the cycle so
+  // repeated campaign cases in one process do not accumulate.
+  *submit_one = nullptr;
+
+  std::vector<std::string> violations;
+  check_kill_accounting(sim, nemesis, violations);
+
+  // Liveness: with no request deadline, every submission must be acked once
+  // the cluster stabilizes; an undrained client means a lost session.
+  for (int c = 0; c < kClients; ++c) {
+    const ClusterClient& client = *clients[static_cast<std::size_t>(c)];
+    if (client.inflight() + client.queued() > 0) {
+      std::ostringstream what;
+      what << "client p" << (cluster_n + c) << " still has "
+           << (client.inflight() + client.queued())
+           << " requests outstanding at horizon";
+      violations.push_back(what.str());
+    }
+  }
+
+  // Exactly-once audit over every alive replica.
+  std::optional<std::uint64_t> digest;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cluster_n); ++p) {
+    if (!sim.alive(p)) continue;
+    const KvStore& store = sim.actor_as<KvReplica>(p).store();
+    std::uint64_t d = store.digest();
+    if (!digest) {
+      digest = d;
+    } else if (*digest != d) {
+      std::ostringstream what;
+      what << "replica p" << p << " store digest diverges";
+      violations.push_back(what.str());
+    }
+    std::map<std::string, int> census;
+    for (const auto& [key, value] : store.data()) {
+      std::size_t begin = 0;
+      while (begin < value.size()) {
+        std::size_t end = value.find(';', begin);
+        if (end == std::string::npos) break;
+        ++census[value.substr(begin, end - begin + 1)];
+        begin = end + 1;
+      }
+    }
+    for (const auto& [token, count] : census) {
+      if (count > 1) {
+        std::ostringstream what;
+        what << "replica p" << p << ": token " << token << " applied "
+             << count << " times (duplicate)";
+        violations.push_back(what.str());
+      }
+    }
+    for (const std::string& token : *acked_tokens) {
+      if (census.find(token) == census.end()) {
+        std::ostringstream what;
+        what << "replica p" << p << ": acked token " << token
+             << " missing (lost write)";
+        violations.push_back(what.str());
+        break;  // one lost token per replica is signal enough
+      }
+    }
+  }
+  if (!digest) violations.emplace_back("no alive replica to audit");
+  return violations;
+}
+
 }  // namespace
 
 std::vector<std::string> run_campaign_case(const CampaignConfig& config,
@@ -451,6 +597,7 @@ std::vector<std::string> run_campaign_case(const CampaignConfig& config,
     case Scenario::kCrOmegaStable: return run_cr_omega(config, seed);
     case Scenario::kConsensus: return run_consensus(config, seed);
     case Scenario::kKvLinearizable: return run_kv(config, seed);
+    case Scenario::kClientSession: return run_client_session(config, seed);
   }
   return {"unknown scenario"};
 }

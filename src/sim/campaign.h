@@ -36,12 +36,14 @@ enum class Scenario {
   kCrOmegaStable,   ///< crash-recovery Omega (stable storage), restarts on
   kConsensus,       ///< CE-Omega + log consensus, values proposed mid-chaos
   kKvLinearizable,  ///< full RSM stack, client history linearizability
+  kClientSession,   ///< external ClusterClient sessions, exactly-once audit
 };
 
 /// All scenarios, in a stable order (useful for "run everything" sweeps).
 inline constexpr Scenario kAllScenarios[] = {
-    Scenario::kCeOmega, Scenario::kAll2AllOmega, Scenario::kCrOmegaStable,
-    Scenario::kConsensus, Scenario::kKvLinearizable};
+    Scenario::kCeOmega,        Scenario::kAll2AllOmega,
+    Scenario::kCrOmegaStable,  Scenario::kConsensus,
+    Scenario::kKvLinearizable, Scenario::kClientSession};
 
 [[nodiscard]] const char* scenario_name(Scenario scenario);
 /// Parses a scenario_name() string; returns false on unknown names.

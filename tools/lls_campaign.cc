@@ -17,8 +17,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "sim/campaign.h"
 
 using namespace lls;
@@ -39,7 +41,8 @@ namespace {
       "  --quiesce-ms=<int>    all faults healed by here (default 15000)\n"
       "  --kills=<int>         crash-stop kills per run (default 1)\n"
       "  --sabotage            cripple timeouts; campaign must then FAIL\n"
-      "  --verbose             print per-seed progress\n",
+      "  --verbose             print per-seed progress\n"
+      "  --json=<path>         write a machine-readable summary\n",
       stderr);
   std::exit(2);
 }
@@ -58,6 +61,7 @@ std::uint64_t parse_u64(const std::string& value, const char* flag) {
 int main(int argc, char** argv) {
   CampaignConfig config;
   bool all_scenarios = true;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -101,6 +105,8 @@ int main(int argc, char** argv) {
           kMillisecond;
     } else if (flag == "--kills") {
       config.crash_stop_budget = static_cast<int>(parse_u64(value, "--kills"));
+    } else if (flag == "--json") {
+      json_path = value;
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -116,14 +122,59 @@ int main(int argc, char** argv) {
 
   int runs = 0;
   std::size_t violations = 0;
+  std::vector<std::pair<Scenario, CampaignResult>> results;
   for (Scenario scenario : scenarios) {
     CampaignConfig one = config;
     one.scenario = scenario;
     CampaignResult result = run_campaign(one, stderr);
     runs += result.runs;
     violations += result.violations.size();
+    results.emplace_back(scenario, std::move(result));
   }
   std::fprintf(stderr, "campaign total: %d runs, %zu violations\n", runs,
                violations);
-  return violations == 0 ? 0 : 1;
+  const bool passed = violations == 0;
+
+  if (!json_path.empty()) {
+    bench::Json json;
+    json.begin_object();
+    json.key("tool").value("lls_campaign");
+    json.key("config").begin_object();
+    json.key("n").value(config.n);
+    json.key("seeds_per_scenario").value(config.seeds);
+    json.key("first_seed").value(config.first_seed);
+    json.key("horizon_ms").value(config.horizon / kMillisecond);
+    json.key("quiesce_ms").value(config.quiesce / kMillisecond);
+    json.key("kills").value(config.crash_stop_budget);
+    json.key("sabotage").value(config.sabotage);
+    json.end_object();
+    json.key("scenarios").begin_array();
+    for (const auto& [scenario, result] : results) {
+      json.begin_object();
+      json.key("scenario").value(scenario_name(scenario));
+      json.key("runs").value(result.runs);
+      json.key("violations").value(result.violations.size());
+      json.key("details").begin_array();
+      for (const Violation& v : result.violations) {
+        json.begin_object();
+        json.key("seed").value(v.seed);
+        json.key("what").value(v.what);
+        json.key("replay").value(v.replay);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.key("total_runs").value(runs);
+    json.key("total_violations").value(violations);
+    json.key("exit_code").value(passed ? 0 : 1);
+    json.key("exit_rationale")
+        .value(passed ? "all runs passed every invariant"
+                      : "at least one invariant violation; see details for "
+                        "seeds and replay commands");
+    json.end_object();
+    if (!bench::write_json_file(json_path, json)) return 1;
+  }
+  return passed ? 0 : 1;
 }

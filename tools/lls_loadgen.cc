@@ -1,0 +1,370 @@
+// lls_loadgen: workload driver for the client subsystem.
+//
+// Drives a fleet of ClusterClient sessions against a replicated KV cluster
+// and reports throughput, latency percentiles and message economy. Two
+// hosts:
+//
+//   * the deterministic simulator (default) — reproducible runs, optional
+//     leader-crash injection and an exactly-once audit (--verify);
+//   * the UDP runtime (--udp) — the same actors over real sockets on
+//     loopback, wall-clock timed.
+//
+// --batches sweeps the replica's max_batch setting so the batching dividend
+// (consensus messages per committed command) is measured in one invocation;
+// --json writes the full result set for the bench pipeline
+// (tools/run_bench.sh -> BENCH_client.json).
+//
+// Examples:
+//   lls_loadgen --mode=closed --clients=64 --crash-leader-at-ms=5000 --verify
+//   lls_loadgen --batches=1,8,32 --json=BENCH_client.json
+//   lls_loadgen --udp --clients=4 --duration-ms=2000
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/cluster_client.h"
+#include "client/loadgen.h"
+#include "common/metrics.h"
+#include "rsm/replica.h"
+#include "runtime/udp_runtime.h"
+
+using namespace lls;
+using namespace lls::bench;
+
+namespace {
+
+struct CliOptions {
+  LoadgenConfig load;
+  std::vector<std::size_t> batches{1};
+  bool udp = false;
+  std::uint16_t udp_base_port = 47400;
+  std::string json_path;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --mode=closed|open         arrival process (default closed)\n"
+      "  --n=N                      replicas (default 5)\n"
+      "  --clients=C                client sessions (default 8)\n"
+      "  --outstanding=K            closed loop: in-flight ops per client\n"
+      "  --rate=R                   open loop: per-client ops/sec\n"
+      "  --keys=K --zipf=S          key space and skew (zipf 0 = uniform)\n"
+      "  --write-ratio=F            fraction of mutating ops (default 0.5)\n"
+      "  --value-size=B             written value bytes\n"
+      "  --batches=1,8,32           replica max_batch sweep\n"
+      "  --duration-ms=D --warmup-ms=W --drain-ms=X\n"
+      "  --crash-leader-at-ms=T     kill the leader at virtual time T (sim)\n"
+      "  --verify                   exactly-once audit (sim)\n"
+      "  --seed=S\n"
+      "  --json=PATH                write results as JSON\n"
+      "  --udp [--udp-base-port=P]  run over UDP sockets instead of the sim\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, CliOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eat = [&](const char* name, std::string* out) {
+      std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *out = arg.substr(prefix.size());
+      return true;
+    };
+    std::string v;
+    if (eat("--mode", &v)) {
+      if (v == "closed") {
+        opt->load.open_loop = false;
+      } else if (v == "open") {
+        opt->load.open_loop = true;
+      } else {
+        std::fprintf(stderr, "unknown mode %s\n", v.c_str());
+        return false;
+      }
+    } else if (eat("--n", &v)) {
+      opt->load.cluster_n = std::atoi(v.c_str());
+    } else if (eat("--clients", &v)) {
+      opt->load.clients = std::atoi(v.c_str());
+    } else if (eat("--outstanding", &v)) {
+      opt->load.closed_outstanding = std::atoi(v.c_str());
+    } else if (eat("--rate", &v)) {
+      opt->load.open_rate = std::atof(v.c_str());
+    } else if (eat("--keys", &v)) {
+      opt->load.keys = std::atoi(v.c_str());
+    } else if (eat("--zipf", &v)) {
+      opt->load.zipf = std::atof(v.c_str());
+    } else if (eat("--write-ratio", &v)) {
+      opt->load.write_ratio = std::atof(v.c_str());
+    } else if (eat("--value-size", &v)) {
+      opt->load.value_size = static_cast<std::size_t>(std::atol(v.c_str()));
+    } else if (eat("--batches", &v)) {
+      opt->batches.clear();
+      std::size_t begin = 0;
+      while (begin <= v.size()) {
+        std::size_t end = v.find(',', begin);
+        if (end == std::string::npos) end = v.size();
+        int b = std::atoi(v.substr(begin, end - begin).c_str());
+        if (b <= 0) {
+          std::fprintf(stderr, "bad --batches entry\n");
+          return false;
+        }
+        opt->batches.push_back(static_cast<std::size_t>(b));
+        begin = end + 1;
+      }
+    } else if (eat("--duration-ms", &v)) {
+      opt->load.duration = std::atol(v.c_str()) * kMillisecond;
+    } else if (eat("--warmup-ms", &v)) {
+      opt->load.warmup = std::atol(v.c_str()) * kMillisecond;
+    } else if (eat("--drain-ms", &v)) {
+      opt->load.drain = std::atol(v.c_str()) * kMillisecond;
+    } else if (eat("--crash-leader-at-ms", &v)) {
+      opt->load.crash_leader_at = std::atol(v.c_str()) * kMillisecond;
+    } else if (arg == "--verify") {
+      opt->load.verify = true;
+    } else if (eat("--seed", &v)) {
+      opt->load.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--json", &v)) {
+      opt->json_path = v;
+    } else if (arg == "--udp") {
+      opt->udp = true;
+    } else if (eat("--udp-base-port", &v)) {
+      opt->udp_base_port = static_cast<std::uint16_t>(std::atoi(v.c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt->load.cluster_n < 1 || opt->load.clients < 1) {
+    std::fprintf(stderr, "--n and --clients must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+void emit_run_json(Json& json, std::size_t batch, const LoadgenResult& r) {
+  json.begin_object();
+  json.key("batch").value(batch);
+  json.key("throughput_ops_s").value(r.throughput);
+  json.key("p50_ms").value(r.p50_ms);
+  json.key("p90_ms").value(r.p90_ms);
+  json.key("p99_ms").value(r.p99_ms);
+  json.key("mean_ms").value(r.mean_ms);
+  json.key("submitted").value(r.submitted);
+  json.key("acked").value(r.acked);
+  json.key("timed_out").value(r.timed_out);
+  json.key("retries").value(r.retries);
+  json.key("redirects").value(r.redirects);
+  json.key("busy_replies").value(r.busy_replies);
+  json.key("omega_msgs").value(r.omega_msgs);
+  json.key("consensus_msgs").value(r.consensus_msgs);
+  json.key("client_msgs").value(r.client_msgs);
+  json.key("consensus_msgs_per_cmd").value(r.consensus_msgs_per_cmd);
+  json.key("total_msgs_per_cmd").value(r.total_msgs_per_cmd);
+  json.key("duplicates_suppressed").value(r.duplicates_suppressed);
+  json.key("dup_proposals_suppressed").value(r.dup_proposals_suppressed);
+  json.key("cached_replies").value(r.cached_replies);
+  json.key("crashed_leader")
+      .value(static_cast<std::int64_t>(r.crashed == kNoProcess ? -1 : r.crashed));
+  json.key("drained").value(r.drained);
+  json.key("verify_ok").value(r.verify_ok);
+  json.key("verify_errors").begin_array();
+  for (const auto& e : r.verify_errors) json.value(e);
+  json.end_array();
+  json.end_object();
+}
+
+int run_sim(const CliOptions& opt) {
+  std::printf("lls_loadgen (sim): n=%d clients=%d mode=%s seed=%llu%s%s\n\n",
+              opt.load.cluster_n, opt.load.clients,
+              opt.load.open_loop ? "open" : "closed",
+              (unsigned long long)opt.load.seed,
+              opt.load.crash_leader_at > 0 ? " +leader-crash" : "",
+              opt.load.verify ? " +verify" : "");
+
+  Table table({"batch", "acked", "ops/s", "p50(ms)", "p99(ms)", "retries",
+               "redirects", "cmsg/cmd", "verify"});
+  Json json;
+  json.begin_object();
+  json.key("tool").value("lls_loadgen");
+  json.key("host").value("sim");
+  json.key("config").begin_object();
+  json.key("n").value(opt.load.cluster_n);
+  json.key("clients").value(opt.load.clients);
+  json.key("mode").value(opt.load.open_loop ? "open" : "closed");
+  json.key("write_ratio").value(opt.load.write_ratio);
+  json.key("seed").value(opt.load.seed);
+  json.key("crash_leader_at_ms")
+      .value(opt.load.crash_leader_at / kMillisecond);
+  json.key("verify").value(opt.load.verify);
+  json.end_object();
+  json.key("runs").begin_array();
+
+  bool ok = true;
+  std::vector<double> msgs_per_cmd;
+  for (std::size_t batch : opt.batches) {
+    LoadgenConfig cfg = opt.load;
+    cfg.max_batch = batch;
+    LoadgenResult r = run_sim_loadgen(cfg);
+    ok = ok && r.verify_ok;
+    msgs_per_cmd.push_back(r.consensus_msgs_per_cmd);
+    table.add_row({format("%zu", batch),
+                   format("%llu", (unsigned long long)r.acked),
+                   format("%.0f", r.throughput), format("%.2f", r.p50_ms),
+                   format("%.2f", r.p99_ms),
+                   format("%llu", (unsigned long long)r.retries),
+                   format("%llu", (unsigned long long)r.redirects),
+                   format("%.2f", r.consensus_msgs_per_cmd),
+                   !opt.load.verify ? "-" : (r.verify_ok ? "ok" : "FAIL")});
+    for (const auto& e : r.verify_errors) {
+      std::fprintf(stderr, "verify: %s\n", e.c_str());
+    }
+    emit_run_json(json, batch, r);
+  }
+  json.end_array();
+  json.end_object();
+  table.print();
+
+  if (!opt.json_path.empty() && !write_json_file(opt.json_path, json)) {
+    ok = false;
+  }
+  if (!ok) {
+    std::printf("\nFAIL: exactly-once audit reported violations\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// UDP host: same actors over loopback sockets, wall-clock timed, closed
+/// loop only (the sim host covers the parameter space; this proves the
+/// stack runs unchanged over real datagrams).
+int run_udp(const CliOptions& opt) {
+  const int cluster_n = opt.load.cluster_n;
+  const int n = cluster_n + opt.load.clients;
+  std::printf("lls_loadgen (udp): n=%d clients=%d base_port=%u\n\n", cluster_n,
+              opt.load.clients, opt.udp_base_port);
+
+  std::vector<std::unique_ptr<UdpNode>> nodes;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cluster_n); ++p) {
+    KvReplicaConfig rc;
+    rc.cluster_n = cluster_n;
+    rc.max_batch = opt.batches.front();
+    UdpNodeConfig nc;
+    nc.id = p;
+    nc.n = n;
+    nc.base_port = opt.udp_base_port;
+    nc.seed = opt.load.seed + p;
+    nodes.push_back(std::make_unique<UdpNode>(
+        nc, std::make_unique<KvReplica>(CeOmegaConfig{}, LogConsensusConfig{},
+                                        rc)));
+  }
+  for (int c = 0; c < opt.load.clients; ++c) {
+    ClusterClientConfig cc;
+    cc.cluster_n = cluster_n;
+    cc.window = static_cast<std::size_t>(opt.load.closed_outstanding);
+    UdpNodeConfig nc;
+    nc.id = static_cast<ProcessId>(cluster_n + c);
+    nc.n = n;
+    nc.base_port = opt.udp_base_port;
+    nc.seed = opt.load.seed + 1000 + static_cast<std::uint64_t>(c);
+    nodes.push_back(std::make_unique<UdpNode>(
+        nc, std::make_unique<ClusterClient>(cc)));
+  }
+  for (auto& node : nodes) node->start();
+
+  // Per-client driver state, only ever touched on that client's loop thread
+  // (submit + completion callbacks), so no locking.
+  struct ClientState {
+    UdpNode* node = nullptr;
+    ClusterClient* client = nullptr;
+    std::unique_ptr<Rng> rng;
+    std::vector<double> latency_ms;
+    std::shared_ptr<std::function<void()>> submit;
+  };
+  std::atomic<bool> stop{false};
+  std::vector<ClientState> drivers(static_cast<std::size_t>(opt.load.clients));
+  for (int c = 0; c < opt.load.clients; ++c) {
+    ClientState& st = drivers[static_cast<std::size_t>(c)];
+    st.node = nodes[static_cast<std::size_t>(cluster_n + c)].get();
+    st.client = &static_cast<ClusterClient&>(st.node->actor());
+    st.rng = std::make_unique<Rng>(opt.load.seed * 7919 +
+                                   static_cast<std::uint64_t>(c));
+    st.submit = std::make_shared<std::function<void()>>();
+    *st.submit = [&opt, &stop, &st]() {
+      if (stop.load(std::memory_order_relaxed)) return;
+      std::string key =
+          "k" + std::to_string(st.rng->next_below(
+                    static_cast<std::uint64_t>(opt.load.keys)));
+      bool write = st.rng->chance(opt.load.write_ratio);
+      auto resubmit = st.submit;
+      auto cb = [&st, &stop, resubmit](const ClientCompletion& done) {
+        if (!done.timed_out) {
+          st.latency_ms.push_back(
+              static_cast<double>(done.completed - done.invoked) /
+              static_cast<double>(kMillisecond));
+        }
+        if (!stop.load(std::memory_order_relaxed)) (*resubmit)();
+      };
+      if (write) {
+        st.client->submit(KvOp::kPut, std::move(key),
+                          std::string(opt.load.value_size, 'x'), "",
+                          std::move(cb));
+      } else {
+        st.client->submit(KvOp::kGet, std::move(key), "", "", std::move(cb));
+      }
+    };
+  }
+  // Give the cluster a moment to elect, then open the floodgates.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  for (auto& st : drivers) {
+    for (int k = 0; k < opt.load.closed_outstanding; ++k) {
+      st.node->post([&st]() { (*st.submit)(); });
+    }
+  }
+  const auto duration_ms = opt.load.duration / kMillisecond;
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // drain
+  for (auto& node : nodes) node->stop();
+
+  // Threads are joined: pooling the per-client sample arrays is safe now.
+  std::uint64_t acked = 0, timed_out = 0, retries = 0, redirects = 0;
+  Summary all_ms;
+  for (auto& st : drivers) {
+    acked += st.client->acked();
+    timed_out += st.client->timed_out();
+    retries += st.client->retries();
+    redirects += st.client->redirects();
+    for (double sample : st.latency_ms) all_ms.record(sample);
+  }
+  const double secs = static_cast<double>(duration_ms) / 1e3;
+  std::printf("acked %llu  timed_out %llu  retries %llu  redirects %llu\n",
+              (unsigned long long)acked, (unsigned long long)timed_out,
+              (unsigned long long)retries, (unsigned long long)redirects);
+  std::printf("throughput %.0f ops/s\n",
+              static_cast<double>(acked) / (secs > 0 ? secs : 1));
+  if (all_ms.count() > 0) {
+    std::printf("latency (%zu samples): p50 %.2f ms  p99 %.2f ms\n",
+                all_ms.count(), all_ms.percentile(50), all_ms.percentile(99));
+  }
+  return acked > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!parse_args(argc, argv, &opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+  return opt.udp ? run_udp(opt) : run_sim(opt);
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the headline benchmarks and writes machine-readable results at the
+# repo root, so successive commits can be diffed on throughput/latency and
+# message complexity:
+#
+#   BENCH_client.json — lls_loadgen closed-loop sweep over batch sizes
+#                       {1,8,32} with an injected leader crash and the
+#                       exactly-once audit enabled
+#   BENCH_t3.json     — consensus message complexity / latency, CE stack
+#                       vs rotating coordinator (paper claim T3)
+#
+#   tools/run_bench.sh [build-dir]
+#
+# The build directory must already be configured; the script only builds
+# the targets it needs.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-"$repo/build"}"
+
+cmake --build "$build" --target lls_loadgen bench_t3_consensus -j "$(nproc)"
+
+"$build/tools/lls_loadgen" \
+  --mode=closed --n=5 --clients=64 --outstanding=1 \
+  --batches=1,8,32 --duration-ms=10000 --warmup-ms=1000 \
+  --crash-leader-at-ms=5000 --verify \
+  --json="$repo/BENCH_client.json"
+
+"$build/bench/bench_t3_consensus" --json="$repo/BENCH_t3.json"
+
+echo "wrote $repo/BENCH_client.json and $repo/BENCH_t3.json"
