@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "omega/experiment.h"
 
 using namespace lls;

@@ -7,20 +7,23 @@
 // coordinator protocol costs Θ(n²) messages per instance (all-to-all
 // estimate/ack plus echo-broadcast dissemination).
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "bench_util.h"
 #include "consensus/experiment.h"
+#include "flags.h"
 #include "net/topology.h"
 
 using namespace lls;
 using namespace lls::bench;
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  Flags flags(argc, argv);
+  std::string json_path = flags.out();
+  if (!flags.ok() || flags.help()) {
+    flags.report(stderr);
+    std::fputs("usage: bench_t3_consensus [--out=<path>]\n", stderr);
+    return flags.help() ? 0 : 2;
   }
 
   banner("T3 — messages/instance and latency: CE consensus vs rotating "

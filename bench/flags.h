@@ -1,0 +1,159 @@
+// Shared --flag=value parser for the bench binaries and tools.
+//
+// Every binary used to hand-roll its own argv loop (three diverging
+// dialects across bench_t3, lls_campaign and lls_loadgen). This extracts
+// the one idiom they all meant: GNU-style `--name=value` pairs plus bare
+// `--name` booleans, typed lookups with defaults, and a uniform
+// `--out=<path>` flag naming the machine-readable artifact (`--json=` is
+// kept as an alias so existing scripts keep working).
+//
+// Usage:
+//   Flags flags(argc, argv);
+//   int n = flags.i64("n", 5);
+//   bool verify = flags.flag("verify");
+//   std::string out = flags.out();
+//   if (!flags.ok()) { flags.report(stderr); usage(); return 2; }
+//
+// ok() fails on malformed arguments, non-numeric values for numeric
+// lookups, and flags that no lookup ever consumed (catches typos).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lls::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        help_ = true;
+        continue;
+      }
+      if (arg.rfind("--", 0) != 0) {
+        errors_.push_back("not a --flag: " + arg);
+        continue;
+      }
+      auto eq = arg.find('=');
+      std::string name = arg.substr(2, eq == std::string::npos
+                                           ? std::string::npos
+                                           : eq - 2);
+      if (name.empty()) {
+        errors_.push_back("bad flag: " + arg);
+        continue;
+      }
+      values_[name] = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    }
+  }
+
+  [[nodiscard]] bool help() const { return help_; }
+
+  /// Bare boolean flag (`--verify`). A valued form counts as present too.
+  bool flag(const std::string& name) { return lookup(name) != nullptr; }
+
+  std::string str(const std::string& name, std::string fallback = "") {
+    const std::string* v = lookup(name);
+    return v != nullptr ? *v : fallback;
+  }
+
+  std::int64_t i64(const std::string& name, std::int64_t fallback) {
+    const std::string* v = lookup(name);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    std::int64_t out = std::strtoll(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0') return bad(name), fallback;
+    return out;
+  }
+
+  std::uint64_t u64(const std::string& name, std::uint64_t fallback) {
+    const std::string* v = lookup(name);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    std::uint64_t out = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0') return bad(name), fallback;
+    return out;
+  }
+
+  double f64(const std::string& name, double fallback) {
+    const std::string* v = lookup(name);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    double out = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0') return bad(name), fallback;
+    return out;
+  }
+
+  /// Comma-separated positive integers (`--batches=1,8,32`).
+  std::vector<std::uint64_t> u64_list(const std::string& name,
+                                      std::vector<std::uint64_t> fallback) {
+    const std::string* v = lookup(name);
+    if (v == nullptr) return fallback;
+    std::vector<std::uint64_t> out;
+    std::size_t begin = 0;
+    while (begin <= v->size()) {
+      std::size_t end = v->find(',', begin);
+      if (end == std::string::npos) end = v->size();
+      std::string item = v->substr(begin, end - begin);
+      char* stop = nullptr;
+      std::uint64_t parsed = std::strtoull(item.c_str(), &stop, 10);
+      if (stop == item.c_str() || *stop != '\0' || parsed == 0) {
+        bad(name);
+        return fallback;
+      }
+      out.push_back(parsed);
+      begin = end + 1;
+    }
+    return out;
+  }
+
+  /// The uniform artifact path: `--out=<path>`, with `--json=<path>` as a
+  /// compatibility alias. Empty when neither is given.
+  std::string out() {
+    std::string path = str("out");
+    if (path.empty()) path = str("json");
+    return path;
+  }
+
+  /// True when every argument parsed and was consumed by some lookup.
+  /// Call after all lookups.
+  bool ok() {
+    for (const auto& [name, value] : values_) {
+      if (consumed_.find(name) == consumed_.end()) {
+        errors_.push_back("unknown flag: --" + name);
+        consumed_.insert(name);  // report once
+      }
+    }
+    return errors_.empty();
+  }
+
+  void report(std::FILE* to) const {
+    for (const std::string& e : errors_) {
+      std::fprintf(to, "error: %s\n", e.c_str());
+    }
+  }
+
+ private:
+  const std::string* lookup(const std::string& name) {
+    consumed_.insert(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? nullptr : &it->second;
+  }
+
+  void bad(const std::string& name) {
+    errors_.push_back("bad value for --" + name);
+  }
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+  std::vector<std::string> errors_;
+  bool help_ = false;
+};
+
+}  // namespace lls::bench

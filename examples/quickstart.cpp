@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "net/topology.h"
+#include "obs/event_bus.h"
 #include "omega/ce_omega.h"
 #include "sim/simulator.h"
 
@@ -25,14 +26,17 @@ int main() {
   Simulator sim(SimConfig{kN, /*seed=*/2024, 10 * kMillisecond},
                 make_system_s(params));
 
+  // Every leader change is a typed event on the simulation's shared
+  // observability bus; one subscription sees the whole cluster.
+  obs::Subscription watch = sim.plane().bus().subscribe(
+      obs::mask_of(obs::EventType::kLeaderChange), [](const obs::Event& e) {
+        std::printf("  t=%6.2fs  p%u now trusts p%u\n",
+                    static_cast<double>(e.t) / kSecond, e.process, e.peer);
+      });
+
   std::vector<CeOmega*> omegas;
   for (ProcessId p = 0; p < kN; ++p) {
-    auto& omega = sim.emplace_actor<CeOmega>(p, CeOmegaConfig{});
-    omega.set_leader_listener([p, &sim](ProcessId leader) {
-      std::printf("  t=%6.2fs  p%u now trusts p%u\n",
-                  static_cast<double>(sim.now()) / kSecond, p, leader);
-    });
-    omegas.push_back(&omega);
+    omegas.push_back(&sim.emplace_actor<CeOmega>(p, CeOmegaConfig{}));
   }
 
   std::puts("== Phase 1: electing a leader on system S ==");
@@ -54,7 +58,8 @@ int main() {
   }
 
   // Communication efficiency: who sent anything in the last 2 seconds?
-  const auto& stats = sim.network().stats();
+  // NetStats registers on the plane's metric registry as an attachment.
+  const auto& stats = *NetStats::from(sim.plane().registry());
   auto senders = stats.senders_between(38 * kSecond, 40 * kSecond);
   std::printf("\n\nSenders in the final 2s window:");
   for (ProcessId p : senders) std::printf(" p%u", p);

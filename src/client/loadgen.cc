@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "client/cluster_client.h"
-#include "common/metrics.h"
 #include "net/topology.h"
+#include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "rsm/replica.h"
 #include "sim/simulator.h"
 
@@ -81,7 +83,30 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   const TimePoint measure_from = config.start + config.warmup;
   const KeyPicker picker(config.keys, config.zipf);
 
-  Summary latency_ms;
+  // Observability: client latency streams into the plane's registry (so it
+  // lands in the exported snapshot alongside the consensus decide-latency
+  // histogram); the span tracker closes election-stabilization spans and the
+  // tracer retains the control-plane story for the JSONL artifact.
+  obs::Histogram& latency_ms =
+      sim.plane().registry().histogram("client_latency_ms");
+  obs::ElectionSpanTracker election_spans(sim.plane(), config.cluster_n);
+  std::unique_ptr<obs::RingTracer> tracer;
+  if (!config.artifacts_prefix.empty()) {
+    // Election/epoch story only: per-op events (decide/apply/request/reply)
+    // would evict the handful of span boundaries from the ring, and their
+    // aggregate lives in the histograms anyway.
+    const obs::EventMask story =
+        obs::mask_of(obs::EventType::kLeaderChange) |
+        obs::mask_of(obs::EventType::kCrash) |
+        obs::mask_of(obs::EventType::kRecover) |
+        obs::mask_of(obs::EventType::kStall) |
+        obs::mask_of(obs::EventType::kNemesisFault) |
+        obs::mask_of(obs::EventType::kEpochStart) |
+        obs::mask_of(obs::EventType::kEpochEnd) |
+        obs::mask_of(obs::EventType::kSpanBegin) |
+        obs::mask_of(obs::EventType::kSpanEnd);
+    tracer = std::make_unique<obs::RingTracer>(sim.plane().bus(), 65536, story);
+  }
   std::uint64_t measured_acked = 0;
   std::vector<std::string> acked_tokens;   // verify mode: acked appends
   std::uint64_t write_counter = 0;
@@ -199,7 +224,7 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   result.throughput =
       window_s > 0 ? static_cast<double>(measured_acked) / window_s : 0;
 
-  const NetStats& stats = sim.network().stats();
+  const NetStats& stats = *NetStats::from(sim.plane().registry());
   result.omega_msgs =
       stats.sent_by_class(NetStats::type_class(msg_type::kCeOmegaAlive));
   result.consensus_msgs =
@@ -271,6 +296,16 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       }
     }
     if (!have_ref) fail("no alive replica to audit");
+  }
+
+  // Artifact dump: the whole plane as Prometheus text and JSON, plus the
+  // retained control-plane trace.
+  if (!config.artifacts_prefix.empty()) {
+    obs::write_text_file(config.artifacts_prefix + ".prom",
+                         obs::render_prometheus(sim.plane().registry()));
+    obs::write_text_file(config.artifacts_prefix + ".json",
+                         obs::render_json(sim.plane().registry()));
+    tracer->dump_jsonl_file(config.artifacts_prefix + ".trace.jsonl");
   }
 
   (void)drained_at;

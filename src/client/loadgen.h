@@ -58,6 +58,12 @@ struct LoadgenConfig {
   /// tokens; at the end every acked token must appear exactly once on
   /// every alive replica, no token twice, and all stores must agree.
   bool verify = false;
+
+  /// When non-empty, the run dumps its observability plane as artifacts:
+  /// `<prefix>.prom` (Prometheus text), `<prefix>.json` (metrics snapshot)
+  /// and `<prefix>.trace.jsonl` (control-plane event trace, including
+  /// election-stabilization spans and per-instance consensus spans).
+  std::string artifacts_prefix;
 };
 
 struct LoadgenResult {

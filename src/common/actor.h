@@ -14,10 +14,13 @@
 //  * A crashed process simply stops receiving callbacks (crash-stop model).
 #pragma once
 
+#include <memory>
+
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/storage.h"
 #include "common/types.h"
+#include "obs/plane.h"
 
 namespace lls {
 
@@ -53,6 +56,20 @@ class Runtime {
   /// Stable storage surviving crashes (crash-recovery extension); nullptr
   /// in crash-stop runtimes, which is the default.
   [[nodiscard]] virtual StableStorage* storage() { return nullptr; }
+
+  /// The observability plane: metric registry + event bus. The simulator
+  /// shares one plane across all simulated processes (events carry the
+  /// emitting id); real runtimes own one per process. The default is a
+  /// lazily-created private plane so bare test runtimes work unchanged;
+  /// wrapper runtimes must forward to their base so publisher and
+  /// subscriber meet on the same bus.
+  [[nodiscard]] virtual obs::Plane& obs() {
+    if (!fallback_plane_) fallback_plane_ = std::make_unique<obs::Plane>();
+    return *fallback_plane_;
+  }
+
+ private:
+  std::unique_ptr<obs::Plane> fallback_plane_;
 };
 
 /// Runtime view for a protocol cluster embedded in a larger process fabric:
@@ -80,6 +97,7 @@ class ClusterViewRuntime final : public Runtime {
   void cancel_timer(TimerId timer) override { base_->cancel_timer(timer); }
   Rng& rng() override { return base_->rng(); }
   [[nodiscard]] StableStorage* storage() override { return base_->storage(); }
+  [[nodiscard]] obs::Plane& obs() override { return base_->obs(); }
 
  private:
   Runtime* base_ = nullptr;

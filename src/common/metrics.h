@@ -3,16 +3,24 @@
 // The benchmark harness reconstructs the paper's claims from these: e.g.
 // "eventually only one process sends messages" is checked by reading the
 // per-process send counters over trailing time buckets.
+//
+// Named-metric registration and the streaming histogram now live in the
+// unified observability plane (src/obs): obs::Registry replaced the old
+// MetricsRegistry, and Summary below is a compatibility shim over
+// obs::Histogram — same call surface (record/count/mean/min/max/stddev/
+// percentile), but O(1) per record and bounded memory instead of storing
+// every sample and sorting per percentile call.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
 
 namespace lls {
 
@@ -59,73 +67,20 @@ class TimeSeries {
   std::vector<std::uint64_t> buckets_;
 };
 
-/// Streaming summary: count / mean / min / max / stddev / percentiles.
-class Summary {
+/// Compatibility shim: the old store-everything Summary, re-based on the
+/// streaming obs::Histogram. Percentiles are now approximate (log-bucketed,
+/// ≤ ~3.2% relative error; min and max stay exact). stddev keeps the old
+/// sample (n-1) convention.
+class Summary : public obs::Histogram {
  public:
-  void record(double x) { samples_.push_back(x); }
-
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
-
-  [[nodiscard]] double mean() const {
-    if (samples_.empty()) return 0;
-    double s = 0;
-    for (double x : samples_) s += x;
-    return s / static_cast<double>(samples_.size());
-  }
-
-  [[nodiscard]] double min() const {
-    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
-  }
-
-  [[nodiscard]] double max() const {
-    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
-  }
-
   [[nodiscard]] double stddev() const {
-    if (samples_.size() < 2) return 0;
-    double m = mean();
-    double s = 0;
-    for (double x : samples_) s += (x - m) * (x - m);
-    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+    const std::uint64_t n = count();
+    if (n < 2) return 0;
+    const double m = mean();
+    const double var =
+        (sum_sq() - static_cast<double>(n) * m * m) / static_cast<double>(n - 1);
+    return var > 0 ? std::sqrt(var) : 0;
   }
-
-  /// p in [0, 100]. Nearest-rank on a sorted copy.
-  [[nodiscard]] double percentile(double p) const {
-    if (samples_.empty()) return 0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    auto rank = static_cast<std::size_t>(
-        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-    rank = std::clamp<std::size_t>(rank, 1, sorted.size());
-    return sorted[rank - 1];
-  }
-
- private:
-  std::vector<double> samples_;
-};
-
-/// Named metric registry, one per simulation.
-class MetricsRegistry {
- public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Summary& summary(const std::string& name) { return summaries_[name]; }
-
-  TimeSeries& series(const std::string& name, Duration bucket_width) {
-    auto it = series_.find(name);
-    if (it == series_.end()) {
-      it = series_.emplace(name, TimeSeries(bucket_width)).first;
-    }
-    return it->second;
-  }
-
-  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
-    return counters_;
-  }
-
- private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Summary> summaries_;
-  std::map<std::string, TimeSeries> series_;
 };
 
 }  // namespace lls

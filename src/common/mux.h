@@ -84,6 +84,8 @@ class MuxActor final : public Actor {
 
     [[nodiscard]] StableStorage* storage() override { return base_.storage(); }
 
+    [[nodiscard]] obs::Plane& obs() override { return base_.obs(); }
+
    private:
     MuxActor& mux_;
     Runtime& base_;

@@ -8,7 +8,6 @@
 //    the comparison point in the T3/F2 benchmarks.
 #pragma once
 
-#include <functional>
 #include <optional>
 
 #include "common/actor.h"
@@ -59,19 +58,23 @@ class ConsensusActor : public Actor {
   /// Lowest instance this process has not yet learned a decision for.
   [[nodiscard]] virtual Instance first_unknown() const = 0;
 
-  /// Fired exactly once per instance on each process, in instance order,
-  /// when the decision for that instance becomes known locally.
-  void set_decision_listener(std::function<void(Instance, const Bytes&)> fn) {
-    decision_listener_ = std::move(fn);
-  }
-
  protected:
-  void notify_decision(Instance i, const Bytes& value) const {
-    if (decision_listener_) decision_listener_(i, value);
+  /// Publishes a kDecide event on the runtime's observability bus: fired
+  /// exactly once per instance on each process, in instance order, when
+  /// the decision becomes known locally. Subscribers (the RSM, the
+  /// experiment harness) filter on Event::process — this replaced the old
+  /// single-slot set_decision_listener callback. The payload view is only
+  /// valid during the publish; `b` carries the value size.
+  static void notify_decision(Runtime& rt, Instance i, const Bytes& value) {
+    obs::Event e;
+    e.type = obs::EventType::kDecide;
+    e.t = rt.now();
+    e.process = rt.id();
+    e.a = i;
+    e.b = value.size();
+    e.payload = value;
+    rt.obs().bus().publish(e);
   }
-
- private:
-  std::function<void(Instance, const Bytes&)> decision_listener_;
 };
 
 }  // namespace lls

@@ -44,15 +44,16 @@ ConsensusResult run_consensus_experiment(const ConsensusExperiment& exp) {
   std::map<std::uint64_t, std::map<ProcessId, TimePoint>> decided_at;
   TimePoint last_decide_event = 0;
 
-  for (ProcessId p = 0; p < static_cast<ProcessId>(exp.n); ++p) {
-    engines[p]->set_decision_listener(
-        [&, p](Instance, const Bytes& value) {
-          if (value.empty()) return;  // no-op filler
-          std::uint64_t id = value_id(value);
-          decided_at[id].emplace(p, sim.now());
-          last_decide_event = std::max(last_decide_event, sim.now());
-        });
-  }
+  // One plane-wide subscription replaces the old per-engine decision
+  // listeners: kDecide events carry the emitting process and the value.
+  obs::Subscription decide_sub = sim.plane().bus().subscribe(
+      obs::mask_of(obs::EventType::kDecide), [&](const obs::Event& e) {
+        if (e.payload.empty()) return;  // no-op filler
+        BufReader r(e.payload);
+        std::uint64_t id = r.get<std::uint64_t>();
+        decided_at[id].emplace(e.process, sim.now());
+        last_decide_event = std::max(last_decide_event, sim.now());
+      });
 
   // Workload. A value scheduled at an already-crashed submitter is not a
   // proposal (nobody ever submitted it), so it is not recorded.
@@ -147,7 +148,8 @@ ConsensusResult run_consensus_experiment(const ConsensusExperiment& exp) {
   result.all_decided =
       result.values_decided_everywhere == result.values_proposed;
 
-  const auto& stats = sim.network().stats();
+  // The unified registry owns the network stats; read them back through it.
+  const NetStats& stats = *NetStats::from(sim.plane().registry());
   result.total_msgs = stats.sent_total();
   result.total_events = sim.events_executed();
   if (result.values_decided_everywhere > 0) {

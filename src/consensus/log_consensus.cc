@@ -11,6 +11,8 @@ void LogConsensus::on_start(Runtime& rt) {
   self_ = rt.id();
   n_ = rt.n();
   rt_ = &rt;
+  decide_latency_ =
+      &rt.obs().registry().histogram("consensus_decide_latency_ms");
   if (config_.durable) restore(rt);
   tick_timer_ = rt.set_timer(config_.retry_period);
 }
@@ -64,7 +66,7 @@ void LogConsensus::restore(Runtime& rt) {
     const Bytes& v = *decided_value(next_notify_);
     Instance idx = next_notify_;
     ++next_notify_;
-    notify_decision(idx, v);
+    notify_decision(rt, idx, v);
   }
 }
 
@@ -163,6 +165,14 @@ void LogConsensus::start_prepare(Runtime& rt) {
 void LogConsensus::become_ready(Runtime& rt) {
   leader_ready_ = true;
   preparing_ = false;
+  {
+    obs::Event e;
+    e.type = obs::EventType::kEpochStart;
+    e.t = rt.now();
+    e.process = self_;
+    e.a = static_cast<std::uint64_t>(my_round_);
+    rt.obs().bus().publish(e);
+  }
 
   // The proposer's frontier: above everything decided, merged or in flight.
   next_free_ = std::max<Instance>(next_free_, log_size());
@@ -184,6 +194,7 @@ void LogConsensus::become_ready(Runtime& rt) {
     inf.acks.insert(self_);
     acceptor_.on_accept(my_round_, i, inf.value);
     inflight_[i] = std::move(inf);
+    accept_started_.try_emplace(i, rt.now());
     for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
       if (q != self_) send_accept(rt, q, i);
     }
@@ -213,6 +224,7 @@ void LogConsensus::assign_pending(Runtime& rt) {
     inf.acks.insert(self_);
     acceptor_.on_accept(my_round_, i, inf.value);
     inflight_[i] = std::move(inf);
+    accept_started_.try_emplace(i, rt.now());
     for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
       if (q != self_) send_accept(rt, q, i);
     }
@@ -248,6 +260,14 @@ void LogConsensus::retransmit(Runtime& rt) {
 }
 
 void LogConsensus::abdicate() {
+  if (leader_ready_ && rt_ != nullptr) {
+    obs::Event e;
+    e.type = obs::EventType::kEpochEnd;
+    e.t = rt_->now();
+    e.process = self_;
+    e.a = static_cast<std::uint64_t>(my_round_);
+    rt_->obs().bus().publish(e);
+  }
   // Unfinished proposals go back to the pending queue; they will be
   // forwarded to the new leader (the new leader's Phase 1 may also recover
   // them, in which case byte-identical duplicates are pruned at decision
@@ -291,6 +311,24 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     }
     inflight_.erase(it);
   }
+  if (auto it = accept_started_.find(i); it != accept_started_.end()) {
+    // Close this instance's propose→decide span (proposer side only: the
+    // start time exists only where the value was put in flight).
+    const Duration span = rt.now() - it->second;
+    if (decide_latency_ != nullptr) {
+      decide_latency_->record(static_cast<double>(span) /
+                              static_cast<double>(kMillisecond));
+    }
+    obs::Event e;
+    e.type = obs::EventType::kSpanEnd;
+    e.t = rt.now();
+    e.process = self_;
+    e.a = static_cast<std::uint64_t>(span);
+    e.b = i;
+    e.label = "consensus_instance";
+    rt.obs().bus().publish(e);
+    accept_started_.erase(it);
+  }
   if (config_.durable) persist(rt);
 
   // The decided log is the completion signal for pending submissions.
@@ -307,7 +345,7 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     const Bytes& v = *decided_value(next_notify_);
     Instance idx = next_notify_;
     ++next_notify_;
-    notify_decision(idx, v);
+    notify_decision(rt, idx, v);
   }
 }
 

@@ -180,6 +180,13 @@ class LogConsensus final : public ConsensusActor {
 
   std::uint64_t proposals_ = 0;
   std::uint64_t dup_proposals_suppressed_ = 0;
+
+  // Observability (per-instance consensus spans). The histogram handle is
+  // resolved once at on_start; accept_started_ remembers when this process,
+  // as proposer, first put an instance in flight so learn() can record the
+  // propose→decide latency and close the span.
+  obs::Histogram* decide_latency_ = nullptr;
+  std::map<Instance, TimePoint> accept_started_;
 };
 
 }  // namespace lls

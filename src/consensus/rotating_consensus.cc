@@ -206,7 +206,7 @@ void RotatingConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     const Bytes& v = *log_[next_notify_];
     Instance idx = next_notify_;
     ++next_notify_;
-    notify_decision(idx, v);
+    notify_decision(rt, idx, v);
   }
 }
 

@@ -4,6 +4,13 @@
 // and "how many links carry messages forever"; NetStats records exactly the
 // observables those theorems talk about: per-process send counts, per-link
 // counts, and time-bucketed activity so a trailing window can be inspected.
+//
+// NetStats is a component of the unified observability plane: its scalar
+// totals ARE obs::Registry counters (handles resolved once at construction
+// — the hot on_send path performs no string-keyed lookup of any kind), and
+// the instance registers itself as the registry's "net_stats" attachment so
+// windowed queries (senders_between etc.) are reachable from the one
+// Registry every experiment reads.
 #pragma once
 
 #include <algorithm>
@@ -13,8 +20,8 @@
 #include <utility>
 #include <vector>
 
-#include "common/metrics.h"
 #include "common/types.h"
+#include "obs/registry.h"
 
 namespace lls {
 
@@ -28,23 +35,43 @@ class NetStats {
     return std::min<std::size_t>(type >> 8, kClasses - 1);
   }
 
-  NetStats(int n, Duration bucket_width)
+  /// When `registry` is given the totals are published through it (metric
+  /// names "net.*") and this NetStats becomes its "net_stats" attachment;
+  /// otherwise a private registry backs the counters (standalone tests).
+  explicit NetStats(int n, Duration bucket_width,
+                    obs::Registry* registry = nullptr)
       : n_(n),
         bucket_width_(bucket_width),
         sent_by_process_(static_cast<std::size_t>(n), 0),
         delivered_by_process_(static_cast<std::size_t>(n), 0),
-        dropped_total_(0),
         sent_by_link_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
-                      0) {}
+                      0) {
+    obs::Registry& reg = registry != nullptr ? *registry : own_registry_;
+    sent_total_ = &reg.counter("net.sent_total");
+    bytes_total_ = &reg.counter("net.bytes_total");
+    delivered_total_ = &reg.counter("net.delivered_total");
+    dropped_total_ = &reg.counter("net.dropped_total");
+    duplicated_total_ = &reg.counter("net.duplicated_total");
+    corrupted_total_ = &reg.counter("net.corrupted_total");
+    reg.attach("net_stats", this);
+  }
+
+  NetStats(const NetStats&) = delete;
+  NetStats& operator=(const NetStats&) = delete;
+
+  /// The NetStats registered on `registry` (nullptr when none is).
+  [[nodiscard]] static const NetStats* from(const obs::Registry& registry) {
+    return static_cast<const NetStats*>(registry.attachment("net_stats"));
+  }
 
   void on_send(TimePoint t, ProcessId src, ProcessId dst, MessageType type,
                bool delivered, std::size_t payload_bytes = 0) {
-    ++sent_total_;
-    bytes_total_ += payload_bytes;
+    sent_total_->inc();
+    bytes_total_->inc(payload_bytes);
     ++sent_by_process_[src];
     ++sent_by_link_[link_index(src, dst)];
     ++sent_by_class_[type_class(type)];
-    if (!delivered) ++dropped_total_;
+    if (!delivered) dropped_total_->inc();
     auto bucket = static_cast<std::size_t>(t / bucket_width_);
     if (bucket >= bucket_senders_.size()) {
       bucket_senders_.resize(bucket + 1);
@@ -58,22 +85,31 @@ class NetStats {
     ++bucket_class_msgs_[bucket][type_class(type)];
   }
 
-  void on_deliver(ProcessId dst) { ++delivered_by_process_[dst]; }
+  void on_deliver(ProcessId dst) {
+    delivered_total_->inc();
+    ++delivered_by_process_[dst];
+  }
 
   /// A link duplicated a message (one call per extra copy).
-  void on_duplicate() { ++duplicated_total_; }
+  void on_duplicate() { duplicated_total_->inc(); }
 
   /// The checksum guard discarded a corrupted copy at delivery.
-  void on_corrupt_drop() { ++corrupted_total_; }
+  void on_corrupt_drop() { corrupted_total_->inc(); }
 
-  [[nodiscard]] std::uint64_t sent_total() const { return sent_total_; }
-  [[nodiscard]] std::uint64_t bytes_total() const { return bytes_total_; }
-  [[nodiscard]] std::uint64_t dropped_total() const { return dropped_total_; }
+  [[nodiscard]] std::uint64_t sent_total() const {
+    return sent_total_->value();
+  }
+  [[nodiscard]] std::uint64_t bytes_total() const {
+    return bytes_total_->value();
+  }
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    return dropped_total_->value();
+  }
   [[nodiscard]] std::uint64_t duplicated_total() const {
-    return duplicated_total_;
+    return duplicated_total_->value();
   }
   [[nodiscard]] std::uint64_t corrupted_total() const {
-    return corrupted_total_;
+    return corrupted_total_->value();
   }
 
   [[nodiscard]] std::uint64_t sent_by(ProcessId p) const {
@@ -160,13 +196,18 @@ class NetStats {
 
   int n_;
   Duration bucket_width_;
-  std::uint64_t sent_total_ = 0;
-  std::uint64_t bytes_total_ = 0;
+  /// Backs the handles when no shared registry is supplied.
+  obs::Registry own_registry_;
+  /// Pre-registered handles: resolved once here, plain increments on the
+  /// hot path (std::map mapped references are stable).
+  obs::Counter* sent_total_ = nullptr;
+  obs::Counter* bytes_total_ = nullptr;
+  obs::Counter* delivered_total_ = nullptr;
+  obs::Counter* dropped_total_ = nullptr;
+  obs::Counter* duplicated_total_ = nullptr;
+  obs::Counter* corrupted_total_ = nullptr;
   std::vector<std::uint64_t> sent_by_process_;
   std::vector<std::uint64_t> delivered_by_process_;
-  std::uint64_t dropped_total_;
-  std::uint64_t duplicated_total_ = 0;
-  std::uint64_t corrupted_total_ = 0;
   std::vector<std::uint64_t> sent_by_link_;
   std::array<std::uint64_t, kClasses> sent_by_class_{};
   std::vector<std::set<ProcessId>> bucket_senders_;

@@ -5,8 +5,8 @@
 namespace lls {
 
 Network::Network(int n, const LinkFactory& factory, Rng& master,
-                 Duration stats_bucket_width)
-    : n_(n), stats_(n, stats_bucket_width) {
+                 Duration stats_bucket_width, obs::Registry* registry)
+    : n_(n), stats_(n, stats_bucket_width, registry) {
   if (n < 2) throw std::invalid_argument("Network requires n >= 2");
   links_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   for (ProcessId src = 0; src < static_cast<ProcessId>(n); ++src) {

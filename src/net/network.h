@@ -22,9 +22,11 @@ namespace lls {
 class Network {
  public:
   /// Builds the fabric; every ordered pair (src != dst) gets a link from the
-  /// factory and an independent random stream forked from `master`.
+  /// factory and an independent random stream forked from `master`. When a
+  /// registry is given, NetStats publishes its totals through it and
+  /// registers itself as the registry's "net_stats" attachment.
   Network(int n, const LinkFactory& factory, Rng& master,
-          Duration stats_bucket_width);
+          Duration stats_bucket_width, obs::Registry* registry = nullptr);
 
   /// Replaces the model on link src→dst (takes effect for future sends).
   void set_link(ProcessId src, ProcessId dst, std::unique_ptr<LinkModel> model);

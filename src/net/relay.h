@@ -103,6 +103,7 @@ class RelayActor final : public Actor {
     void cancel_timer(TimerId timer) override { base_.cancel_timer(timer); }
     Rng& rng() override { return base_.rng(); }
     [[nodiscard]] StableStorage* storage() override { return base_.storage(); }
+    [[nodiscard]] obs::Plane& obs() override { return base_.obs(); }
 
    private:
     RelayActor& relay_;

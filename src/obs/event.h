@@ -1,0 +1,110 @@
+// Typed structured events: the vocabulary of the observability plane.
+//
+// One flat taxonomy covers every layer — transport (send/deliver/drop),
+// process lifecycle (crash/recover/stall), protocol control plane (leader
+// change, epoch start/end, decide, apply), client traffic (request/reply),
+// fault injection (nemesis) and span boundaries. Producers publish Events
+// onto an obs::EventBus; subscribers filter by a bitmask of types, so the
+// hot transport events cost nothing to anyone who only cares about, say,
+// leadership churn.
+//
+// Events are plain values. The `payload` view is only valid for the
+// duration of the publish call — subscribers that retain events (the
+// RingTracer does) must drop or copy it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace lls::obs {
+
+enum class EventType : std::uint8_t {
+  // Transport layer (hot; emitted per message by the simulator/runtime).
+  kSend = 0,      ///< process→peer, mtype, a=bytes
+  kDrop,          ///< message lost by the link model
+  kDeliver,       ///< message handed to the destination actor
+  kCorruptDrop,   ///< corrupted on the wire, dropped by the checksum guard
+  kTimerFire,     ///< a=timer id
+  // Process lifecycle.
+  kCrash,         ///< process crashed
+  kRecover,       ///< process restarted (crash-recovery model)
+  kStall,         ///< process paused a=duration (GC-style stall)
+  // Protocol control plane.
+  kLeaderChange,  ///< process now trusts peer as leader
+  kEpochStart,    ///< process became ready as leader of epoch a
+  kEpochEnd,      ///< process abdicated epoch a
+  kDecide,        ///< instance a decided at process; payload=value
+  kApply,         ///< command a (seq) from peer (origin) applied at process
+  // Client traffic (replica-side).
+  kClientRequest, ///< request from peer admitted at process; a=seq
+  kClientReply,   ///< reply sent from process to peer; a=seq
+  // Fault injection.
+  kNemesisFault,  ///< label=fault kind, a=duration, process/peer=victims
+  // Span boundaries (label identifies the span kind).
+  kSpanBegin,
+  kSpanEnd,       ///< a=duration of the span just closed
+};
+
+inline constexpr std::size_t kEventTypeCount = 18;
+
+/// Subscription filter: bit i selects EventType(i).
+using EventMask = std::uint32_t;
+
+[[nodiscard]] constexpr EventMask mask_of(EventType type) {
+  return EventMask{1} << static_cast<unsigned>(type);
+}
+
+inline constexpr EventMask kAllEvents =
+    (EventMask{1} << kEventTypeCount) - 1;
+/// The per-message transport firehose; excluded from most tracers so the
+/// control-plane story is not evicted from the ring by heartbeats.
+inline constexpr EventMask kTransportEvents =
+    mask_of(EventType::kSend) | mask_of(EventType::kDrop) |
+    mask_of(EventType::kDeliver) | mask_of(EventType::kCorruptDrop) |
+    mask_of(EventType::kTimerFire);
+inline constexpr EventMask kControlEvents = kAllEvents & ~kTransportEvents;
+
+[[nodiscard]] constexpr const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kSend: return "send";
+    case EventType::kDrop: return "drop";
+    case EventType::kDeliver: return "deliver";
+    case EventType::kCorruptDrop: return "corrupt_drop";
+    case EventType::kTimerFire: return "timer_fire";
+    case EventType::kCrash: return "crash";
+    case EventType::kRecover: return "recover";
+    case EventType::kStall: return "stall";
+    case EventType::kLeaderChange: return "leader_change";
+    case EventType::kEpochStart: return "epoch_start";
+    case EventType::kEpochEnd: return "epoch_end";
+    case EventType::kDecide: return "decide";
+    case EventType::kApply: return "apply";
+    case EventType::kClientRequest: return "client_request";
+    case EventType::kClientReply: return "client_reply";
+    case EventType::kNemesisFault: return "nemesis_fault";
+    case EventType::kSpanBegin: return "span_begin";
+    case EventType::kSpanEnd: return "span_end";
+  }
+  return "?";
+}
+
+struct Event {
+  EventType type = EventType::kSend;
+  TimePoint t = 0;
+  /// The emitting (or affected) process; kNoProcess for global events.
+  ProcessId process = kNoProcess;
+  /// The other endpoint where one exists: destination, leader, origin.
+  ProcessId peer = kNoProcess;
+  MessageType mtype = 0;
+  /// Type-dependent payload slot: bytes, instance, seq, timer id, duration.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  /// Message/value bytes; valid only during the publish call.
+  BytesView payload{};
+  /// Static-lifetime tag (span kind, fault name); never freed.
+  const char* label = nullptr;
+};
+
+}  // namespace lls::obs

@@ -1,0 +1,147 @@
+// EventBus: the publish side of the observability plane.
+//
+// Producers publish typed Events; subscribers register a handler plus an
+// EventMask saying which types they want. Dispatch is synchronous and in
+// subscription order, so a deterministic simulation stays deterministic
+// when observed. The bus also keeps a per-type counter independent of any
+// subscriber, so "how many leader changes happened" is answerable without
+// tracing.
+//
+// Subscriptions are RAII: destroying the Subscription handle detaches the
+// handler, so an actor that is torn down mid-run (crash-recovery rebuilds
+// actors) can hold one as a member and never dangle. Unsubscribing and
+// subscribing from inside a handler are both safe; a handler added during
+// a publish does not see the event being dispatched.
+//
+// Single-threaded by design, like every actor callback in this repo. Real
+// runtimes serialize publishes onto their loop thread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lls::obs {
+
+class EventBus;
+
+/// RAII handle for one bus subscription; movable, detaches on destruction.
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+  Subscription(Subscription&& other) noexcept
+      : bus_(std::exchange(other.bus_, nullptr)),
+        id_(std::exchange(other.id_, 0)) {}
+  Subscription& operator=(Subscription&& other) noexcept {
+    if (this != &other) {
+      reset();
+      bus_ = std::exchange(other.bus_, nullptr);
+      id_ = std::exchange(other.id_, 0);
+    }
+    return *this;
+  }
+  ~Subscription() { reset(); }
+
+  /// Detach now (idempotent).
+  inline void reset();
+
+  [[nodiscard]] bool active() const { return bus_ != nullptr; }
+
+ private:
+  friend class EventBus;
+  Subscription(EventBus* bus, std::uint64_t id) : bus_(bus), id_(id) {}
+
+  EventBus* bus_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Registers `handler` for every event type selected by `mask`.
+  [[nodiscard]] Subscription subscribe(EventMask mask, Handler handler) {
+    const std::uint64_t id = next_id_++;
+    subs_.push_back(Entry{id, mask, std::move(handler)});
+    return Subscription(this, id);
+  }
+
+  void publish(const Event& e) {
+    ++counts_[static_cast<std::size_t>(e.type)];
+    const EventMask bit = mask_of(e.type);
+    // Index loop: handlers may subscribe (grow subs_) or unsubscribe
+    // (null out an entry) while we dispatch. New entries are past `end`
+    // and intentionally skipped for this event.
+    const std::size_t end = subs_.size();
+    ++dispatch_depth_;
+    for (std::size_t i = 0; i < end; ++i) {
+      Entry& entry = subs_[i];
+      if ((entry.mask & bit) != 0 && entry.handler) entry.handler(e);
+    }
+    if (--dispatch_depth_ == 0 && pending_compact_) compact();
+  }
+
+  /// Events published of this type, with or without subscribers.
+  [[nodiscard]] std::uint64_t count(EventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+
+  [[nodiscard]] std::size_t subscriber_count() const {
+    std::size_t n = 0;
+    for (const Entry& entry : subs_) n += entry.handler != nullptr;
+    return n;
+  }
+
+ private:
+  friend class Subscription;
+
+  struct Entry {
+    std::uint64_t id;
+    EventMask mask;
+    Handler handler;
+  };
+
+  void unsubscribe(std::uint64_t id) {
+    for (Entry& entry : subs_) {
+      if (entry.id == id) {
+        // Keep the slot during dispatch so iteration indices stay valid.
+        entry.handler = nullptr;
+        entry.mask = 0;
+        pending_compact_ = true;
+        break;
+      }
+    }
+    if (dispatch_depth_ == 0) compact();
+  }
+
+  void compact() {
+    std::erase_if(subs_, [](const Entry& e) { return !e.handler; });
+    pending_compact_ = false;
+  }
+
+  std::vector<Entry> subs_;
+  std::uint64_t next_id_ = 1;
+  std::array<std::uint64_t, kEventTypeCount> counts_{};
+  int dispatch_depth_ = 0;
+  bool pending_compact_ = false;
+};
+
+inline void Subscription::reset() {
+  if (bus_ != nullptr) {
+    bus_->unsubscribe(id_);
+    bus_ = nullptr;
+    id_ = 0;
+  }
+}
+
+}  // namespace lls::obs

@@ -1,0 +1,147 @@
+// Streaming log-bucketed histogram: O(1) record, O(1) memory, mergeable.
+//
+// Replaces the old Summary's store-everything-and-sort-per-percentile-call
+// implementation on every hot path. Layout is log-linear: each power-of-two
+// octave is split into 16 linear sub-buckets, so any recorded value lands
+// in a bucket whose width is 1/16 of its octave — a guaranteed relative
+// quantile error of at most ~3.2% (half a sub-bucket, 1/32). Exponents are
+// clamped to [-32, 63], covering ~2e-10 .. 9e18 with 1536 fixed buckets
+// (12 KiB), allocated once at construction.
+//
+// Exact count/sum/min/max/stddev are tracked alongside the buckets, so
+// mean and extremes carry no bucketing error and percentile results are
+// clamped into [min, max]. merge() adds bucket-wise, which is what makes
+// per-shard recording + one roll-up possible without resorting samples.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace lls::obs {
+
+class Histogram {
+ public:
+  Histogram() : counts_(kBuckets, 0) {}
+
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    sum_sq_ += v * v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    if (v <= 0) {
+      ++nonpositive_;
+      return;
+    }
+    ++counts_[bucket_index(v)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double sum_sq() const { return sum_sq_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double stddev() const {
+    if (count_ == 0) return 0;
+    const double m = mean();
+    const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+    return var > 0 ? std::sqrt(var) : 0;
+  }
+
+  /// Nearest-rank percentile, p in [0, 100]. Exact at the extremes (min
+  /// and max are tracked exactly); elsewhere the bucket midpoint, within
+  /// ~3.2% relative error of the true order statistic.
+  [[nodiscard]] double percentile(double p) const {
+    if (count_ == 0) return 0;
+    if (p <= 0) return min_;
+    if (p >= 100) return max_;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank < 1) rank = 1;
+    std::uint64_t cum = nonpositive_;
+    if (rank <= cum) return clamp(min_ < 0 ? min_ : 0);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cum += counts_[b];
+      if (rank <= cum) return clamp(bucket_mid(b));
+    }
+    return max_;
+  }
+
+  /// Adds another histogram's population into this one.
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    nonpositive_ += other.nonpositive_;
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  }
+
+  void reset() {
+    count_ = nonpositive_ = 0;
+    sum_ = sum_sq_ = min_ = max_ = 0;
+    counts_.assign(kBuckets, 0);
+  }
+
+  /// Visits every non-empty bucket as (upper_bound, count), ascending —
+  /// the shape Prometheus' cumulative `le` buckets are rendered from.
+  /// Non-positive samples are reported under the smallest upper bound.
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    if (nonpositive_ > 0) fn(bound(0), nonpositive_);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (counts_[b] > 0) fn(bound(b + 1), counts_[b]);
+    }
+  }
+
+ private:
+  static constexpr int kMinExp = -32;
+  static constexpr int kMaxExp = 63;
+  static constexpr std::size_t kSubBuckets = 16;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 1) * kSubBuckets;
+
+  [[nodiscard]] static std::size_t bucket_index(double v) {
+    int exp = 0;
+    const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5, 1)
+    if (exp < kMinExp) return 0;
+    if (exp > kMaxExp) return kBuckets - 1;
+    auto sub = static_cast<std::size_t>((mant * 2.0 - 1.0) *
+                                        static_cast<double>(kSubBuckets));
+    if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+    return static_cast<std::size_t>(exp - kMinExp) * kSubBuckets + sub;
+  }
+
+  /// Lower edge of bucket b; bound(kBuckets) is the top edge.
+  [[nodiscard]] static double bound(std::size_t b) {
+    const auto octave = static_cast<int>(b / kSubBuckets);
+    const auto sub = static_cast<double>(b % kSubBuckets);
+    return std::ldexp(1.0 + sub / kSubBuckets, kMinExp + octave - 1);
+  }
+
+  [[nodiscard]] static double bucket_mid(std::size_t b) {
+    return (bound(b) + bound(b + 1)) / 2.0;
+  }
+
+  [[nodiscard]] double clamp(double v) const {
+    if (v < min_) return min_;
+    if (v > max_) return max_;
+    return v;
+  }
+
+  std::uint64_t count_ = 0;
+  std::uint64_t nonpositive_ = 0;  ///< samples <= 0 (no log bucket exists)
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace lls::obs

@@ -1,0 +1,29 @@
+// Plane: one observability surface = metric registry + event bus.
+//
+// Every Runtime exposes a Plane (Runtime::obs()). The simulator shares a
+// single Plane across all simulated processes (events carry the emitting
+// ProcessId so subscribers filter); real runtimes own one per process.
+#pragma once
+
+#include "obs/event_bus.h"
+#include "obs/registry.h"
+
+namespace lls::obs {
+
+class Plane {
+ public:
+  Plane() = default;
+  Plane(const Plane&) = delete;
+  Plane& operator=(const Plane&) = delete;
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+  [[nodiscard]] EventBus& bus() { return bus_; }
+  [[nodiscard]] const EventBus& bus() const { return bus_; }
+
+ private:
+  Registry registry_;
+  EventBus bus_;
+};
+
+}  // namespace lls::obs

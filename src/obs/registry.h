@@ -1,0 +1,92 @@
+// Registry: the single named-metric surface behind the observability plane.
+//
+// Counters, gauges and histograms live in ordered maps keyed by name.
+// Registration (the string lookup) happens once, at construction/startup;
+// hot paths hold the returned reference — std::map guarantees mapped
+// values never move — so no send/deliver path ever does a string-keyed
+// lookup. Exporters (obs/snapshot.h) iterate the same maps to render
+// Prometheus text or JSON.
+//
+// Subsystems with richer state than a scalar (NetStats and its windowed
+// sender/link sets) register themselves as named attachments, so one
+// Registry is still the single place observers go looking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace lls::obs {
+
+/// Monotonic counter. Plain (single-threaded like every actor callback).
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value (queue depths, window sizes).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registration: one map lookup, then hold the reference. References
+  /// stay valid for the life of the Registry (std::map node stability).
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    return gauges_[name];
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Named extension point for subsystems whose state is richer than a
+  /// scalar (e.g. "net_stats" → the NetStats with its windowed queries).
+  /// The registry does not own the object; registrants must outlive it
+  /// or detach by re-attaching nullptr.
+  void attach(const std::string& name, const void* object) {
+    attachments_[name] = object;
+  }
+  [[nodiscard]] const void* attachment(const std::string& name) const {
+    auto it = attachments_.find(name);
+    return it == attachments_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, const void*> attachments_;
+};
+
+}  // namespace lls::obs

@@ -1,0 +1,179 @@
+// Snapshot: point-in-time copy of a Registry, plus the two exporters.
+//
+// capture() copies every counter/gauge/histogram by value, decoupling the
+// moment of observation from rendering — the UDP runtime captures on its
+// loop thread (serialized with actor callbacks, so no locks are needed on
+// the hot path) and renders/serves the copy elsewhere.
+//
+// Exporters:
+//   to_prometheus()  — Prometheus text exposition format (counters,
+//                      gauges, cumulative log-bucket histograms).
+//   to_json()        — the bench JSON shape: one object with "counters",
+//                      "gauges" and "histograms" sub-objects, histograms
+//                      summarized as count/sum/min/max/mean/p50/p90/p99.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace lls::obs {
+
+namespace detail {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+inline std::string sanitize_metric_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+inline void append_double(std::string& out, double v) {
+  char buf[64];
+  if (v != v || v - v != 0) {  // NaN or ±Inf: not representable in JSON
+    std::snprintf(buf, sizeof buf, "null");
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  out += buf;
+}
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace detail
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  [[nodiscard]] static Snapshot capture(const Registry& registry) {
+    Snapshot snap;
+    for (const auto& [name, c] : registry.counters()) {
+      snap.counters.emplace(name, c.value());
+    }
+    for (const auto& [name, g] : registry.gauges()) {
+      snap.gauges.emplace(name, g.value());
+    }
+    for (const auto& [name, h] : registry.histograms()) {
+      snap.histograms.emplace(name, h);
+    }
+    return snap;
+  }
+
+  /// Prometheus text exposition format. `prefix` namespaces every metric.
+  [[nodiscard]] std::string to_prometheus(
+      const std::string& prefix = "lls_") const {
+    std::string out;
+    for (const auto& [name, value] : counters) {
+      const std::string m = detail::sanitize_metric_name(prefix + name);
+      out += "# TYPE " + m + " counter\n" + m + " ";
+      detail::append_u64(out, value);
+      out += '\n';
+    }
+    for (const auto& [name, value] : gauges) {
+      const std::string m = detail::sanitize_metric_name(prefix + name);
+      out += "# TYPE " + m + " gauge\n" + m + " ";
+      detail::append_double(out, value);
+      out += '\n';
+    }
+    for (const auto& [name, h] : histograms) {
+      const std::string m = detail::sanitize_metric_name(prefix + name);
+      out += "# TYPE " + m + " histogram\n";
+      std::uint64_t cum = 0;
+      h.for_each_bucket([&](double le, std::uint64_t count) {
+        cum += count;
+        out += m + "_bucket{le=\"";
+        detail::append_double(out, le);
+        out += "\"} ";
+        detail::append_u64(out, cum);
+        out += '\n';
+      });
+      out += m + "_bucket{le=\"+Inf\"} ";
+      detail::append_u64(out, h.count());
+      out += '\n' + m + "_sum ";
+      detail::append_double(out, h.sum());
+      out += '\n' + m + "_count ";
+      detail::append_u64(out, h.count());
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// Bench-style JSON object; stable key order (maps are sorted).
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + name + "\":";
+      detail::append_u64(out, value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : gauges) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + name + "\":";
+      detail::append_double(out, value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + name + "\":{\"count\":";
+      detail::append_u64(out, h.count());
+      out += ",\"sum\":";
+      detail::append_double(out, h.sum());
+      out += ",\"min\":";
+      detail::append_double(out, h.min());
+      out += ",\"max\":";
+      detail::append_double(out, h.max());
+      out += ",\"mean\":";
+      detail::append_double(out, h.mean());
+      out += ",\"p50\":";
+      detail::append_double(out, h.percentile(50));
+      out += ",\"p90\":";
+      detail::append_double(out, h.percentile(90));
+      out += ",\"p99\":";
+      detail::append_double(out, h.percentile(99));
+      out += '}';
+    }
+    out += "}}";
+    return out;
+  }
+};
+
+/// One-call conveniences for tools: capture and render.
+[[nodiscard]] inline std::string render_prometheus(
+    const Registry& registry, const std::string& prefix = "lls_") {
+  return Snapshot::capture(registry).to_prometheus(prefix);
+}
+
+[[nodiscard]] inline std::string render_json(const Registry& registry) {
+  return Snapshot::capture(registry).to_json();
+}
+
+/// Writes `text` to `path`; returns false on I/O failure.
+inline bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace lls::obs

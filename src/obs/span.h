@@ -1,0 +1,124 @@
+// Span-style tracing over the event bus.
+//
+// ElectionSpanTracker derives election-stabilization spans from the raw
+// kLeaderChange/kCrash/kRecover stream: a span is open while the cluster
+// lacks a unique alive leader trusted by every alive process, and closes
+// the moment agreement is (re)established. Closed spans are recorded into
+// the registry histogram "election_stabilization_ms" and announced as
+// kSpanBegin/kSpanEnd events (label "election_stabilization") so tracers
+// capture them inline with the events that caused them.
+//
+// This is the paper's stabilization-time observable, measured the same way
+// under the simulator and the real runtimes — nothing here touches
+// simulator internals, only the bus.
+//
+// Per-instance consensus spans (propose→decide) are emitted at the source
+// by LogConsensus (label "consensus_instance", histogram
+// "consensus_decide_latency_ms"); see consensus/log_consensus.h.
+#pragma once
+
+#include <vector>
+
+#include "obs/plane.h"
+
+namespace lls::obs {
+
+class ElectionSpanTracker {
+ public:
+  /// Watches processes [0, n) on `plane`'s bus. The tracker starts with an
+  /// open span at `start` (no process trusts anyone yet, so the cluster is
+  /// by definition unstabilized until the first agreement).
+  ElectionSpanTracker(Plane& plane, int n, TimePoint start = 0)
+      : bus_(plane.bus()),
+        hist_(plane.registry().histogram("election_stabilization_ms")),
+        leader_(static_cast<std::size_t>(n), kNoProcess),
+        alive_(static_cast<std::size_t>(n), true),
+        span_start_(start) {
+    publish_boundary(EventType::kSpanBegin, start, 0);
+    sub_ = bus_.subscribe(mask_of(EventType::kLeaderChange) |
+                              mask_of(EventType::kCrash) |
+                              mask_of(EventType::kRecover),
+                          [this](const Event& e) { on_event(e); });
+  }
+
+  [[nodiscard]] std::uint64_t spans_closed() const { return spans_closed_; }
+  [[nodiscard]] bool span_open() const { return open_; }
+  /// Duration of the most recently closed span.
+  [[nodiscard]] Duration last_span() const { return last_span_; }
+
+ private:
+  void on_event(const Event& e) {
+    const auto p = static_cast<std::size_t>(e.process);
+    if (e.process == kNoProcess || p >= leader_.size()) {
+      return;  // e.g. client processes outside [0, n)
+    }
+    switch (e.type) {
+      case EventType::kLeaderChange:
+        leader_[p] = e.peer;
+        break;
+      case EventType::kCrash:
+        alive_[p] = false;
+        break;
+      case EventType::kRecover:
+        alive_[p] = true;
+        leader_[p] = kNoProcess;  // a restarted process re-elects
+        break;
+      default:
+        return;
+    }
+    const bool stable = is_stable();
+    if (open_ && stable) {
+      const Duration span = e.t - span_start_;
+      hist_.record(static_cast<double>(span) /
+                   static_cast<double>(kMillisecond));
+      ++spans_closed_;
+      last_span_ = span;
+      open_ = false;
+      publish_boundary(EventType::kSpanEnd, e.t,
+                       static_cast<std::uint64_t>(span));
+    } else if (!open_ && !stable) {
+      open_ = true;
+      span_start_ = e.t;
+      publish_boundary(EventType::kSpanBegin, e.t, 0);
+    }
+  }
+
+  /// Stable ⇔ every alive process trusts the same alive process.
+  [[nodiscard]] bool is_stable() const {
+    ProcessId agreed = kNoProcess;
+    for (std::size_t p = 0; p < leader_.size(); ++p) {
+      if (!alive_[p]) continue;
+      const ProcessId l = leader_[p];
+      if (l == kNoProcess) return false;
+      if (agreed == kNoProcess) {
+        agreed = l;
+      } else if (l != agreed) {
+        return false;
+      }
+    }
+    return agreed != kNoProcess &&
+           static_cast<std::size_t>(agreed) < alive_.size() &&
+           alive_[static_cast<std::size_t>(agreed)];
+  }
+
+  void publish_boundary(EventType type, TimePoint t, std::uint64_t span) {
+    Event e;
+    e.type = type;
+    e.t = t;
+    e.a = span;
+    e.label = "election_stabilization";
+    bus_.publish(e);
+  }
+
+  EventBus& bus_;
+  Histogram& hist_;
+  std::vector<ProcessId> leader_;
+  std::vector<bool> alive_;
+  bool open_ = true;
+  TimePoint span_start_;
+  Duration last_span_ = 0;
+  std::uint64_t spans_closed_ = 0;
+  Subscription sub_;
+};
+
+}  // namespace lls::obs

@@ -1,0 +1,110 @@
+// RingTracer: a ring-buffered in-memory event subscriber with JSONL dump.
+//
+// Subscribes to an EventBus with a caller-chosen mask and keeps the last
+// `capacity` matching events (plus exact per-type tallies of everything it
+// saw, including evicted events). Two dump formats: a compact human log
+// for test failures and terminals, and JSONL — one event object per line —
+// the committed-artifact format the campaign and loadgen tools emit.
+//
+// Retained events have their payload view dropped (the bytes only live for
+// the duration of the publish call); sizes survive in the a/b slots set by
+// the publisher.
+#pragma once
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.h"
+
+namespace lls::obs {
+
+class RingTracer {
+ public:
+  /// Subscribes immediately; detaches when destroyed (RAII Subscription).
+  RingTracer(EventBus& bus, std::size_t capacity,
+             EventMask mask = kAllEvents)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+    sub_ = bus.subscribe(mask, [this](const Event& e) { push(e); });
+  }
+
+  /// Events currently retained, in arrival order (oldest first).
+  [[nodiscard]] std::vector<Event> events() const {
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    const std::size_t n = ring_.size();
+    const std::size_t start = n < capacity_ ? 0 : head_;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % n]);
+    return out;
+  }
+
+  /// Matching events ever seen, including ones evicted from the ring.
+  [[nodiscard]] std::uint64_t total_seen() const { return total_seen_; }
+
+  /// How many events of `type` this tracer saw (its mask permitting).
+  [[nodiscard]] std::uint64_t count(EventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+
+  /// Compact human-readable log, one event per line.
+  void dump(std::FILE* out) const {
+    for (const Event& e : events()) {
+      std::fprintf(out, "%10" PRId64 " %-13s p%d", e.t, event_type_name(e.type),
+                   e.process);
+      if (e.peer != kNoProcess) std::fprintf(out, " -> p%d", e.peer);
+      if (e.mtype != 0) std::fprintf(out, " type=0x%04x", e.mtype);
+      if (e.a != 0) std::fprintf(out, " a=%" PRIu64, e.a);
+      if (e.b != 0) std::fprintf(out, " b=%" PRIu64, e.b);
+      if (e.label != nullptr) std::fprintf(out, " [%s]", e.label);
+      std::fputc('\n', out);
+    }
+  }
+
+  /// JSONL: one JSON object per line, schema-stable for artifacts.
+  void dump_jsonl(std::FILE* out) const {
+    for (const Event& e : events()) {
+      std::fprintf(out, "{\"type\":\"%s\",\"t\":%" PRId64 ",\"process\":%d",
+                   event_type_name(e.type), e.t, e.process);
+      if (e.peer != kNoProcess) std::fprintf(out, ",\"peer\":%d", e.peer);
+      if (e.mtype != 0) std::fprintf(out, ",\"mtype\":%u", unsigned{e.mtype});
+      if (e.a != 0) std::fprintf(out, ",\"a\":%" PRIu64, e.a);
+      if (e.b != 0) std::fprintf(out, ",\"b\":%" PRIu64, e.b);
+      if (e.label != nullptr) std::fprintf(out, ",\"label\":\"%s\"", e.label);
+      std::fputs("}\n", out);
+    }
+  }
+
+  /// Writes dump_jsonl() to `path`; returns false on I/O failure.
+  bool dump_jsonl_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    dump_jsonl(f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  void push(const Event& e) {
+    ++total_seen_;
+    ++counts_[static_cast<std::size_t>(e.type)];
+    Event kept = e;
+    kept.payload = {};  // the view dies with the publish call
+    if (ring_.size() < capacity_) {
+      ring_.push_back(kept);
+    } else {
+      ring_[head_] = kept;
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< oldest element once the ring is full
+  std::uint64_t total_seen_ = 0;
+  std::array<std::uint64_t, kEventTypeCount> counts_{};
+  Subscription sub_;
+};
+
+}  // namespace lls::obs

@@ -9,7 +9,7 @@ void All2AllOmega::on_start(Runtime& rt) {
   timeout_.assign(static_cast<std::size_t>(n_), config_.initial_timeout);
   suspected_.assign(static_cast<std::size_t>(n_), false);
   recompute_leader();
-  notify_leader(leader_);
+  notify_leader(rt, leader_);
   tick_timer_ = rt.set_timer(config_.eta);
 }
 
@@ -23,7 +23,7 @@ void All2AllOmega::on_message(Runtime& rt, ProcessId src, MessageType type,
     timeout_[src] += config_.additive_step;
     ProcessId before = leader_;
     recompute_leader();
-    if (leader_ != before) notify_leader(leader_);
+    if (leader_ != before) notify_leader(rt, leader_);
   }
 }
 
@@ -49,7 +49,7 @@ void All2AllOmega::on_timer(Runtime& rt, TimerId timer) {
   if (changed) {
     ProcessId before = leader_;
     recompute_leader();
-    if (leader_ != before) notify_leader(leader_);
+    if (leader_ != before) notify_leader(rt, leader_);
   }
 }
 

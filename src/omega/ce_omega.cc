@@ -45,7 +45,7 @@ void CeOmega::on_start(Runtime& rt) {
   timeout_.assign(static_cast<std::size_t>(n_), config_.initial_timeout);
 
   leader_ = compute_leader();
-  notify_leader(leader_);
+  notify_leader(rt, leader_);
   if (leader_ != self_) arm_leader_timer(rt);
   // The ALIVE tick runs on every process; it only emits when the process
   // believes itself leader (Task 1 of the paper's algorithm).
@@ -67,7 +67,7 @@ void CeOmega::update_leadership(Runtime& rt, bool force_restart_timer) {
     LLS_TRACE("t=%lld p%u leader %u -> %u", static_cast<long long>(rt.now()),
               self_, leader_, next);
     leader_ = next;
-    notify_leader(leader_);
+    notify_leader(rt, leader_);
     disarm_leader_timer(rt);
     if (leader_ != self_) arm_leader_timer(rt);
     return;

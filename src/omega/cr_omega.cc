@@ -75,7 +75,7 @@ void CrOmegaStable::on_start(Runtime& rt) {
       config_.eta + static_cast<Duration>(incarnation_) * config_.incarnation_step;
   timeout_.assign(static_cast<std::size_t>(n_), scaled);
 
-  notify_leader(leader_);
+  notify_leader(rt, leader_);
   if (leader_ != self_) leader_timer_ = rt.set_timer(timeout_[leader_]);
 
   // Task 1: wait (η + incarnation·step), then persist the (possibly
@@ -95,7 +95,7 @@ void CrOmegaStable::send_leader_msg(Runtime& rt) {
 void CrOmegaStable::set_leader(Runtime& rt, ProcessId q, bool restart_timer) {
   if (leader_ != q) {
     leader_ = q;
-    notify_leader(leader_);
+    notify_leader(rt, leader_);
     // Persist subsequent refinements once the initial wait completed: the
     // stored value is what the next incarnation starts from.
     if (leader_written_) {
@@ -163,7 +163,7 @@ void CrOmegaVolatile::on_start(Runtime& rt) {
   recovered_[self_] = 1;
   timeout_.assign(static_cast<std::size_t>(n_), config_.eta);
   alive_from_.clear();
-  notify_leader(leader_);
+  notify_leader(rt, leader_);
 
   Bytes empty;
   for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
@@ -176,7 +176,7 @@ void CrOmegaVolatile::set_leader(Runtime& rt, ProcessId q,
                                  bool restart_timer) {
   if (leader_ != q) {
     leader_ = q;
-    notify_leader(leader_);
+    notify_leader(rt, leader_);
   }
   if (leader_timer_ != kInvalidTimer) {
     rt.cancel_timer(leader_timer_);

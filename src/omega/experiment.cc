@@ -79,7 +79,8 @@ OmegaResult run_omega_experiment(const OmegaExperiment& exp) {
         result.samples.back().leaders[*result.correct.begin()];
   }
 
-  const auto& stats = sim.network().stats();
+  // The unified registry owns the network stats; read them back through it.
+  const NetStats& stats = *NetStats::from(sim.plane().registry());
   TimePoint from = exp.horizon - exp.trailing_window;
   result.trailing_senders = stats.senders_between(from, exp.horizon);
   result.trailing_links = stats.links_between(from, exp.horizon).size();

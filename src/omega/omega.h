@@ -8,8 +8,6 @@
 // the all-to-all baseline in all2all_omega.h.
 #pragma once
 
-#include <functional>
-
 #include "common/actor.h"
 #include "common/types.h"
 
@@ -32,18 +30,19 @@ class OmegaActor : public Actor {
   /// The process currently trusted; kNoProcess if none yet.
   [[nodiscard]] virtual ProcessId leader() const = 0;
 
-  /// Optional notification hook, fired on every change of leader().
-  void set_leader_listener(std::function<void(ProcessId)> listener) {
-    leader_listener_ = std::move(listener);
-  }
-
  protected:
-  void notify_leader(ProcessId new_leader) const {
-    if (leader_listener_) leader_listener_(new_leader);
+  /// Publishes a kLeaderChange event on the runtime's observability bus.
+  /// Implementations call this on every change of leader(); anyone
+  /// interested (experiments, spans, the RSM) subscribes on the bus —
+  /// this replaced the old single-slot set_leader_listener callback.
+  static void notify_leader(Runtime& rt, ProcessId new_leader) {
+    obs::Event e;
+    e.type = obs::EventType::kLeaderChange;
+    e.t = rt.now();
+    e.process = rt.id();
+    e.peer = new_leader;
+    rt.obs().bus().publish(e);
   }
-
- private:
-  std::function<void(ProcessId)> leader_listener_;
 };
 
 }  // namespace lls

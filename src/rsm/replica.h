@@ -89,8 +89,6 @@ class BasicKvReplica final : public Actor {
         consensus_(consensus_config, &omega_) {
     mux_.add_child(omega_, 0x0100, 0x01ff);
     mux_.add_child(consensus_, 0x0200, 0x02ff);
-    consensus_.set_decision_listener(
-        [this](Instance i, const Bytes& value) { on_decided(i, value); });
   }
 
   // Actor ------------------------------------------------------------------
@@ -99,6 +97,14 @@ class BasicKvReplica final : public Actor {
     rt_ = &rt;
     cluster_n_ = config_.cluster_n > 0 ? config_.cluster_n : rt.n();
     cluster_rt_.bind(rt, cluster_n_);
+    // Subscribe to decisions before the stack starts: a durable consensus
+    // log re-publishes the restored prefix from within on_start, and those
+    // events must reach this replica. The bus is plane-wide (shared by every
+    // process in a simulation), so filter on the emitting process.
+    decide_sub_ = rt.obs().bus().subscribe(
+        obs::mask_of(obs::EventType::kDecide), [this](const obs::Event& e) {
+          if (e.process == self_) on_decided(e.a, e.payload);
+        });
     mux_.on_start(cluster_rt_);
   }
   void on_message(Runtime& rt, ProcessId src, MessageType type,
@@ -166,7 +172,7 @@ class BasicKvReplica final : public Actor {
     std::set<std::uint64_t> admitted;
   };
 
-  void on_decided(Instance i, const Bytes& value);
+  void on_decided(Instance i, BytesView value);
   void apply_command(const Command& cmd);
   void pump_session_queue();
   void flush_batch();
@@ -227,6 +233,8 @@ class BasicKvReplica final : public Actor {
   // Batching mode.
   std::vector<Command> batch_;
   TimerId flush_timer_ = kInvalidTimer;
+
+  obs::Subscription decide_sub_;
 };
 
 // --- member definitions (template) -------------------------------------------
@@ -308,6 +316,15 @@ void BasicKvReplica<OmegaT, OmegaConfigT>::handle_client_request(
   if (cmd.origin != src || cmd.seq != req.seq || req.seq == 0) {
     return;  // malformed or impersonating another session: drop
   }
+  {
+    obs::Event e;
+    e.type = obs::EventType::kClientRequest;
+    e.t = rt.now();
+    e.process = self_;
+    e.peer = src;
+    e.a = req.seq;
+    rt.obs().bus().publish(e);
+  }
 
   ClientSessionSrv& sess = clients_[src];
   if (req.ack_upto > sess.ack_upto) {
@@ -360,11 +377,20 @@ void BasicKvReplica<OmegaT, OmegaConfigT>::send_reply(ProcessId client,
   reply.found = result.found;
   reply.value = result.value;
   ++client_replies_sent_;
+  {
+    obs::Event e;
+    e.type = obs::EventType::kClientReply;
+    e.t = rt_->now();
+    e.process = self_;
+    e.peer = client;
+    e.a = seq;
+    rt_->obs().bus().publish(e);
+  }
   rt_->send(client, msg_type::kClientReply, reply.encode());
 }
 
 template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::on_decided(Instance, const Bytes& value) {
+void BasicKvReplica<OmegaT, OmegaConfigT>::on_decided(Instance, BytesView value) {
   if (value.empty()) return;  // consensus no-op filler
   CommandBatch batch = CommandBatch::decode(value);
   for (const Command& cmd : batch.commands) apply_command(cmd);
@@ -385,6 +411,15 @@ void BasicKvReplica<OmegaT, OmegaConfigT>::apply_command(const Command& cmd) {
     return;  // at-least-once from consensus -> exactly-once here
   }
   KvResult result = store_.apply(cmd);
+  if (rt_ != nullptr) {
+    obs::Event e;
+    e.type = obs::EventType::kApply;
+    e.t = rt_->now();
+    e.process = self_;
+    e.peer = cmd.origin;
+    e.a = cmd.seq;
+    rt_->obs().bus().publish(e);
+  }
   if (is_client(cmd.origin)) {
     ClientSessionSrv& sess = clients_[cmd.origin];
     if (cmd.seq > sess.ack_upto) {

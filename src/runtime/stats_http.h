@@ -1,0 +1,54 @@
+// StatsHttpServer: a minimal HTTP/1.0 stats endpoint for real runtimes.
+//
+// One listener thread, one request at a time, two routes by convention:
+// `/metrics` (Prometheus text) and `/metrics.json` (bench JSON). The server
+// knows nothing about metrics itself — the handler maps a request path to a
+// response body. UdpNode's handler posts a Snapshot capture onto its event
+// loop, so the registry is only ever read serialized with actor callbacks
+// and the hot path needs no locks (see udp_runtime.cc).
+//
+// Deliberately tiny: no keep-alive, no chunking, no TLS. This is a scrape
+// socket for curl and Prometheus, not a web server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace lls {
+
+class StatsHttpServer {
+ public:
+  /// Maps a request path ("/metrics") to a response body; an empty return
+  /// becomes 404. Invoked on the server thread — the callable must do its
+  /// own synchronization with the data it reads.
+  using Handler = std::function<std::string(const std::string& path)>;
+
+  /// `port` 0 picks an ephemeral port (read it back with port()).
+  StatsHttpServer(std::uint16_t port, Handler handler);
+  ~StatsHttpServer();
+
+  StatsHttpServer(const StatsHttpServer&) = delete;
+  StatsHttpServer& operator=(const StatsHttpServer&) = delete;
+
+  /// Binds and launches the listener thread; throws on bind failure.
+  void start();
+  void stop();
+
+  /// The bound port (resolves ephemeral requests after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void run();
+  void serve_one(int client_fd);
+
+  std::uint16_t port_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace lls

@@ -8,9 +8,11 @@
 
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <stdexcept>
 
 #include "common/serialization.h"
+#include "obs/snapshot.h"
 
 namespace lls {
 
@@ -23,7 +25,12 @@ UdpNode::UdpNode(UdpNodeConfig config, std::unique_ptr<Actor> actor)
     : config_(config),
       actor_(std::move(actor)),
       rng_(config.seed ^ (config.id + 1)),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()) {
+  obs::Registry& reg = plane_.registry();
+  datagrams_sent_ = &reg.counter("udp.datagrams_sent");
+  bytes_sent_ = &reg.counter("udp.bytes_sent");
+  datagrams_received_ = &reg.counter("udp.datagrams_received");
+}
 
 UdpNode::~UdpNode() {
   stop();
@@ -55,11 +62,44 @@ void UdpNode::start() {
     actor_->on_start(*this);
     run();
   });
+
+  if (config_.stats_port != 0) {
+    const std::uint16_t port =
+        config_.stats_port == kAnyStatsPort ? 0 : config_.stats_port;
+    // The handler runs on the server thread; the registry is only touched
+    // on the loop thread, so capture is posted there and awaited. stop()
+    // shuts the server down before the loop, so a posted capture always
+    // drains and the future always resolves.
+    stats_server_ = std::make_unique<StatsHttpServer>(
+        port, [this](const std::string& path) -> std::string {
+          std::promise<std::string> rendered;
+          auto result = rendered.get_future();
+          post([this, &path, &rendered]() {
+            if (path == "/metrics") {
+              rendered.set_value(obs::render_prometheus(plane_.registry()));
+            } else if (path == "/metrics.json") {
+              rendered.set_value(obs::render_json(plane_.registry()));
+            } else {
+              rendered.set_value(std::string());
+            }
+          });
+          return result.get();
+        });
+    stats_server_->start();
+  }
 }
 
 void UdpNode::stop() {
+  if (stats_server_ != nullptr) {
+    stats_server_->stop();
+    stats_server_.reset();
+  }
   running_.store(false);
   if (thread_.joinable()) thread_.join();
+}
+
+std::uint16_t UdpNode::stats_port() const {
+  return stats_server_ != nullptr ? stats_server_->port() : 0;
 }
 
 void UdpNode::post(std::function<void()> fn) {
@@ -85,6 +125,8 @@ void UdpNode::send(ProcessId dst, MessageType type, BytesView payload) {
   // which the protocols tolerate by design.
   ::sendto(fd_, frame.data(), frame.size(), 0,
            reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  datagrams_sent_->inc();
+  bytes_sent_->inc(frame.size());
 }
 
 TimerId UdpNode::set_timer(Duration delay) {
@@ -162,6 +204,7 @@ void UdpNode::drain_socket() {
     if (src >= static_cast<std::uint32_t>(config_.n)) continue;
     BytesView payload(buf.data() + kHeaderSize,
                       static_cast<std::size_t>(got) - kHeaderSize);
+    datagrams_received_->inc();
     actor_->on_message(*this, src, type, payload);
   }
 }

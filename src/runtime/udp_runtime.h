@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/actor.h"
+#include "runtime/stats_http.h"
 
 namespace lls {
 
@@ -30,7 +31,14 @@ struct UdpNodeConfig {
   std::uint16_t base_port = 47000;
   std::string host = "127.0.0.1";
   std::uint64_t seed = 1;
+  /// TCP port for the observability scrape endpoint (`/metrics` Prometheus
+  /// text, `/metrics.json` bench JSON). 0 disables the server; kAnyPort
+  /// binds an ephemeral port, read back with stats_port().
+  std::uint16_t stats_port = 0;
 };
+
+/// UdpNodeConfig::stats_port value requesting an OS-assigned port.
+inline constexpr std::uint16_t kAnyStatsPort = 0xffff;
 
 class UdpNode final : public Runtime {
  public:
@@ -50,6 +58,10 @@ class UdpNode final : public Runtime {
 
   [[nodiscard]] Actor& actor() { return *actor_; }
 
+  /// The bound stats port, or 0 when the stats server is disabled. Valid
+  /// after start(); resolves kAnyStatsPort to the OS-assigned port.
+  [[nodiscard]] std::uint16_t stats_port() const;
+
   // Runtime ------------------------------------------------------------------
   [[nodiscard]] ProcessId id() const override { return config_.id; }
   [[nodiscard]] int n() const override { return config_.n; }
@@ -58,6 +70,11 @@ class UdpNode final : public Runtime {
   TimerId set_timer(Duration delay) override;
   void cancel_timer(TimerId timer) override;
   Rng& rng() override { return rng_; }
+  /// The node's own plane (not the lazily-allocated base fallback): actors,
+  /// the loop thread and the stats handler all see this one instance. Only
+  /// ever mutated on the loop thread; the stats server reads it by posting
+  /// a capture job onto that same thread.
+  [[nodiscard]] obs::Plane& obs() override { return plane_; }
 
  private:
   struct TimerEntry {
@@ -76,6 +93,14 @@ class UdpNode final : public Runtime {
   std::unique_ptr<Actor> actor_;
   Rng rng_;
   std::chrono::steady_clock::time_point epoch_;
+
+  obs::Plane plane_;
+  /// Pre-registered handles: the datagram path must not do string-map
+  /// lookups per packet.
+  obs::Counter* datagrams_sent_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* datagrams_received_ = nullptr;
+  std::unique_ptr<StatsHttpServer> stats_server_;
 
   int fd_ = -1;
   std::thread thread_;

@@ -16,6 +16,7 @@
 #include "omega/all2all_omega.h"
 #include "omega/ce_omega.h"
 #include "omega/cr_omega.h"
+#include "obs/trace.h"
 #include "rsm/linearizability.h"
 #include "rsm/replica.h"
 #include "sim/nemesis.h"
@@ -84,6 +85,21 @@ CeOmegaConfig ce_config(const CampaignConfig& config) {
   return oc;
 }
 
+/// Control-plane tracer, attached when the config asks for a trace dump.
+/// Transport events are excluded so the leadership/decide/nemesis story is
+/// not evicted from the ring by per-message traffic.
+std::unique_ptr<obs::RingTracer> maybe_trace(Simulator& sim,
+                                             const CampaignConfig& config) {
+  if (config.trace_path.empty()) return nullptr;
+  return std::make_unique<obs::RingTracer>(sim.plane().bus(), 65536,
+                                           obs::kControlEvents);
+}
+
+void dump_trace(const std::unique_ptr<obs::RingTracer>& tracer,
+                const CampaignConfig& config) {
+  if (tracer != nullptr) tracer->dump_jsonl_file(config.trace_path);
+}
+
 /// Checks that every alive process trusts the same alive process. `leader_of`
 /// is called per process so callers can re-fetch actors (recovery replaces
 /// the actor instance). Returns the agreed leader when unique.
@@ -129,8 +145,10 @@ std::optional<ProcessId> check_unique_leader(
 /// excluded by construction.
 void check_efficiency(const Simulator& sim, const CampaignConfig& config,
                       ProcessId leader, std::vector<std::string>& violations) {
-  auto senders = sim.network().stats().senders_between(
-      config.horizon - config.check_window, config.horizon);
+  // Read the net stats back through the unified observability registry.
+  auto senders = NetStats::from(sim.plane().registry())
+                     ->senders_between(config.horizon - config.check_window,
+                                       config.horizon);
   if (senders.size() == 1 && *senders.begin() == leader) return;
   std::ostringstream what;
   what << "efficiency violated: senders in trailing window {";
@@ -163,6 +181,7 @@ std::vector<std::string> run_ce_omega(const CampaignConfig& config,
   sc.seed = seed;
   LinkFactory base = system_s_links(config);
   Simulator sim(sc, base);
+  auto tracer = maybe_trace(sim, config);
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     sim.emplace_actor<CeOmega>(p, ce_config(config));
   }
@@ -172,6 +191,7 @@ std::vector<std::string> run_ce_omega(const CampaignConfig& config,
   Nemesis nemesis(sim, base, nc);
   sim.start();
   sim.run_until(config.horizon);
+  dump_trace(tracer, config);
 
   std::vector<std::string> violations;
   check_kill_accounting(sim, nemesis, violations);
@@ -193,6 +213,7 @@ std::vector<std::string> run_all2all(const CampaignConfig& config,
       500 * kMillisecond, {500 * kMicrosecond, 2 * kMillisecond},
       {0.5, {500 * kMicrosecond, 20 * kMillisecond}});
   Simulator sim(sc, base);
+  auto tracer = maybe_trace(sim, config);
   All2AllOmegaConfig oc;
   if (config.sabotage) {
     oc.initial_timeout = oc.eta / 2;
@@ -206,6 +227,7 @@ std::vector<std::string> run_all2all(const CampaignConfig& config,
   Nemesis nemesis(sim, base, nc);
   sim.start();
   sim.run_until(config.horizon);
+  dump_trace(tracer, config);
 
   std::vector<std::string> violations;
   check_kill_accounting(sim, nemesis, violations);
@@ -234,6 +256,7 @@ std::vector<std::string> run_cr_omega(const CampaignConfig& config,
   }
   LinkFactory base = make_all_timely(delay);
   Simulator sim(sc, base);
+  auto tracer = maybe_trace(sim, config);
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     sim.set_actor_factory(
         p, [oc]() { return std::make_unique<CrOmegaStable>(oc); });
@@ -244,6 +267,7 @@ std::vector<std::string> run_cr_omega(const CampaignConfig& config,
   Nemesis nemesis(sim, base, nc);
   sim.start();
   sim.run_until(config.horizon);
+  dump_trace(tracer, config);
 
   std::vector<std::string> violations;
   check_kill_accounting(sim, nemesis, violations);
@@ -266,6 +290,7 @@ std::vector<std::string> run_consensus(const CampaignConfig& config,
   sc.seed = seed;
   LinkFactory base = system_s_links(config);
   Simulator sim(sc, base);
+  auto tracer = maybe_trace(sim, config);
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     sim.emplace_actor<CeNode>(p, ce_config(config), LogConsensusConfig{});
   }
@@ -293,6 +318,7 @@ std::vector<std::string> run_consensus(const CampaignConfig& config,
   }
   sim.start();
   sim.run_until(config.horizon);
+  dump_trace(tracer, config);
 
   std::vector<std::string> violations;
   check_kill_accounting(sim, nemesis, violations);
@@ -360,6 +386,7 @@ std::vector<std::string> run_kv(const CampaignConfig& config,
   sc.seed = seed;
   LinkFactory base = system_s_links(config);
   Simulator sim(sc, base);
+  auto tracer = maybe_trace(sim, config);
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{});
   }
@@ -416,6 +443,7 @@ std::vector<std::string> run_kv(const CampaignConfig& config,
   }
   sim.start();
   sim.run_until(config.horizon);
+  dump_trace(tracer, config);
 
   std::vector<std::string> violations;
   check_kill_accounting(sim, nemesis, violations);
@@ -462,6 +490,7 @@ std::vector<std::string> run_client_session(const CampaignConfig& config,
   sc.seed = seed;
   LinkFactory base = system_s_links(config);
   Simulator sim(sc, base);
+  auto tracer = maybe_trace(sim, config);
 
   KvReplicaConfig rc;
   rc.cluster_n = cluster_n;
@@ -522,6 +551,7 @@ std::vector<std::string> run_client_session(const CampaignConfig& config,
 
   sim.start();
   sim.run_until(config.horizon);
+  dump_trace(tracer, config);
   // The closed-loop closure captures its own shared_ptr; break the cycle so
   // repeated campaign cases in one process do not accumulate.
   *submit_one = nullptr;
@@ -620,6 +650,20 @@ CampaignResult run_campaign(const CampaignConfig& config, std::FILE* log) {
     std::uint64_t seed = config.first_seed + static_cast<std::uint64_t>(i);
     std::vector<std::string> violations = run_campaign_case(config, seed);
     ++result.runs;
+    if (!violations.empty() && !config.trace_dir.empty()) {
+      // Runs are pure functions of (config, seed): re-run the offender with
+      // tracing on and commit the control-plane trace as an artifact.
+      CampaignConfig traced = config;
+      traced.trace_path = config.trace_dir + "/trace_" +
+                          scenario_name(config.scenario) + "_" +
+                          std::to_string(seed) + ".jsonl";
+      run_campaign_case(traced, seed);
+      if (log != nullptr) {
+        std::fprintf(log, "[%s] seed=%" PRIu64 " trace: %s\n",
+                     scenario_name(config.scenario), seed,
+                     traced.trace_path.c_str());
+      }
+    }
     for (const std::string& what : violations) {
       Violation v;
       v.seed = seed;

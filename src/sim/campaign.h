@@ -69,6 +69,13 @@ struct CampaignConfig {
   /// itself is tested end to end.
   bool sabotage = false;
   bool verbose = false;
+  /// When non-empty, each run dumps its control-plane event trace (JSONL,
+  /// transport events excluded) to this path — last run wins, so pair with
+  /// seeds=1 when replaying a specific execution.
+  std::string trace_path;
+  /// When non-empty, run_campaign deterministically re-runs every violating
+  /// seed with tracing on and writes trace_<scenario>_<seed>.jsonl here.
+  std::string trace_dir;
 };
 
 struct Violation {

@@ -135,6 +135,18 @@ void Nemesis::install(const Planned& event) {
   const TimePoint t = event.t;
   const Duration duration = event.duration;
   const ProcessId a = event.a;
+  // Announce the fault on the observability bus when it actually strikes,
+  // so traces interleave injected faults with the protocol's reaction.
+  sim_.schedule(t, [this, event]() {
+    obs::Event e;
+    e.type = obs::EventType::kNemesisFault;
+    e.t = sim_.now();
+    e.process = event.a;
+    e.peer = event.kind == Kind::kPartitionPair ? event.b : kNoProcess;
+    e.a = static_cast<std::uint64_t>(event.duration);
+    e.label = kind_name(event.kind);
+    sim_.plane().bus().publish(e);
+  });
   switch (event.kind) {
     case Kind::kIsolate:
       sim_.schedule(t, [this, a, n]() {

@@ -10,7 +10,8 @@ Simulator::Simulator(SimConfig config, const LinkFactory& links)
     : config_(config),
       master_rng_(config.seed),
       misc_rng_(master_rng_.fork()),
-      network_(config.n, links, master_rng_, config.stats_bucket),
+      network_(config.n, links, master_rng_, config.stats_bucket,
+               &plane_.registry()),
       actors_(static_cast<std::size_t>(config.n)),
       factories_(static_cast<std::size_t>(config.n)),
       storage_(static_cast<std::size_t>(config.n)),
@@ -97,16 +98,13 @@ void Simulator::dispatch(Event& e) {
         // The copy was corrupted in flight; the transport's checksum guard
         // discards it, so corruption degrades to accounted loss.
         network_.stats().on_corrupt_drop();
-        trace_event({TraceEvent::Kind::kCorruptDrop, now_, e.msg.src, dst,
-                     e.msg.type,
-                     static_cast<std::uint32_t>(e.msg.payload.size()),
-                     kInvalidTimer});
+        publish(obs::EventType::kCorruptDrop, e.msg.src, dst, e.msg.type,
+                e.msg.payload.size());
         return;
       }
       network_.note_delivered(dst);
-      trace_event({TraceEvent::Kind::kDeliver, now_, e.msg.src, dst,
-                   e.msg.type, static_cast<std::uint32_t>(e.msg.payload.size()),
-                   kInvalidTimer});
+      publish(obs::EventType::kDeliver, e.msg.src, dst, e.msg.type,
+              e.msg.payload.size());
       actors_[dst]->on_message(*runtimes_[dst], e.msg.src, e.msg.type,
                                e.msg.payload);
       return;
@@ -126,8 +124,7 @@ void Simulator::dispatch(Event& e) {
         push(std::move(deferred));
         return;
       }
-      trace_event({TraceEvent::Kind::kTimerFire, now_, e.pid, kNoProcess, 0, 0,
-                   e.timer});
+      publish(obs::EventType::kTimerFire, e.pid, kNoProcess, 0, e.timer);
       actors_[e.pid]->on_timer(*runtimes_[e.pid], e.timer);
       return;
     }
@@ -137,8 +134,7 @@ void Simulator::dispatch(Event& e) {
     case EventKind::kCrash:
       if (alive_[e.pid]) {
         alive_[e.pid] = false;
-        trace_event({TraceEvent::Kind::kCrash, now_, e.pid, kNoProcess, 0, 0,
-                     kInvalidTimer});
+        publish(obs::EventType::kCrash, e.pid);
         LLS_DEBUG("t=%lld p%u crashed", static_cast<long long>(now_), e.pid);
       }
       return;
@@ -146,8 +142,7 @@ void Simulator::dispatch(Event& e) {
       if (!alive_[e.pid]) {
         alive_[e.pid] = true;
         ++epoch_[e.pid];
-        trace_event({TraceEvent::Kind::kRecover, now_, e.pid, kNoProcess, 0, 0,
-                     kInvalidTimer});
+        publish(obs::EventType::kRecover, e.pid);
         // Volatile state is lost: rebuild the actor from its factory; only
         // storage_ (stable storage) survives the crash.
         actors_[e.pid] = factories_[e.pid]();
@@ -167,13 +162,18 @@ void Simulator::crash_at(ProcessId p, TimePoint t) {
   push(std::move(e));
 }
 
-void Simulator::crash_now(ProcessId p) { alive_[p] = false; }
+void Simulator::crash_now(ProcessId p) {
+  if (alive_[p]) {
+    alive_[p] = false;
+    publish(obs::EventType::kCrash, p);
+  }
+}
 
 void Simulator::stall(ProcessId p, Duration d) {
   TimePoint until = now_ + (d < 0 ? 0 : d);
   if (until > stalled_until_[p]) stalled_until_[p] = until;
-  trace_event(
-      {TraceEvent::Kind::kStall, now_, p, kNoProcess, 0, 0, kInvalidTimer});
+  publish(obs::EventType::kStall, p, kNoProcess, 0,
+          static_cast<std::uint64_t>(d < 0 ? 0 : d));
 }
 
 int Simulator::alive_count() const {
@@ -249,10 +249,8 @@ void Simulator::do_send(ProcessId src, ProcessId dst, MessageType type,
   msg.seq = next_msg_seq_++;
   msg.checksum = payload_checksum(msg.payload);
   Network::Routing routing = network_.route_copies(msg, now_);
-  trace_event({routing.count > 0 ? TraceEvent::Kind::kSend
-                                 : TraceEvent::Kind::kDrop,
-               now_, src, dst, type,
-               static_cast<std::uint32_t>(msg.payload.size()), kInvalidTimer});
+  publish(routing.count > 0 ? obs::EventType::kSend : obs::EventType::kDrop,
+          src, dst, type, msg.payload.size());
   for (std::uint8_t i = 0; i < routing.count; ++i) {
     const Network::RoutedCopy& copy = routing.copies[i];
     Event e;

@@ -16,11 +16,10 @@
 #include <vector>
 
 #include "common/actor.h"
-#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/network.h"
-#include "sim/trace.h"
+#include "obs/plane.h"
 
 namespace lls {
 
@@ -113,11 +112,12 @@ class Simulator {
   /// Miscellaneous deterministic stream (workload generators etc.).
   Rng& rng() { return misc_rng_; }
 
-  MetricsRegistry& metrics() { return metrics_; }
-
-  /// Installs an execution trace sink (nullptr disables). Not owned; must
-  /// outlive the simulation.
-  void set_trace(TraceSink* sink) { trace_ = sink; }
+  /// The simulation's shared observability plane: one registry + event bus
+  /// for all simulated processes (events carry the emitting ProcessId).
+  /// Every SimRuntime's obs() resolves here, so a subscriber sees the
+  /// whole cluster. NetStats registers on this plane's registry.
+  obs::Plane& plane() { return plane_; }
+  [[nodiscard]] const obs::Plane& plane() const { return plane_; }
 
  private:
   friend class SimRuntime;
@@ -160,6 +160,8 @@ class Simulator {
   SimConfig config_;
   Rng master_rng_;
   Rng misc_rng_;
+  /// Declared before network_: NetStats registers into this registry.
+  obs::Plane plane_;
   Network network_;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<std::function<std::unique_ptr<Actor>()>> factories_;
@@ -178,11 +180,20 @@ class Simulator {
   std::uint64_t next_timer_ = 1;
   std::uint64_t next_msg_seq_ = 1;
   std::uint64_t executed_ = 0;
-  MetricsRegistry metrics_;
-  TraceSink* trace_ = nullptr;
 
-  void trace_event(const TraceEvent& e) {
-    if (trace_ != nullptr) trace_->on_event(e);
+  /// Publishes a transport/lifecycle event on the shared bus at now_.
+  void publish(obs::EventType type, ProcessId process,
+               ProcessId peer = kNoProcess, MessageType mtype = 0,
+               std::uint64_t a = 0, BytesView payload = {}) {
+    obs::Event e;
+    e.type = type;
+    e.t = now_;
+    e.process = process;
+    e.peer = peer;
+    e.mtype = mtype;
+    e.a = a;
+    e.payload = payload;
+    plane_.bus().publish(e);
   }
 };
 
@@ -209,6 +220,8 @@ class SimRuntime final : public Runtime {
   Rng& rng() override { return rng_; }
 
   [[nodiscard]] StableStorage* storage() override { return storage_; }
+
+  [[nodiscard]] obs::Plane& obs() override { return sim_.plane_; }
 
  private:
   Simulator& sim_;

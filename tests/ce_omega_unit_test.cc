@@ -241,7 +241,9 @@ TEST(CeOmegaUnit, LeaderListenerFires) {
   CeOmega p(config());
   FakeRuntime rt(/*id=*/2, /*n=*/3);
   std::vector<ProcessId> changes;
-  p.set_leader_listener([&](ProcessId l) { changes.push_back(l); });
+  obs::Subscription sub = rt.obs().bus().subscribe(
+      obs::mask_of(obs::EventType::kLeaderChange),
+      [&](const obs::Event& e) { changes.push_back(e.peer); });
   p.on_start(rt);
   ASSERT_EQ(changes.size(), 1u);  // initial leader announcement
   EXPECT_EQ(changes[0], 0u);

@@ -140,23 +140,27 @@ TEST(Metrics, SummaryStatistics) {
   Summary s;
   for (int i = 1; i <= 100; ++i) s.record(i);
   EXPECT_EQ(s.count(), 100u);
+  // Count, mean, extremes and stddev are tracked exactly; percentiles come
+  // from the streaming log-bucketed histogram, within ~3.2% relative error
+  // (exact at p=0 and p=100, which read the tracked min/max).
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
   EXPECT_DOUBLE_EQ(s.min(), 1);
   EXPECT_DOUBLE_EQ(s.max(), 100);
-  EXPECT_DOUBLE_EQ(s.percentile(50), 50);
-  EXPECT_DOUBLE_EQ(s.percentile(99), 99);
+  EXPECT_NEAR(s.percentile(50), 50, 50 * 0.05);
+  EXPECT_NEAR(s.percentile(99), 99, 99 * 0.05);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
   EXPECT_DOUBLE_EQ(s.percentile(100), 100);
   EXPECT_NEAR(s.stddev(), 29.0115, 0.001);
 }
 
 TEST(Metrics, RegistryReturnsStableReferences) {
-  MetricsRegistry reg;
-  Counter& c = reg.counter("x");
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("x");
   c.inc(3);
   EXPECT_EQ(reg.counter("x").value(), 3u);
-  TimeSeries& ts = reg.series("y", 5);
-  ts.record(12);
-  EXPECT_EQ(reg.series("y", 5).buckets().size(), 3u);
+  obs::Histogram& h = reg.histogram("y");
+  h.record(12);
+  EXPECT_EQ(reg.histogram("y").count(), 1u);
 }
 
 }  // namespace

@@ -78,8 +78,9 @@ TEST(Compaction, LateDecideForCompactedInstanceIsIgnored) {
   f.decide(1, 2);
   ASSERT_EQ(f.consensus.compact(2), 2u);
   int notifications = 0;
-  f.consensus.set_decision_listener(
-      [&](Instance, const Bytes&) { ++notifications; });
+  obs::Subscription sub = f.rt.obs().bus().subscribe(
+      obs::mask_of(obs::EventType::kDecide),
+      [&](const obs::Event&) { ++notifications; });
   // A duplicate DECIDE for instance 0 arrives after compaction: idempotent,
   // no re-notification, and even a *different* value does not trip the
   // agreement check (the original value is gone; the sender is stale).
@@ -94,8 +95,9 @@ TEST(Compaction, ContinuesDecidingAfterCompaction) {
   f.decide(1, 2);
   f.consensus.compact(2);
   std::vector<Instance> notified;
-  f.consensus.set_decision_listener(
-      [&](Instance i, const Bytes&) { notified.push_back(i); });
+  obs::Subscription sub = f.rt.obs().bus().subscribe(
+      obs::mask_of(obs::EventType::kDecide),
+      [&](const obs::Event& e) { notified.push_back(e.a); });
   f.decide(2, 3);
   f.decide(3, 4);
   EXPECT_EQ(notified, (std::vector<Instance>{2, 3}));

@@ -13,13 +13,15 @@
 namespace lls {
 namespace {
 
-Simulator make_cr_kv_cluster(int n, std::uint64_t seed) {
+// Heap-built: the simulator's observability plane makes it non-movable.
+std::unique_ptr<Simulator> make_cr_kv_cluster(int n, std::uint64_t seed) {
   SimConfig config;
   config.n = n;
   config.seed = seed;
-  Simulator sim(config, make_all_timely({500, 2 * kMillisecond}));
+  auto sim = std::make_unique<Simulator>(config,
+                                         make_all_timely({500, 2 * kMillisecond}));
   for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
-    sim.set_actor_factory(p, []() {
+    sim->set_actor_factory(p, []() {
       LogConsensusConfig lc;
       lc.durable = true;
       return std::make_unique<CrKvReplica>(CrOmegaConfig{}, lc);
@@ -29,7 +31,8 @@ Simulator make_cr_kv_cluster(int n, std::uint64_t seed) {
 }
 
 TEST(CrKv, BasicReplicationWorks) {
-  auto sim = make_cr_kv_cluster(3, 1);
+  auto sim_owner = make_cr_kv_cluster(3, 1);
+  Simulator& sim = *sim_owner;
   sim.schedule(1 * kSecond, [&]() {
     sim.actor_as<CrKvReplica>(1).submit(KvOp::kPut, "a", "1");
     sim.actor_as<CrKvReplica>(2).submit(KvOp::kPut, "b", "2");
@@ -44,7 +47,8 @@ TEST(CrKv, BasicReplicationWorks) {
 }
 
 TEST(CrKv, SingleReplicaRecoveryRebuildsStateFromDurableLog) {
-  auto sim = make_cr_kv_cluster(3, 2);
+  auto sim_owner = make_cr_kv_cluster(3, 2);
+  Simulator& sim = *sim_owner;
   sim.schedule(1 * kSecond, [&]() {
     sim.actor_as<CrKvReplica>(0).submit(KvOp::kPut, "user", "alice");
     sim.actor_as<CrKvReplica>(0).submit(KvOp::kAppend, "log", "x");
@@ -65,7 +69,8 @@ TEST(CrKv, SingleReplicaRecoveryRebuildsStateFromDurableLog) {
 }
 
 TEST(CrKv, FullClusterPowerLossPreservesTheStore) {
-  auto sim = make_cr_kv_cluster(3, 3);
+  auto sim_owner = make_cr_kv_cluster(3, 3);
+  Simulator& sim = *sim_owner;
   sim.schedule(1 * kSecond, [&]() {
     sim.actor_as<CrKvReplica>(0).submit(KvOp::kPut, "k1", "v1");
     sim.actor_as<CrKvReplica>(1).submit(KvOp::kPut, "k2", "v2");
@@ -98,7 +103,8 @@ TEST(CrKv, FullClusterPowerLossPreservesTheStore) {
 TEST(CrKv, ExactlyOnceAcrossIncarnations) {
   // The churning replica's sequence numbers are namespaced by incarnation,
   // so post-recovery submissions are not mistaken for duplicates.
-  auto sim = make_cr_kv_cluster(3, 4);
+  auto sim_owner = make_cr_kv_cluster(3, 4);
+  Simulator& sim = *sim_owner;
   sim.schedule(1 * kSecond, [&]() {
     sim.actor_as<CrKvReplica>(2).submit(KvOp::kAppend, "tape", ".");
   });
@@ -120,7 +126,8 @@ TEST(CrKv, ExactlyOnceAcrossIncarnations) {
 }
 
 TEST(CrKv, ChurnWithSteadyWritesConverges) {
-  auto sim = make_cr_kv_cluster(5, 5);
+  auto sim_owner = make_cr_kv_cluster(5, 5);
+  Simulator& sim = *sim_owner;
   // p4 churns; writes flow from the stable trio.
   for (TimePoint t = 2 * kSecond; t < 28 * kSecond; t += 3 * kSecond) {
     sim.crash_at(4, t);

@@ -121,14 +121,17 @@ CrOmegaConfig cr_config() {
 /// Builds an n-process cluster of Algo with factories, schedules an
 /// unstable process u cycling (up `up_ms`, down `down_ms`) until
 /// `churn_until`, and an eventually-down process d crashing at `down_at`.
+// The simulator owns the observability plane (non-movable registrations),
+// so clusters are built on the heap and handed back by pointer.
 template <typename Algo>
-Simulator make_cr_cluster(int n, std::uint64_t seed) {
+std::unique_ptr<Simulator> make_cr_cluster(int n, std::uint64_t seed) {
   SimConfig config;
   config.n = n;
   config.seed = seed;
-  Simulator sim(config, make_all_timely({500, 2 * kMillisecond}));
+  auto sim = std::make_unique<Simulator>(config,
+                                         make_all_timely({500, 2 * kMillisecond}));
   for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
-    sim.set_actor_factory(
+    sim->set_actor_factory(
         p, []() { return std::make_unique<Algo>(cr_config()); });
   }
   return sim;
@@ -146,7 +149,8 @@ TEST(CrOmegaStableTest, Property1CorrectAndUnstableAgree) {
   // n = 5: p0..p2 correct (never crash), p3 eventually down, p4 unstable
   // until t = 30s (then it stays up — "remains up long enough" to finish
   // its write-back wait, as the property requires).
-  auto sim = make_cr_cluster<CrOmegaStable>(5, 11);
+  auto sim_owner = make_cr_cluster<CrOmegaStable>(5, 11);
+  Simulator& sim = *sim_owner;
   sim.crash_at(3, 5 * kSecond);
   schedule_churn(sim, 4, 2 * kSecond, 30 * kSecond, /*up=*/1 * kSecond,
                  /*down=*/500 * kMillisecond);
@@ -168,7 +172,8 @@ TEST(CrOmegaStableTest, Property1CorrectAndUnstableAgree) {
 }
 
 TEST(CrOmegaStableTest, CommunicationEfficient) {
-  auto sim = make_cr_cluster<CrOmegaStable>(4, 12);
+  auto sim_owner = make_cr_cluster<CrOmegaStable>(4, 12);
+  Simulator& sim = *sim_owner;
   schedule_churn(sim, 3, 2 * kSecond, 20 * kSecond, 1 * kSecond,
                  500 * kMillisecond);
   sim.start();
@@ -181,7 +186,8 @@ TEST(CrOmegaStableTest, CommunicationEfficient) {
 }
 
 TEST(CrOmegaStableTest, UnstableProcessReadsLeaderFromStorageOnRecovery) {
-  auto sim = make_cr_cluster<CrOmegaStable>(3, 13);
+  auto sim_owner = make_cr_cluster<CrOmegaStable>(3, 13);
+  Simulator& sim = *sim_owner;
   // Let the system stabilize, then bounce p2 once and sample its output
   // right after recovery: it must come back already trusting the leader
   // (read from stable storage), not itself.
@@ -196,7 +202,8 @@ TEST(CrOmegaStableTest, UnstableProcessReadsLeaderFromStorageOnRecovery) {
 TEST(CrOmegaVolatileTest, Property2CorrectConvergeUnstableSeesBottomThenLeader) {
   // n = 5, majority (3) correct: p0..p2 correct, p3 eventually down,
   // p4 unstable forever.
-  auto sim = make_cr_cluster<CrOmegaVolatile>(5, 14);
+  auto sim_owner = make_cr_cluster<CrOmegaVolatile>(5, 14);
+  Simulator& sim = *sim_owner;
   sim.crash_at(3, 5 * kSecond);
   schedule_churn(sim, 4, 2 * kSecond, 118 * kSecond, /*up=*/2 * kSecond,
                  /*down=*/1 * kSecond);
@@ -243,7 +250,8 @@ TEST(CrOmegaVolatileTest, Property2CorrectConvergeUnstableSeesBottomThenLeader) 
 }
 
 TEST(CrOmegaVolatileTest, NearEfficiencyOnlyLeaderAmongCorrectSends) {
-  auto sim = make_cr_cluster<CrOmegaVolatile>(5, 15);
+  auto sim_owner = make_cr_cluster<CrOmegaVolatile>(5, 15);
+  Simulator& sim = *sim_owner;
   schedule_churn(sim, 4, 2 * kSecond, 118 * kSecond, 2 * kSecond,
                  1 * kSecond);
   sim.start();
@@ -261,7 +269,8 @@ TEST(CrOmegaVolatileTest, NearEfficiencyOnlyLeaderAmongCorrectSends) {
 }
 
 TEST(CrOmegaVolatileTest, StartsWithNoLeader) {
-  auto sim = make_cr_cluster<CrOmegaVolatile>(3, 16);
+  auto sim_owner = make_cr_cluster<CrOmegaVolatile>(3, 16);
+  Simulator& sim = *sim_owner;
   sim.start();
   // Before any ALIVE majority is collected, every output is ⊥.
   EXPECT_EQ(sim.actor_as<CrOmegaVolatile>(0).leader(), kNoProcess);
@@ -284,7 +293,8 @@ TEST(CrOmegaStableTest, ElectsTheLeastRecoveredCorrectProcess) {
   // p0 bounces twice early and then stays up forever (still correct, but
   // incarnation 3); p1 never bounces (incarnation 1). The (incarnation, id)
   // key must elect p1, not the lower-id p0.
-  auto sim = make_cr_cluster<CrOmegaStable>(3, 31);
+  auto sim_owner = make_cr_cluster<CrOmegaStable>(3, 31);
+  Simulator& sim = *sim_owner;
   sim.crash_at(0, 2 * kSecond);
   sim.recover_at(0, 3 * kSecond);
   sim.crash_at(0, 4 * kSecond);
@@ -301,7 +311,8 @@ TEST(CrOmegaVolatileTest, MinorityCannotElectALeader) {
   // Only 2 of 5 processes are ever up: no one can collect ALIVE from
   // floor(n/2) = 2 distinct peers, so every output stays bottom forever —
   // the majority requirement is doing its job.
-  auto sim = make_cr_cluster<CrOmegaVolatile>(5, 32);
+  auto sim_owner = make_cr_cluster<CrOmegaVolatile>(5, 32);
+  Simulator& sim = *sim_owner;
   sim.crash_at(2, 0);
   sim.crash_at(3, 0);
   sim.crash_at(4, 0);

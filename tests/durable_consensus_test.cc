@@ -57,13 +57,16 @@ class CrNode final : public Actor {
   MuxActor mux_;
 };
 
-Simulator make_cr_consensus_cluster(int n, std::uint64_t seed) {
+// Heap-built: the simulator's observability plane makes it non-movable.
+std::unique_ptr<Simulator> make_cr_consensus_cluster(int n,
+                                                     std::uint64_t seed) {
   SimConfig config;
   config.n = n;
   config.seed = seed;
-  Simulator sim(config, make_all_timely({500, 2 * kMillisecond}));
+  auto sim = std::make_unique<Simulator>(config,
+                                         make_all_timely({500, 2 * kMillisecond}));
   for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
-    sim.set_actor_factory(p, []() { return std::make_unique<CrNode>(); });
+    sim->set_actor_factory(p, []() { return std::make_unique<CrNode>(); });
   }
   return sim;
 }
@@ -131,8 +134,11 @@ TEST(DurableAcceptor, AcceptedPairAndDecisionSurviveCrash) {
   }
   std::vector<std::pair<Instance, Bytes>> replayed;
   LogConsensus recovered(CrNode::durable_config(), &omega);
-  recovered.set_decision_listener(
-      [&](Instance i, const Bytes& v) { replayed.emplace_back(i, v); });
+  // The payload view is only valid during the publish: copy it out.
+  obs::Subscription sub = rt.obs().bus().subscribe(
+      obs::mask_of(obs::EventType::kDecide), [&](const obs::Event& e) {
+        replayed.emplace_back(e.a, Bytes(e.payload.begin(), e.payload.end()));
+      });
   recovered.on_start(rt);
   const auto* pair = recovered.acceptor().accepted(0);
   ASSERT_NE(pair, nullptr);
@@ -153,7 +159,8 @@ TEST(DurableAcceptor, AcceptedPairAndDecisionSurviveCrash) {
 // --- integration: churn and restarts ------------------------------------------
 
 TEST(DurableConsensus, DecidesThroughRecoveryChurn) {
-  auto sim = make_cr_consensus_cluster(5, 21);
+  auto sim_owner = make_cr_consensus_cluster(5, 21);
+  Simulator& sim = *sim_owner;
   // p4 churns forever; p3 bounces once mid-run. Majority {0, 1, 2} stays up.
   for (TimePoint t = 2 * kSecond; t < 56 * kSecond; t += 3 * kSecond) {
     sim.crash_at(4, t);
@@ -195,7 +202,8 @@ TEST(DurableConsensus, DecidesThroughRecoveryChurn) {
 }
 
 TEST(DurableConsensus, FullClusterRestartPreservesDecisionsAndContinues) {
-  auto sim = make_cr_consensus_cluster(3, 22);
+  auto sim_owner = make_cr_consensus_cluster(3, 22);
+  Simulator& sim = *sim_owner;
   for (int k = 0; k < 5; ++k) {
     sim.schedule(1 * kSecond + k * 100 * kMillisecond, [&, k]() {
       sim.actor_as<CrNode>(0).consensus().propose(
@@ -234,7 +242,8 @@ TEST(DurableConsensus, FullClusterRestartPreservesDecisionsAndContinues) {
 }
 
 TEST(DurableConsensus, SafetyHoldsAcrossRepeatedLeaderRestarts) {
-  auto sim = make_cr_consensus_cluster(3, 23);
+  auto sim_owner = make_cr_consensus_cluster(3, 23);
+  Simulator& sim = *sim_owner;
   // The perpetual leader candidate p0 bounces repeatedly while proposals
   // flow from p1 and p2: ballots and durable promises must serialize
   // everything without divergence.

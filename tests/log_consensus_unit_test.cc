@@ -280,8 +280,9 @@ TEST(LogConsensusUnit, CommitUptoIgnoresOtherRoundAcceptances) {
 TEST(LogConsensusUnit, DecisionListenerFiresInInstanceOrder) {
   Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
   std::vector<Instance> order;
-  f.consensus.set_decision_listener(
-      [&](Instance i, const Bytes&) { order.push_back(i); });
+  obs::Subscription sub = f.rt.obs().bus().subscribe(
+      obs::mask_of(obs::EventType::kDecide),
+      [&](const obs::Event& e) { order.push_back(e.a); });
   f.deliver(0, msg_type::kDecide, DecideMsg{1, val(2)}.encode());
   EXPECT_TRUE(order.empty());  // instance 0 unknown: hold the line
   f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
@@ -292,8 +293,9 @@ TEST(LogConsensusUnit, DecisionListenerFiresInInstanceOrder) {
 TEST(LogConsensusUnit, DuplicateDecideIsIdempotentAndAcked) {
   Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
   int notifications = 0;
-  f.consensus.set_decision_listener(
-      [&](Instance, const Bytes&) { ++notifications; });
+  obs::Subscription sub = f.rt.obs().bus().subscribe(
+      obs::mask_of(obs::EventType::kDecide),
+      [&](const obs::Event&) { ++notifications; });
   f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
   f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
   EXPECT_EQ(notifications, 1);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "net/topology.h"
@@ -22,13 +23,14 @@ LinkFactory base_links() {
   return make_system_s(params);
 }
 
-Simulator make_ce_sim(std::uint64_t seed) {
+// Heap-built: the simulator's observability plane makes it non-movable.
+std::unique_ptr<Simulator> make_ce_sim(std::uint64_t seed) {
   SimConfig config;
   config.n = 5;
   config.seed = seed;
-  Simulator sim(config, base_links());
+  auto sim = std::make_unique<Simulator>(config, base_links());
   for (ProcessId p = 0; p < 5; ++p) {
-    sim.emplace_actor<CeOmega>(p, CeOmegaConfig{});
+    sim->emplace_actor<CeOmega>(p, CeOmegaConfig{});
   }
   return sim;
 }
@@ -40,16 +42,20 @@ TEST(NemesisV2, ScheduleIsAPureFunctionOfConfig) {
   nc.crash_stop_budget = 2;
   nc.crash_restart = false;
 
-  auto sim_a = make_ce_sim(1);
+  auto sim_a_owner = make_ce_sim(1);
+
+  Simulator& sim_a = *sim_a_owner;
   Nemesis a(sim_a, base_links(), nc);
-  auto sim_b = make_ce_sim(99);  // different sim seed must not matter
+  auto sim_b_owner = make_ce_sim(99);  // different sim seed must not matter
+  Simulator& sim_b = *sim_b_owner;
   Nemesis b(sim_b, base_links(), nc);
   EXPECT_GT(a.events_planned(), 0);
   EXPECT_EQ(a.schedule_dump(), b.schedule_dump());
   EXPECT_EQ(a.killed(), b.killed());
 
   nc.seed = 1235;
-  auto sim_c = make_ce_sim(1);
+  auto sim_c_owner = make_ce_sim(1);
+  Simulator& sim_c = *sim_c_owner;
   Nemesis c(sim_c, base_links(), nc);
   EXPECT_NE(a.schedule_dump(), c.schedule_dump());
 }
@@ -59,7 +65,8 @@ TEST(NemesisV2, DenseScheduleCoversEveryDefaultKind) {
   nc.seed = 7;
   nc.quiesce = 60 * kSecond;
   nc.mean_gap = 200 * kMillisecond;
-  auto sim = make_ce_sim(1);
+  auto sim_owner = make_ce_sim(1);
+  Simulator& sim = *sim_owner;
   Nemesis nemesis(sim, base_links(), nc);
   std::set<Nemesis::Kind> kinds;
   for (const auto& event : nemesis.plan()) kinds.insert(event.kind);
@@ -84,7 +91,8 @@ TEST(NemesisV2, KindTogglesDisableKinds) {
   nc.duplicate_storm = false;
   nc.corrupt_storm = false;
   nc.stalls = false;
-  auto sim = make_ce_sim(1);
+  auto sim_owner = make_ce_sim(1);
+  Simulator& sim = *sim_owner;
   Nemesis nemesis(sim, base_links(), nc);
   for (const auto& event : nemesis.plan()) {
     EXPECT_NE(event.kind, Nemesis::Kind::kDuplicateStorm);
@@ -104,7 +112,8 @@ TEST(NemesisV2, CrashStopHonoursBudgetProtectionAndMajority) {
     nc.mean_gap = 300 * kMillisecond;
     nc.crash_stop_budget = 5;
     nc.protected_processes = {4};
-    auto sim = make_ce_sim(seed);
+    auto sim_owner = make_ce_sim(seed);
+    Simulator& sim = *sim_owner;
     Nemesis nemesis(sim, base_links(), nc);
     EXPECT_LE(nemesis.killed().size(), 2u);
     EXPECT_EQ(std::count(nemesis.killed().begin(), nemesis.killed().end(),
@@ -125,7 +134,8 @@ TEST(NemesisV2, CrashStopHonoursBudgetProtectionAndMajority) {
 TEST(NemesisV2, CrashRestartRequiresActorFactories) {
   NemesisConfig nc;
   nc.crash_restart = true;
-  auto sim = make_ce_sim(1);  // actors installed without factories
+  auto sim_owner = make_ce_sim(1);  // actors installed without factories
+  Simulator& sim = *sim_owner;
   EXPECT_THROW(Nemesis(sim, base_links(), nc), std::logic_error);
 }
 
@@ -170,7 +180,8 @@ TEST(NemesisV2, EverythingHealsByQuiesce) {
   NemesisConfig nc;
   nc.seed = 5;
   nc.quiesce = 10 * kSecond;
-  auto sim = make_ce_sim(5);
+  auto sim_owner = make_ce_sim(5);
+  Simulator& sim = *sim_owner;
   Nemesis nemesis(sim, base_links(), nc);
   ASSERT_GT(nemesis.events_planned(), 0);
   for (const auto& event : nemesis.plan()) {

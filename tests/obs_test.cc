@@ -1,0 +1,286 @@
+// Unit tests for the observability plane: streaming histogram error
+// bounds and merging, event-bus dispatch semantics, span tracking, and
+// the Prometheus/JSON exporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/plane.h"
+#include "obs/snapshot.h"
+#include "obs/span.h"
+
+namespace lls {
+namespace {
+
+using obs::Event;
+using obs::EventBus;
+using obs::EventType;
+using obs::Histogram;
+using obs::Subscription;
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(ObsHistogram, ExactStatsAndEmptyBehaviour) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0);
+  h.record(2.0);
+  h.record(8.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(ObsHistogram, PercentileWithinDocumentedRelativeError) {
+  // Log-linear with 16 sub-buckets per octave: any quantile of a positive
+  // population must come back within half a sub-bucket (~3.2%) of the true
+  // order statistic. Exercise several magnitudes in one population.
+  Histogram h;
+  std::vector<double> values;
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    // Spread over ~6 orders of magnitude.
+    double v = std::ldexp(1.0 + static_cast<double>(rng.next_below(1000)) / 1000.0,
+                          static_cast<int>(rng.next_below(20)) - 10);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    const double exact = values[rank == 0 ? 0 : rank - 1];
+    const double approx = h.percentile(p);
+    EXPECT_NEAR(approx, exact, exact * 0.04)
+        << "p" << p << " exact=" << exact << " approx=" << approx;
+  }
+  // The extremes read the exactly-tracked min/max.
+  EXPECT_DOUBLE_EQ(h.percentile(0), values.front());
+  EXPECT_DOUBLE_EQ(h.percentile(100), values.back());
+}
+
+TEST(ObsHistogram, NonPositiveSamplesCountAndRankBelowEverything) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  // The two non-positive samples occupy the lowest ranks.
+  EXPECT_LE(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(ObsHistogram, MergeMatchesSingleHistogramOfUnion) {
+  Histogram a;
+  Histogram b;
+  Histogram whole;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    // Integer-valued samples: double addition is then exact in any order,
+    // so the merged sum can be compared bit-for-bit with the union's.
+    double v = 1.0 + static_cast<double>(rng.next_below(100000));
+    (i % 2 == 0 ? a : b).record(v);
+    whole.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), whole.percentile(p));
+  }
+}
+
+TEST(ObsHistogram, MergeIntoEmptyCopiesExtremes) {
+  Histogram a;
+  Histogram b;
+  b.record(3.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+  a.merge(Histogram{});  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count(), 1u);
+}
+
+// --- EventBus ----------------------------------------------------------------
+
+TEST(ObsEventBus, DispatchesInSubscriptionOrderWithMaskFilter) {
+  EventBus bus;
+  std::vector<int> order;
+  Subscription s1 = bus.subscribe(obs::mask_of(EventType::kDecide),
+                                  [&](const Event&) { order.push_back(1); });
+  Subscription s2 = bus.subscribe(obs::kAllEvents,
+                                  [&](const Event&) { order.push_back(2); });
+  Subscription s3 = bus.subscribe(obs::mask_of(EventType::kCrash),
+                                  [&](const Event&) { order.push_back(3); });
+  Event e;
+  e.type = EventType::kDecide;
+  bus.publish(e);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(bus.count(EventType::kDecide), 1u);
+  EXPECT_EQ(bus.count(EventType::kCrash), 0u);
+}
+
+TEST(ObsEventBus, SubscriptionIsRaii) {
+  EventBus bus;
+  int calls = 0;
+  {
+    Subscription s = bus.subscribe(obs::kAllEvents,
+                                   [&](const Event&) { ++calls; });
+    EXPECT_EQ(bus.subscriber_count(), 1u);
+    Event e;
+    e.type = EventType::kApply;
+    bus.publish(e);
+  }
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+  Event e;
+  e.type = EventType::kApply;
+  bus.publish(e);
+  EXPECT_EQ(calls, 1);  // nothing delivered after the handle died
+}
+
+TEST(ObsEventBus, UnsubscribeDuringDispatchIsSafe) {
+  EventBus bus;
+  int first = 0;
+  int second = 0;
+  Subscription doomed;
+  Subscription killer = bus.subscribe(obs::kAllEvents, [&](const Event&) {
+    ++first;
+    doomed.reset();  // tear down a later subscriber mid-dispatch
+  });
+  doomed = bus.subscribe(obs::kAllEvents, [&](const Event&) { ++second; });
+  Event e;
+  e.type = EventType::kDecide;
+  bus.publish(e);
+  bus.publish(e);
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(second, 0);  // unsubscribed before its turn on the first publish
+}
+
+TEST(ObsEventBus, SubscribeDuringDispatchSkipsCurrentEvent) {
+  EventBus bus;
+  int late_calls = 0;
+  Subscription late;
+  Subscription outer = bus.subscribe(obs::kAllEvents, [&](const Event&) {
+    if (!late.active()) {
+      late = bus.subscribe(obs::kAllEvents,
+                           [&](const Event&) { ++late_calls; });
+    }
+  });
+  Event e;
+  e.type = EventType::kDecide;
+  bus.publish(e);
+  EXPECT_EQ(late_calls, 0);  // not the event that created it
+  bus.publish(e);
+  EXPECT_EQ(late_calls, 1);  // but every one after
+}
+
+// --- ElectionSpanTracker -----------------------------------------------------
+
+TEST(ObsSpan, ElectionSpanClosesOnAgreementAndReopensOnCrash) {
+  obs::Plane plane;
+  obs::ElectionSpanTracker tracker(plane, /*n=*/3);
+  EXPECT_TRUE(tracker.span_open());
+
+  auto leader_change = [&](ProcessId p, ProcessId leader, TimePoint t) {
+    Event e;
+    e.type = EventType::kLeaderChange;
+    e.t = t;
+    e.process = p;
+    e.peer = leader;
+    plane.bus().publish(e);
+  };
+  leader_change(0, 0, 1 * kMillisecond);
+  leader_change(1, 0, 2 * kMillisecond);
+  EXPECT_TRUE(tracker.span_open());  // p2 has no leader yet
+  leader_change(2, 0, 5 * kMillisecond);
+  EXPECT_FALSE(tracker.span_open());
+  EXPECT_EQ(tracker.spans_closed(), 1u);
+  EXPECT_EQ(tracker.last_span(), 5 * kMillisecond);
+  EXPECT_EQ(plane.registry().histogram("election_stabilization_ms").count(),
+            1u);
+
+  // The agreed leader crashes: the span reopens until a new agreement.
+  Event crash;
+  crash.type = EventType::kCrash;
+  crash.t = 8 * kMillisecond;
+  crash.process = 0;
+  plane.bus().publish(crash);
+  EXPECT_TRUE(tracker.span_open());
+  leader_change(1, 1, 9 * kMillisecond);
+  leader_change(2, 1, 11 * kMillisecond);
+  EXPECT_FALSE(tracker.span_open());
+  EXPECT_EQ(tracker.spans_closed(), 2u);
+  EXPECT_EQ(tracker.last_span(), 3 * kMillisecond);
+}
+
+// --- Exporters ---------------------------------------------------------------
+
+TEST(ObsSnapshot, PrometheusGolden) {
+  obs::Registry reg;
+  reg.counter("msgs_sent").inc(7);
+  reg.gauge("window").set(2.5);
+  reg.histogram("latency_ms").record(3.0);
+  const std::string text = obs::render_prometheus(reg);
+  EXPECT_EQ(text,
+            "# TYPE lls_msgs_sent counter\n"
+            "lls_msgs_sent 7\n"
+            "# TYPE lls_window gauge\n"
+            "lls_window 2.5\n"
+            "# TYPE lls_latency_ms histogram\n"
+            "lls_latency_ms_bucket{le=\"3.125\"} 1\n"
+            "lls_latency_ms_bucket{le=\"+Inf\"} 1\n"
+            "lls_latency_ms_sum 3\n"
+            "lls_latency_ms_count 1\n");
+}
+
+TEST(ObsSnapshot, PrometheusBucketsAreCumulative) {
+  obs::Registry reg;
+  Histogram& h = reg.histogram("h");
+  for (int i = 0; i < 8; ++i) h.record(1 << i);  // 1, 2, 4, …, 128
+  const std::string text = obs::render_prometheus(reg);
+  // The +Inf bucket carries the full count, and no bucket line exceeds it.
+  EXPECT_NE(text.find("lls_h_bucket{le=\"+Inf\"} 8\n"), std::string::npos);
+  EXPECT_NE(text.find("lls_h_count 8\n"), std::string::npos);
+}
+
+TEST(ObsSnapshot, MetricNamesAreSanitized) {
+  obs::Registry reg;
+  reg.counter("net/p0.sent").inc();
+  const std::string text = obs::render_prometheus(reg);
+  EXPECT_NE(text.find("lls_net_p0_sent 1"), std::string::npos);
+  EXPECT_EQ(text.find('/'), std::string::npos);
+}
+
+TEST(ObsSnapshot, JsonRoundTripsTheRegistryContents) {
+  obs::Registry reg;
+  reg.counter("acked").inc(12);
+  reg.gauge("depth").set(4);
+  Histogram& h = reg.histogram("lat");
+  h.record(1.0);
+  h.record(2.0);
+  const std::string json = obs::render_json(reg);
+  // Spot-check the stable shape (sorted maps, fixed keys).
+  EXPECT_NE(json.find("\"counters\":{\"acked\":12}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"depth\":4}"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\":{\"count\":2,\"sum\":3,"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":1,\"max\":2,\"mean\":1.5"), std::string::npos);
+  // Snapshots are value copies: mutating the registry afterwards does not
+  // change an already-captured snapshot.
+  obs::Snapshot snap = obs::Snapshot::capture(reg);
+  reg.counter("acked").inc(100);
+  EXPECT_EQ(snap.counters.at("acked"), 12u);
+}
+
+}  // namespace
+}  // namespace lls

@@ -1,16 +1,20 @@
-// Tests of the execution-trace facility: event capture, ring semantics,
-// ordering, and the dump format.
+// Tests of the ring tracer on the observability bus: event capture, mask
+// filtering, ring semantics, ordering, and the dump formats.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
-#include "common/serialization.h"
 #include "net/topology.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
-#include "sim/trace.h"
 
 namespace lls {
 namespace {
+
+using obs::Event;
+using obs::EventType;
+using obs::RingTracer;
 
 class PingPong final : public Actor {
  public:
@@ -29,33 +33,40 @@ TEST(Trace, CapturesSendDeliverTimerAndCrash) {
   config.n = 2;
   config.seed = 1;
   Simulator sim(config, make_all_timely({10, 10}));
-  RingTrace trace(1024);
-  sim.set_trace(&trace);
+  RingTracer tracer(sim.plane().bus(), 1024);
   sim.emplace_actor<PingPong>(0);
   sim.emplace_actor<PingPong>(1);
   sim.crash_at(0, 50);  // before p0's 100us timer: that fire is suppressed
   sim.start();
   sim.run_until(1000);
 
-  int sends = 0;
-  int delivers = 0;
-  int timers = 0;
-  int crashes = 0;
-  for (const auto& e : trace.events()) {
-    switch (e.kind) {
-      case TraceEvent::Kind::kSend: ++sends; break;
-      case TraceEvent::Kind::kDeliver: ++delivers; break;
-      case TraceEvent::Kind::kTimerFire: ++timers; break;
-      case TraceEvent::Kind::kCrash: ++crashes; break;
-      default: break;
-    }
-  }
-  EXPECT_EQ(sends, 2);     // ping + pong
-  EXPECT_EQ(delivers, 2);
-  EXPECT_EQ(timers, 1);    // p1's timer; p0's suppressed by crash
-  EXPECT_EQ(crashes, 1);
-  EXPECT_EQ(trace.total_seen(), static_cast<std::uint64_t>(sends + delivers +
-                                                           timers + crashes));
+  EXPECT_EQ(tracer.count(EventType::kSend), 2u);  // ping + pong
+  EXPECT_EQ(tracer.count(EventType::kDeliver), 2u);
+  EXPECT_EQ(tracer.count(EventType::kTimerFire), 1u);  // p0's suppressed
+  EXPECT_EQ(tracer.count(EventType::kCrash), 1u);
+  EXPECT_EQ(tracer.total_seen(), 6u);
+}
+
+TEST(Trace, MaskFiltersTheTransportFirehose) {
+  SimConfig config;
+  config.n = 2;
+  config.seed = 1;
+  Simulator sim(config, make_all_timely({10, 10}));
+  RingTracer tracer(sim.plane().bus(), 1024, obs::kControlEvents);
+  sim.emplace_actor<PingPong>(0);
+  sim.emplace_actor<PingPong>(1);
+  sim.crash_at(0, 50);
+  sim.start();
+  sim.run_until(1000);
+
+  // The control-plane tracer never sees sends/delivers/timer fires…
+  EXPECT_EQ(tracer.count(EventType::kSend), 0u);
+  EXPECT_EQ(tracer.count(EventType::kDeliver), 0u);
+  EXPECT_EQ(tracer.count(EventType::kTimerFire), 0u);
+  EXPECT_EQ(tracer.count(EventType::kCrash), 1u);
+  EXPECT_EQ(tracer.total_seen(), 1u);
+  // …but the bus' own per-type counters still record them.
+  EXPECT_EQ(sim.plane().bus().count(EventType::kSend), 2u);
 }
 
 TEST(Trace, EventsAreChronological) {
@@ -63,13 +74,13 @@ TEST(Trace, EventsAreChronological) {
   config.n = 2;
   config.seed = 2;
   Simulator sim(config, make_all_timely({10, 10}));
-  RingTrace trace(1024);
-  sim.set_trace(&trace);
+  RingTracer tracer(sim.plane().bus(), 1024);
   sim.emplace_actor<PingPong>(0);
   sim.emplace_actor<PingPong>(1);
   sim.start();
   sim.run_until(1000);
-  auto events = trace.events();
+  auto events = tracer.events();
+  ASSERT_FALSE(events.empty());
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_LE(events[i - 1].t, events[i].t);
   }
@@ -82,60 +93,100 @@ TEST(Trace, DropsAreDistinguishedFromSends) {
   Simulator sim(config, [](ProcessId, ProcessId) {
     return std::make_unique<DeadLink>();
   });
-  RingTrace trace(16);
-  sim.set_trace(&trace);
+  RingTracer tracer(sim.plane().bus(), 16);
   sim.emplace_actor<PingPong>(0);
   sim.emplace_actor<PingPong>(1);
   sim.start();
   sim.run_until(1000);
-  bool saw_drop = false;
-  for (const auto& e : trace.events()) {
-    EXPECT_NE(e.kind, TraceEvent::Kind::kDeliver);
-    if (e.kind == TraceEvent::Kind::kDrop) saw_drop = true;
-  }
-  EXPECT_TRUE(saw_drop);
+  EXPECT_EQ(tracer.count(EventType::kDeliver), 0u);
+  EXPECT_GT(tracer.count(EventType::kDrop), 0u);
 }
 
-TEST(Trace, RingKeepsOnlyTheTail) {
-  RingTrace trace(4);
+TEST(Trace, RingKeepsOnlyTheTailButCountsEverything) {
+  obs::EventBus bus;
+  RingTracer tracer(bus, 4);
   for (int i = 0; i < 10; ++i) {
-    TraceEvent e;
-    e.kind = TraceEvent::Kind::kTimerFire;
+    Event e;
+    e.type = EventType::kTimerFire;
     e.t = i;
-    e.a = 0;
-    trace.on_event(e);
+    e.process = 0;
+    bus.publish(e);
   }
-  auto events = trace.events();
+  auto events = tracer.events();
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(events.front().t, 6);
   EXPECT_EQ(events.back().t, 9);
-  EXPECT_EQ(trace.total_seen(), 10u);
+  EXPECT_EQ(tracer.total_seen(), 10u);
+  // Evicted events stay in the per-type tallies.
+  EXPECT_EQ(tracer.count(EventType::kTimerFire), 10u);
 }
 
 TEST(Trace, DumpWritesOneLinePerEvent) {
-  RingTrace trace(8);
-  TraceEvent send;
-  send.kind = TraceEvent::Kind::kSend;
+  obs::EventBus bus;
+  RingTracer tracer(bus, 8);
+  Event send;
+  send.type = EventType::kSend;
   send.t = 42;
-  send.a = 0;
-  send.b = 1;
-  send.type = 0x0101;
-  send.bytes = 16;
-  trace.on_event(send);
-  TraceEvent crash;
-  crash.kind = TraceEvent::Kind::kCrash;
+  send.process = 0;
+  send.peer = 1;
+  send.mtype = 0x0101;
+  send.a = 16;  // bytes
+  bus.publish(send);
+  Event crash;
+  crash.type = EventType::kCrash;
   crash.t = 50;
-  crash.a = 2;
-  trace.on_event(crash);
+  crash.process = 2;
+  bus.publish(crash);
 
   char buf[512] = {};
   std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
   ASSERT_NE(mem, nullptr);
-  trace.dump(mem);
+  tracer.dump(mem);
   std::fclose(mem);
   std::string out(buf);
-  EXPECT_NE(out.find("SEND p0 -> p1 type=0x0101 bytes=16"), std::string::npos);
-  EXPECT_NE(out.find("CRSH p2"), std::string::npos);
+  EXPECT_NE(out.find("send"), std::string::npos);
+  EXPECT_NE(out.find("p0 -> p1 type=0x0101 a=16"), std::string::npos);
+  EXPECT_NE(out.find("crash"), std::string::npos);
+}
+
+TEST(Trace, JsonlDumpIsOneObjectPerLine) {
+  obs::EventBus bus;
+  RingTracer tracer(bus, 8);
+  Event e;
+  e.type = EventType::kSpanEnd;
+  e.t = 7;
+  e.process = 3;
+  e.a = 1500;
+  e.label = "consensus_instance";
+  bus.publish(e);
+
+  char buf[512] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  ASSERT_NE(mem, nullptr);
+  tracer.dump_jsonl(mem);
+  std::fclose(mem);
+  std::string out(buf);
+  EXPECT_EQ(out,
+            "{\"type\":\"span_end\",\"t\":7,\"process\":3,\"a\":1500,"
+            "\"label\":\"consensus_instance\"}\n");
+}
+
+TEST(Trace, RetainedEventsDropTheirPayloadView) {
+  obs::EventBus bus;
+  RingTracer tracer(bus, 8);
+  Bytes value{std::byte{1}, std::byte{2}};
+  Event e;
+  e.type = EventType::kDecide;
+  e.t = 1;
+  e.process = 0;
+  e.a = 0;
+  e.b = value.size();
+  e.payload = value;
+  bus.publish(e);
+  auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].payload.empty());  // the view died with the publish
+  EXPECT_EQ(events[0].b, value.size());    // but the size survives in b
 }
 
 }  // namespace

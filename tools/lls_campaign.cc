@@ -15,12 +15,12 @@
 // on it directly.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_util.h"
+#include "flags.h"
 #include "sim/campaign.h"
 
 using namespace lls;
@@ -32,8 +32,8 @@ namespace {
   std::fputs(
       "usage: lls_campaign [options]\n"
       "\n"
-      "  --scenario=<ce|all2all|cr|consensus|kv|all>  stack to torture "
-      "(default all)\n"
+      "  --scenario=<ce|all2all|cr|consensus|kv|client|all>  stack to "
+      "torture (default all)\n"
       "  --seeds=<int>         seeds per scenario (default 50)\n"
       "  --first-seed=<u64>    first seed (default 1)\n"
       "  --n=<int>             processes (default 5)\n"
@@ -42,75 +42,57 @@ namespace {
       "  --kills=<int>         crash-stop kills per run (default 1)\n"
       "  --sabotage            cripple timeouts; campaign must then FAIL\n"
       "  --verbose             print per-seed progress\n"
-      "  --json=<path>         write a machine-readable summary\n",
+      "  --trace=<path>        dump each run's control-plane trace (JSONL)\n"
+      "  --trace-dir=<dir>     re-run violating seeds with tracing on and\n"
+      "                        write trace_<scenario>_<seed>.jsonl there\n"
+      "  --out=<path>          write a machine-readable summary\n"
+      "                        (--json=<path> is an alias)\n",
       stderr);
   std::exit(2);
-}
-
-std::uint64_t parse_u64(const std::string& value, const char* flag) {
-  char* end = nullptr;
-  std::uint64_t out = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') {
-    usage((std::string("bad value for ") + flag).c_str());
-  }
-  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CampaignConfig config;
-  bool all_scenarios = true;
-  std::string json_path;
+  bench::Flags flags(argc, argv);
+  if (flags.help()) usage();
 
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--sabotage") {
-      config.sabotage = true;
-      continue;
+  bool all_scenarios = true;
+  std::string scenario = flags.str("scenario", "all");
+  if (scenario != "all") {
+    if (!parse_scenario(scenario, &config.scenario)) {
+      usage(("unknown scenario: " + scenario).c_str());
     }
-    if (arg == "--verbose") {
-      config.verbose = true;
-      continue;
-    }
-    if (arg == "--help" || arg == "-h") usage();
-    auto eq = arg.find('=');
-    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
-      usage(("bad flag: " + arg).c_str());
-    }
-    std::string flag = arg.substr(0, eq);
-    std::string value = arg.substr(eq + 1);
-    if (flag == "--scenario") {
-      if (value == "all") {
-        all_scenarios = true;
-      } else if (parse_scenario(value, &config.scenario)) {
-        all_scenarios = false;
-      } else {
-        usage(("unknown scenario: " + value).c_str());
-      }
-    } else if (flag == "--seeds") {
-      config.seeds = static_cast<int>(parse_u64(value, "--seeds"));
-    } else if (flag == "--first-seed") {
-      config.first_seed = parse_u64(value, "--first-seed");
-    } else if (flag == "--n") {
-      config.n = static_cast<int>(parse_u64(value, "--n"));
-      if (config.n < 3) usage("--n must be >= 3");
-    } else if (flag == "--horizon-ms") {
-      config.horizon =
-          static_cast<Duration>(parse_u64(value, "--horizon-ms")) *
-          kMillisecond;
-    } else if (flag == "--quiesce-ms") {
-      config.quiesce =
-          static_cast<Duration>(parse_u64(value, "--quiesce-ms")) *
-          kMillisecond;
-    } else if (flag == "--kills") {
-      config.crash_stop_budget = static_cast<int>(parse_u64(value, "--kills"));
-    } else if (flag == "--json") {
-      json_path = value;
-    } else {
-      usage(("unknown flag: " + flag).c_str());
-    }
+    all_scenarios = false;
   }
+  config.seeds = static_cast<int>(
+      flags.u64("seeds", static_cast<std::uint64_t>(config.seeds)));
+  config.first_seed = flags.u64("first-seed", config.first_seed);
+  config.n = static_cast<int>(
+      flags.u64("n", static_cast<std::uint64_t>(config.n)));
+  config.horizon = static_cast<Duration>(flags.u64(
+                       "horizon-ms",
+                       static_cast<std::uint64_t>(config.horizon /
+                                                  kMillisecond))) *
+                   kMillisecond;
+  config.quiesce = static_cast<Duration>(flags.u64(
+                       "quiesce-ms",
+                       static_cast<std::uint64_t>(config.quiesce /
+                                                  kMillisecond))) *
+                   kMillisecond;
+  config.crash_stop_budget = static_cast<int>(flags.u64(
+      "kills", static_cast<std::uint64_t>(config.crash_stop_budget)));
+  config.sabotage = flags.flag("sabotage");
+  config.verbose = flags.flag("verbose");
+  config.trace_path = flags.str("trace");
+  config.trace_dir = flags.str("trace-dir");
+  std::string json_path = flags.out();
+  if (!flags.ok()) {
+    flags.report(stderr);
+    usage();
+  }
+  if (config.n < 3) usage("--n must be >= 3");
   if (config.quiesce >= config.horizon) usage("--quiesce-ms must precede --horizon-ms");
 
   std::vector<Scenario> scenarios;

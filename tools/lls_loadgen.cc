@@ -11,13 +11,15 @@
 //
 // --batches sweeps the replica's max_batch setting so the batching dividend
 // (consensus messages per committed command) is measured in one invocation;
-// --json writes the full result set for the bench pipeline
-// (tools/run_bench.sh -> BENCH_client.json).
+// --out writes the full result set for the bench pipeline
+// (tools/run_bench.sh -> BENCH_client.json); --artifacts dumps the
+// observability plane (Prometheus text, JSON snapshot, control-plane trace).
 //
 // Examples:
 //   lls_loadgen --mode=closed --clients=64 --crash-leader-at-ms=5000 --verify
-//   lls_loadgen --batches=1,8,32 --json=BENCH_client.json
-//   lls_loadgen --udp --clients=4 --duration-ms=2000
+//   lls_loadgen --batches=1,8,32 --out=BENCH_client.json
+//   lls_loadgen --artifacts=loadgen --verify
+//   lls_loadgen --udp --clients=4 --duration-ms=2000 --stats-port=9464
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include "client/cluster_client.h"
 #include "client/loadgen.h"
 #include "common/metrics.h"
+#include "flags.h"
 #include "rsm/replica.h"
 #include "runtime/udp_runtime.h"
 
@@ -44,6 +47,7 @@ struct CliOptions {
   std::vector<std::size_t> batches{1};
   bool udp = false;
   std::uint16_t udp_base_port = 47400;
+  std::uint16_t stats_port = 0;  ///< UDP mode: replica 0's scrape port
   std::string json_path;
 };
 
@@ -62,86 +66,74 @@ void usage(const char* argv0) {
       "  --duration-ms=D --warmup-ms=W --drain-ms=X\n"
       "  --crash-leader-at-ms=T     kill the leader at virtual time T (sim)\n"
       "  --verify                   exactly-once audit (sim)\n"
+      "  --artifacts=PREFIX         dump PREFIX.prom / .json / .trace.jsonl\n"
+      "                             observability artifacts (sim)\n"
       "  --seed=S\n"
-      "  --json=PATH                write results as JSON\n"
-      "  --udp [--udp-base-port=P]  run over UDP sockets instead of the sim\n",
+      "  --out=PATH                 write results as JSON (--json= alias)\n"
+      "  --udp [--udp-base-port=P]  run over UDP sockets instead of the sim\n"
+      "  --stats-port=P             UDP mode: replica 0 serves /metrics on P\n",
       argv0);
 }
 
 bool parse_args(int argc, char** argv, CliOptions* opt) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto eat = [&](const char* name, std::string* out) {
-      std::string prefix = std::string(name) + "=";
-      if (arg.rfind(prefix, 0) != 0) return false;
-      *out = arg.substr(prefix.size());
-      return true;
-    };
-    std::string v;
-    if (eat("--mode", &v)) {
-      if (v == "closed") {
-        opt->load.open_loop = false;
-      } else if (v == "open") {
-        opt->load.open_loop = true;
-      } else {
-        std::fprintf(stderr, "unknown mode %s\n", v.c_str());
-        return false;
-      }
-    } else if (eat("--n", &v)) {
-      opt->load.cluster_n = std::atoi(v.c_str());
-    } else if (eat("--clients", &v)) {
-      opt->load.clients = std::atoi(v.c_str());
-    } else if (eat("--outstanding", &v)) {
-      opt->load.closed_outstanding = std::atoi(v.c_str());
-    } else if (eat("--rate", &v)) {
-      opt->load.open_rate = std::atof(v.c_str());
-    } else if (eat("--keys", &v)) {
-      opt->load.keys = std::atoi(v.c_str());
-    } else if (eat("--zipf", &v)) {
-      opt->load.zipf = std::atof(v.c_str());
-    } else if (eat("--write-ratio", &v)) {
-      opt->load.write_ratio = std::atof(v.c_str());
-    } else if (eat("--value-size", &v)) {
-      opt->load.value_size = static_cast<std::size_t>(std::atol(v.c_str()));
-    } else if (eat("--batches", &v)) {
-      opt->batches.clear();
-      std::size_t begin = 0;
-      while (begin <= v.size()) {
-        std::size_t end = v.find(',', begin);
-        if (end == std::string::npos) end = v.size();
-        int b = std::atoi(v.substr(begin, end - begin).c_str());
-        if (b <= 0) {
-          std::fprintf(stderr, "bad --batches entry\n");
-          return false;
-        }
-        opt->batches.push_back(static_cast<std::size_t>(b));
-        begin = end + 1;
-      }
-    } else if (eat("--duration-ms", &v)) {
-      opt->load.duration = std::atol(v.c_str()) * kMillisecond;
-    } else if (eat("--warmup-ms", &v)) {
-      opt->load.warmup = std::atol(v.c_str()) * kMillisecond;
-    } else if (eat("--drain-ms", &v)) {
-      opt->load.drain = std::atol(v.c_str()) * kMillisecond;
-    } else if (eat("--crash-leader-at-ms", &v)) {
-      opt->load.crash_leader_at = std::atol(v.c_str()) * kMillisecond;
-    } else if (arg == "--verify") {
-      opt->load.verify = true;
-    } else if (eat("--seed", &v)) {
-      opt->load.seed = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (eat("--json", &v)) {
-      opt->json_path = v;
-    } else if (arg == "--udp") {
-      opt->udp = true;
-    } else if (eat("--udp-base-port", &v)) {
-      opt->udp_base_port = static_cast<std::uint16_t>(std::atoi(v.c_str()));
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-      return false;
-    }
+  Flags flags(argc, argv);
+  if (flags.help()) {
+    usage(argv[0]);
+    std::exit(0);
+  }
+  std::string mode = flags.str("mode", "closed");
+  if (mode == "closed") {
+    opt->load.open_loop = false;
+  } else if (mode == "open") {
+    opt->load.open_loop = true;
+  } else {
+    std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+    return false;
+  }
+  opt->load.cluster_n = static_cast<int>(
+      flags.i64("n", opt->load.cluster_n));
+  opt->load.clients = static_cast<int>(
+      flags.i64("clients", opt->load.clients));
+  opt->load.closed_outstanding = static_cast<int>(
+      flags.i64("outstanding", opt->load.closed_outstanding));
+  opt->load.open_rate = flags.f64("rate", opt->load.open_rate);
+  opt->load.keys = static_cast<int>(flags.i64("keys", opt->load.keys));
+  opt->load.zipf = flags.f64("zipf", opt->load.zipf);
+  opt->load.write_ratio = flags.f64("write-ratio", opt->load.write_ratio);
+  opt->load.value_size = static_cast<std::size_t>(
+      flags.u64("value-size", opt->load.value_size));
+  std::vector<std::uint64_t> batches =
+      flags.u64_list("batches", {opt->batches.begin(), opt->batches.end()});
+  opt->batches.assign(batches.begin(), batches.end());
+  opt->load.duration = static_cast<Duration>(flags.u64(
+                           "duration-ms",
+                           static_cast<std::uint64_t>(opt->load.duration /
+                                                      kMillisecond))) *
+                       kMillisecond;
+  opt->load.warmup = static_cast<Duration>(flags.u64(
+                         "warmup-ms",
+                         static_cast<std::uint64_t>(opt->load.warmup /
+                                                    kMillisecond))) *
+                     kMillisecond;
+  opt->load.drain = static_cast<Duration>(flags.u64(
+                        "drain-ms",
+                        static_cast<std::uint64_t>(opt->load.drain /
+                                                   kMillisecond))) *
+                    kMillisecond;
+  opt->load.crash_leader_at =
+      static_cast<TimePoint>(flags.u64("crash-leader-at-ms", 0)) *
+      kMillisecond;
+  opt->load.verify = flags.flag("verify");
+  opt->load.artifacts_prefix = flags.str("artifacts");
+  opt->load.seed = flags.u64("seed", opt->load.seed);
+  opt->json_path = flags.out();
+  opt->udp = flags.flag("udp");
+  opt->udp_base_port = static_cast<std::uint16_t>(
+      flags.u64("udp-base-port", opt->udp_base_port));
+  opt->stats_port = static_cast<std::uint16_t>(flags.u64("stats-port", 0));
+  if (!flags.ok()) {
+    flags.report(stderr);
+    return false;
   }
   if (opt->load.cluster_n < 1 || opt->load.clients < 1) {
     std::fprintf(stderr, "--n and --clients must be positive\n");
@@ -262,6 +254,7 @@ int run_udp(const CliOptions& opt) {
     nc.n = n;
     nc.base_port = opt.udp_base_port;
     nc.seed = opt.load.seed + p;
+    if (p == 0) nc.stats_port = opt.stats_port;
     nodes.push_back(std::make_unique<UdpNode>(
         nc, std::make_unique<KvReplica>(CeOmegaConfig{}, LogConsensusConfig{},
                                         rc)));
@@ -279,6 +272,10 @@ int run_udp(const CliOptions& opt) {
         nc, std::make_unique<ClusterClient>(cc)));
   }
   for (auto& node : nodes) node->start();
+  if (nodes.front()->stats_port() != 0) {
+    std::printf("stats: curl http://127.0.0.1:%u/metrics (or /metrics.json)\n",
+                nodes.front()->stats_port());
+  }
 
   // Per-client driver state, only ever touched on that client's loop thread
   // (submit + completion callbacks), so no locking.
@@ -352,8 +349,9 @@ int run_udp(const CliOptions& opt) {
   std::printf("throughput %.0f ops/s\n",
               static_cast<double>(acked) / (secs > 0 ? secs : 1));
   if (all_ms.count() > 0) {
-    std::printf("latency (%zu samples): p50 %.2f ms  p99 %.2f ms\n",
-                all_ms.count(), all_ms.percentile(50), all_ms.percentile(99));
+    std::printf("latency (%llu samples): p50 %.2f ms  p99 %.2f ms\n",
+                (unsigned long long)all_ms.count(), all_ms.percentile(50),
+                all_ms.percentile(99));
   }
   return acked > 0 ? 0 : 1;
 }
