@@ -13,6 +13,7 @@
 #include "obs/snapshot.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "rsm/history.h"
 #include "rsm/replica.h"
 #include "sim/simulator.h"
 
@@ -111,6 +112,16 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   std::vector<std::string> acked_tokens;   // verify mode: acked appends
   std::uint64_t write_counter = 0;
 
+  // History recording: invocations streamed at submit, responses as they
+  // complete; timed-out ops stay pending in the file.
+  HistoryWriter hist;
+  if (!config.hist_path.empty()) {
+    HistoryMeta meta;
+    meta.source = "lls_loadgen/sim";
+    meta.seed = config.seed;
+    hist.open(config.hist_path, meta);
+  }
+
   // One request per call; in closed-loop mode the completion callback
   // re-invokes it, keeping each client's window full until load_end.
   auto submit_one = std::make_shared<std::function<void(int)>>();
@@ -124,8 +135,14 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       token = std::to_string(config.cluster_n + ci) + "." +
               std::to_string(++write_counter) + ";";
     }
-    auto cb = [&, submit_one, ci, token](const ClientCompletion& done) {
+    // The op id is known only after submit() assigns the session seq; the
+    // shared slot lets the completion callback (which cannot fire before
+    // this function returns — the simulator is single-threaded) find it.
+    auto hist_id = hist.is_open() ? std::make_shared<std::uint64_t>(0)
+                                  : std::shared_ptr<std::uint64_t>();
+    auto cb = [&, submit_one, ci, token, hist_id](const ClientCompletion& done) {
       if (!done.timed_out) {
+        if (hist_id) hist.respond(*hist_id, done.completed, done.result);
         if (done.invoked >= measure_from && done.invoked < load_end) {
           ++measured_acked;
           latency_ms.record(
@@ -136,12 +153,19 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       }
       if (!config.open_loop && sim.now() < load_end) (*submit_one)(ci);
     };
-    if (write) {
-      client.submit(KvOp::kAppend, std::move(key),
-                    config.verify ? token : std::string(config.value_size, 'x'),
-                    "", std::move(cb));
-    } else {
-      client.submit(KvOp::kGet, std::move(key), "", "", std::move(cb));
+    const KvOp op = write ? KvOp::kAppend : KvOp::kGet;
+    std::string value =
+        write ? (config.verify ? token : std::string(config.value_size, 'x'))
+              : std::string();
+    std::uint64_t seq = client.submit(op, key, value, "", std::move(cb));
+    if (hist_id) {
+      Command cmd;
+      cmd.origin = static_cast<ProcessId>(config.cluster_n + ci);
+      cmd.seq = seq;
+      cmd.op = op;
+      cmd.key = std::move(key);
+      cmd.value = std::move(value);
+      *hist_id = hist.invoke(cmd, sim.now());
     }
   };
 
@@ -203,6 +227,7 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
 
   // The closed-loop closure captures its own shared_ptr; break the cycle.
   *submit_one = nullptr;
+  hist.close();
 
   // Roll up client counters.
   for (auto* c : clients) {

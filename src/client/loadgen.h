@@ -64,6 +64,11 @@ struct LoadgenConfig {
   /// and `<prefix>.trace.jsonl` (control-plane event trace, including
   /// election-stabilization spans and per-instance consensus spans).
   std::string artifacts_prefix;
+
+  /// When non-empty, the run records every client op to this `.hist` file
+  /// (streaming: invocations at submit, responses as they complete; timed-out
+  /// ops stay pending), ready for offline checking with `lls_check`.
+  std::string hist_path;
 };
 
 struct LoadgenResult {

@@ -218,6 +218,11 @@ void LogConsensus::assign_pending(Runtime& rt) {
   while (!pending_.empty()) {
     Bytes value = std::move(pending_.front());
     pending_.pop_front();
+    // A stale-ready leader's frontier can lag the decided log (a competing
+    // leader decided instances this one merely learned); assigning a
+    // decided slot would orphan the value — learn() for that instance
+    // already ran and will never displace it back to pending_.
+    while (is_decided(next_free_)) ++next_free_;
     Instance i = next_free_++;
     InFlight inf;
     inf.value = std::move(value);
@@ -273,7 +278,13 @@ void LogConsensus::abdicate() {
   // them, in which case byte-identical duplicates are pruned at decision
   // time).
   for (auto& [i, inf] : inflight_) {
-    if (!is_decided(i) && !inf.value.empty()) {
+    if (inf.value.empty()) continue;
+    const Bytes* d = decided_value(i);
+    // Undecided: still owed placement. Decided with a DIFFERENT value: the
+    // slot was lost to a competing leader and the value is still owed
+    // placement (a stale-ready leader can hold such an entry — see
+    // assign_pending). Only a slot decided with this very value is done.
+    if (!is_decided(i) || (d != nullptr && *d != inf.value)) {
       pending_.push_back(std::move(inf.value));
     }
   }
@@ -295,6 +306,16 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
       // would falsify Paxos safety; fail loudly.
       throw std::logic_error("consensus agreement violated at instance " +
                              std::to_string(i));
+    }
+    // A duplicate decide can still owe displacement work: a stale-ready
+    // leader may have assigned a value to this instance after the first
+    // learn (see the decided-slot guard in assign_pending) — that value
+    // still needs placement.
+    if (auto it = inflight_.find(i); it != inflight_.end()) {
+      if (!it->second.value.empty() && it->second.value != value) {
+        pending_.push_back(std::move(it->second.value));
+      }
+      inflight_.erase(it);
     }
     return;
   }

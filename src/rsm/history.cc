@@ -1,0 +1,449 @@
+#include "rsm/history.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/message.h"
+#include "obs/event.h"
+
+namespace lls {
+
+namespace {
+
+const char* op_name(KvOp op) {
+  switch (op) {
+    case KvOp::kPut: return "put";
+    case KvOp::kGet: return "get";
+    case KvOp::kDel: return "del";
+    case KvOp::kAppend: return "append";
+    case KvOp::kCas: return "cas";
+  }
+  return "?";
+}
+
+bool parse_op(const std::string& name, KvOp* out) {
+  if (name == "put") *out = KvOp::kPut;
+  else if (name == "get") *out = KvOp::kGet;
+  else if (name == "del") *out = KvOp::kDel;
+  else if (name == "append") *out = KvOp::kAppend;
+  else if (name == "cas") *out = KvOp::kCas;
+  else return false;
+  return true;
+}
+
+/// JSON string escape restricted to what .hist needs: quote, backslash and
+/// non-printable bytes (emitted as \u00XX, one byte per escape — values are
+/// treated as byte strings, not UTF-8 text).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    auto b = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (b < 0x20 || b >= 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", b);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// --- flat-object JSONL parser -----------------------------------------------
+//
+// .hist records are single-line JSON objects with string / integer /
+// boolean values and no nesting, so a full JSON parser is not needed; this
+// one is tolerant of key order and unknown keys (forward compatibility).
+
+struct Field {
+  enum class Kind { kString, kNumber, kBool } kind = Kind::kString;
+  std::string str;   // kString: unescaped value; kNumber: raw digits
+  bool boolean = false;
+};
+
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  bool parse(std::unordered_map<std::string, Field>* out) {
+    skip_ws();
+    if (!eat('{')) return fail("expected '{'");
+    skip_ws();
+    if (eat('}')) return true;  // empty object
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      Field f;
+      if (!parse_value(&f)) return false;
+      (*out)[key] = std::move(f);
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        continue;
+      }
+      if (eat('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  bool parse_value(Field* f) {
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      f->kind = Field::Kind::kString;
+      return parse_string(&f->str);
+    }
+    if (match("true")) {
+      f->kind = Field::Kind::kBool;
+      f->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      f->kind = Field::Kind::kBool;
+      f->boolean = false;
+      return true;
+    }
+    // Number: sign + digits (no float fields exist in the format).
+    std::size_t begin = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == begin) return fail("expected a value");
+    f->kind = Field::Kind::kNumber;
+    f->str = s_.substr(begin, pos_ - begin);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return fail("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Byte-string format: only single-byte escapes are meaningful.
+          if (code > 0xff) return fail("\\u escape beyond one byte");
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool match(const char* lit) {
+    std::size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    error_ = what;
+    return false;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+using Fields = std::unordered_map<std::string, Field>;
+
+bool get_u64(const Fields& f, const char* key, std::uint64_t* out) {
+  auto it = f.find(key);
+  if (it == f.end() || it->second.kind != Field::Kind::kNumber) return false;
+  *out = std::strtoull(it->second.str.c_str(), nullptr, 10);
+  return true;
+}
+
+bool get_i64(const Fields& f, const char* key, std::int64_t* out) {
+  auto it = f.find(key);
+  if (it == f.end() || it->second.kind != Field::Kind::kNumber) return false;
+  *out = std::strtoll(it->second.str.c_str(), nullptr, 10);
+  return true;
+}
+
+bool get_str(const Fields& f, const char* key, std::string* out) {
+  auto it = f.find(key);
+  if (it == f.end() || it->second.kind != Field::Kind::kString) return false;
+  *out = it->second.str;
+  return true;
+}
+
+bool get_bool(const Fields& f, const char* key, bool* out) {
+  auto it = f.find(key);
+  if (it == f.end() || it->second.kind != Field::Kind::kBool) return false;
+  *out = it->second.boolean;
+  return true;
+}
+
+void write_invoke(std::FILE* file, std::uint64_t id, const Command& cmd,
+                  TimePoint t) {
+  std::fprintf(file,
+               "{\"e\":\"i\",\"id\":%llu,\"t\":%lld,\"origin\":%u,"
+               "\"seq\":%llu,\"op\":\"%s\",\"key\":\"%s\",\"val\":\"%s\","
+               "\"exp\":\"%s\"}\n",
+               static_cast<unsigned long long>(id), static_cast<long long>(t),
+               cmd.origin, static_cast<unsigned long long>(cmd.seq),
+               op_name(cmd.op), escape(cmd.key).c_str(),
+               escape(cmd.value).c_str(), escape(cmd.expected).c_str());
+}
+
+void write_respond(std::FILE* file, std::uint64_t id, TimePoint t,
+                   const KvResult& result) {
+  std::fprintf(file,
+               "{\"e\":\"r\",\"id\":%llu,\"t\":%lld,\"ok\":%s,"
+               "\"found\":%s,\"val\":\"%s\"}\n",
+               static_cast<unsigned long long>(id), static_cast<long long>(t),
+               result.ok ? "true" : "false", result.found ? "true" : "false",
+               escape(result.value).c_str());
+}
+
+}  // namespace
+
+// --- HistoryWriter -----------------------------------------------------------
+
+bool HistoryWriter::open(const std::string& path, const HistoryMeta& meta) {
+  close();
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "hist: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file_, "{\"e\":\"h\",\"v\":1,\"source\":\"%s\",\"seed\":%llu}\n",
+               escape(meta.source).c_str(),
+               static_cast<unsigned long long>(meta.seed));
+  return true;
+}
+
+std::uint64_t HistoryWriter::invoke(const Command& cmd, TimePoint t) {
+  std::uint64_t id = next_id_++;
+  if (file_ != nullptr) write_invoke(file_, id, cmd, t);
+  return id;
+}
+
+void HistoryWriter::respond(std::uint64_t id, TimePoint t,
+                            const KvResult& result) {
+  if (file_ != nullptr) write_respond(file_, id, t, result);
+}
+
+void HistoryWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool write_history_file(const std::string& path,
+                        const std::vector<HistoryOp>& history,
+                        const HistoryMeta& meta) {
+  HistoryWriter writer;
+  if (!writer.open(path, meta)) return false;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    writer.invoke(history[i].cmd, history[i].invoked);
+  }
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history[i].responded != kTimeNever) {
+      writer.respond(i, history[i].responded, history[i].result);
+    }
+  }
+  writer.close();
+  return true;
+}
+
+// --- loader ------------------------------------------------------------------
+
+bool load_history_file(const std::string& path, LoadedHistory* out,
+                       std::string* error) {
+  auto fail = [&](int line_no, const std::string& what) {
+    if (error != nullptr) {
+      *error = path + ":" + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  };
+
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return fail(0, "cannot open");
+  out->meta = HistoryMeta{};
+  out->ops.clear();
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+
+  std::string line;
+  int line_no = 0;
+  char buf[4096];
+  bool ok = true;
+  while (ok && std::fgets(buf, sizeof buf, file) != nullptr) {
+    line += buf;
+    if (!line.empty() && line.back() != '\n' && !std::feof(file)) {
+      continue;  // long line: keep accumulating
+    }
+    ++line_no;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+
+    Fields fields;
+    LineParser parser(line);
+    if (!parser.parse(&fields)) {
+      ok = fail(line_no, parser.error());
+      break;
+    }
+    std::string kind;
+    if (!get_str(fields, "e", &kind)) {
+      ok = fail(line_no, "missing \"e\" tag");
+      break;
+    }
+    if (kind == "h") {
+      get_str(fields, "source", &out->meta.source);
+      get_u64(fields, "seed", &out->meta.seed);
+    } else if (kind == "i") {
+      std::uint64_t id = 0, origin = 0;
+      std::int64_t t = 0;
+      HistoryOp op;
+      std::string op_str;
+      if (!get_u64(fields, "id", &id) || !get_i64(fields, "t", &t) ||
+          !get_str(fields, "op", &op_str) ||
+          !get_str(fields, "key", &op.cmd.key)) {
+        ok = fail(line_no, "invocation missing id/t/op/key");
+        break;
+      }
+      if (!parse_op(op_str, &op.cmd.op)) {
+        ok = fail(line_no, "unknown op \"" + op_str + "\"");
+        break;
+      }
+      if (get_u64(fields, "origin", &origin)) {
+        op.cmd.origin = static_cast<ProcessId>(origin);
+      }
+      get_u64(fields, "seq", &op.cmd.seq);
+      get_str(fields, "val", &op.cmd.value);
+      get_str(fields, "exp", &op.cmd.expected);
+      op.invoked = t;
+      if (!by_id.emplace(id, out->ops.size()).second) {
+        ok = fail(line_no, "duplicate invocation id");
+        break;
+      }
+      out->ops.push_back(std::move(op));
+    } else if (kind == "r") {
+      std::uint64_t id = 0;
+      std::int64_t t = 0;
+      if (!get_u64(fields, "id", &id) || !get_i64(fields, "t", &t)) {
+        ok = fail(line_no, "response missing id/t");
+        break;
+      }
+      auto it = by_id.find(id);
+      if (it == by_id.end()) {
+        ok = fail(line_no, "response for unknown id");
+        break;
+      }
+      HistoryOp& op = out->ops[it->second];
+      if (op.responded != kTimeNever) {
+        ok = fail(line_no, "duplicate response id");
+        break;
+      }
+      op.responded = t;
+      get_bool(fields, "ok", &op.result.ok);
+      get_bool(fields, "found", &op.result.found);
+      get_str(fields, "val", &op.result.value);
+    } else {
+      ok = fail(line_no, "unknown record kind \"" + kind + "\"");
+      break;
+    }
+    line.clear();
+  }
+  std::fclose(file);
+  return ok;
+}
+
+// --- BusHistoryRecorder ------------------------------------------------------
+
+BusHistoryRecorder::BusHistoryRecorder(obs::EventBus& bus)
+    : sub_(bus.subscribe(obs::mask_of(obs::EventType::kClientRequest) |
+                             obs::mask_of(obs::EventType::kClientReply),
+                         [this](const obs::Event& e) { on_event(e); })) {}
+
+void BusHistoryRecorder::on_event(const obs::Event& e) {
+  if (e.payload.empty()) return;  // producer without payloads attached
+  SessionSeq key{e.peer, e.a};
+  if (e.type == obs::EventType::kClientRequest) {
+    if (index_.count(key) != 0) return;  // retry: first sighting wins
+    HistoryOp op;
+    try {
+      op.cmd = Command::decode(e.payload);
+    } catch (const SerializationError&) {
+      return;  // corrupted-on-the-wire request that slipped a checksum
+    }
+    op.invoked = e.t;
+    index_.emplace(key, ops_.size());
+    ops_.push_back(std::move(op));
+  } else {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;  // reply to a pre-recorder request
+    HistoryOp& op = ops_[it->second];
+    if (op.responded != kTimeNever) return;  // resend: first reply wins
+    ClientReplyMsg reply;
+    try {
+      reply = ClientReplyMsg::decode(e.payload);
+    } catch (const SerializationError&) {
+      return;
+    }
+    op.responded = e.t;
+    op.result.ok = reply.ok;
+    op.result.found = reply.found;
+    op.result.value = reply.value;
+  }
+}
+
+}  // namespace lls

@@ -1,0 +1,118 @@
+// The history plane: recording client-visible operation histories as
+// first-class artifacts, for offline linearizability checking.
+//
+// A `.hist` file is JSONL — one record per line, so a crashed run still
+// leaves a parseable prefix, the files diff cleanly in git (the golden
+// non-linearizable corpus under tests/corpus/ is hand-written in this
+// format), and `grep` works on them. Three record kinds:
+//
+//   {"e":"h","v":1,"source":"lls_loadgen","seed":7}          header
+//   {"e":"i","id":0,"t":1000,"origin":5,"seq":1,"op":"put",
+//    "key":"x","val":"1","exp":""}                           invocation
+//   {"e":"r","id":0,"t":2000,"ok":true,"found":false,"val":"1"}  response
+//
+// An invocation with no response record is a pending op (client crashed or
+// run ended): the checker treats it as "may take effect at any later point
+// or never". Times are microseconds on whatever clock the recorder used;
+// only their order matters.
+//
+// Producers: the campaign `kv` scenario, `lls_loadgen` (sim and UDP hosts)
+// and BusHistoryRecorder (server-side view assembled from the obs plane's
+// client-request/reply events). Consumer: `tools/lls_check` and the
+// regression corpus tests.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/event_bus.h"
+#include "rsm/linearizability.h"
+
+namespace lls {
+
+struct HistoryMeta {
+  std::string source;  ///< producing tool/scenario, for provenance
+  std::uint64_t seed = 0;
+};
+
+/// Streaming `.hist` writer: invocations at submit time, responses as they
+/// arrive, so a crash mid-run loses only the tail.
+class HistoryWriter {
+ public:
+  HistoryWriter() = default;
+  ~HistoryWriter() { close(); }
+  HistoryWriter(const HistoryWriter&) = delete;
+  HistoryWriter& operator=(const HistoryWriter&) = delete;
+
+  /// Opens `path` and writes the header; false (with stderr note) on I/O
+  /// failure, after which the writer is inert.
+  bool open(const std::string& path, const HistoryMeta& meta);
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+
+  /// Records an invocation; returns the op id to pass to respond().
+  std::uint64_t invoke(const Command& cmd, TimePoint t);
+  void respond(std::uint64_t id, TimePoint t, const KvResult& result);
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Writes a complete in-memory history in one go (invocations in input
+/// order, then responses in input order). Returns false on I/O failure.
+bool write_history_file(const std::string& path,
+                        const std::vector<HistoryOp>& history,
+                        const HistoryMeta& meta);
+
+struct LoadedHistory {
+  HistoryMeta meta;
+  std::vector<HistoryOp> ops;  ///< in order of first appearance (invocation)
+};
+
+/// Parses a `.hist` file. On failure returns false and, when `error` is
+/// non-null, a line-numbered description.
+bool load_history_file(const std::string& path, LoadedHistory* out,
+                       std::string* error = nullptr);
+
+/// Assembles a history from the observability plane's client-request/reply
+/// events (which carry the encoded command / reply as their payload). This
+/// is the server-side view: an op's interval spans from the first replica
+/// that saw the request to the first reply sent, which is contained in the
+/// client's own interval — and contains the op's log-order effect point —
+/// so a verdict on this history is sound for the client-side one (DESIGN.md
+/// §12). One recorder per plane; retries dedup on (client, seq).
+class BusHistoryRecorder {
+ public:
+  explicit BusHistoryRecorder(obs::EventBus& bus);
+
+  [[nodiscard]] const std::vector<HistoryOp>& history() const { return ops_; }
+  [[nodiscard]] std::vector<HistoryOp> take() { return std::move(ops_); }
+
+ private:
+  struct SessionSeq {
+    ProcessId client;
+    std::uint64_t seq;
+    bool operator==(const SessionSeq& o) const {
+      return client == o.client && seq == o.seq;
+    }
+  };
+  struct SessionSeqHash {
+    std::size_t operator()(const SessionSeq& k) const {
+      return static_cast<std::size_t>(
+          (std::uint64_t{k.client} << 32 ^ k.seq) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  void on_event(const obs::Event& e);
+
+  std::vector<HistoryOp> ops_;
+  std::unordered_map<SessionSeq, std::size_t, SessionSeqHash> index_;
+  obs::Subscription sub_;
+};
+
+}  // namespace lls

@@ -1,7 +1,8 @@
 #include "rsm/linearizability.h"
 
 #include <algorithm>
-#include <set>
+#include <map>
+#include <unordered_set>
 #include <utility>
 
 namespace lls {
@@ -15,88 +16,333 @@ bool results_match(const KvResult& observed, const KvResult& spec) {
          observed.value == spec.value;
 }
 
-class Search {
- public:
-  Search(const std::vector<HistoryOp>& history,
-         LinearizabilityChecker::Options options)
-      : history_(history), options_(options) {}
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
-  LinearizabilityChecker::Verdict run() {
-    if (history_.size() > 64) {
-      // Bitmask-based memoization caps the history size; split histories
-      // per key before checking if this ever binds.
-      return LinearizabilityChecker::Verdict::kBudgetExceeded;
+/// One cell: the per-key state of the map spec, and the whole state of the
+/// register spec. Mirrors KvStore::apply restricted to a single key.
+class CellState final : public SpecState {
+ public:
+  KvResult apply(const Command& cmd) override {
+    KvResult result;
+    result.found = present_;
+    switch (cmd.op) {
+      case KvOp::kPut:
+        present_ = true;
+        value_ = cmd.value;
+        result.ok = true;
+        result.value = value_;
+        break;
+      case KvOp::kGet:
+        result.ok = present_;
+        if (present_) result.value = value_;
+        break;
+      case KvOp::kDel:
+        result.ok = present_;
+        present_ = false;
+        value_.clear();
+        break;
+      case KvOp::kAppend:
+        present_ = true;
+        value_ += cmd.value;
+        result.ok = true;
+        result.value = value_;
+        break;
+      case KvOp::kCas:
+        // An absent cell holds the empty string for comparison purposes
+        // (value_ is cleared on Del), matching KvStore::apply.
+        if (value_ == cmd.expected) {
+          present_ = true;
+          value_ = cmd.value;
+          result.ok = true;
+          result.value = cmd.value;
+        } else {
+          result.ok = false;
+          result.value = present_ ? value_ : std::string();
+        }
+        break;
     }
-    KvStore state;
-    bool ok = dfs(0, state);
-    if (budget_exceeded_) {
-      return LinearizabilityChecker::Verdict::kBudgetExceeded;
-    }
-    return ok ? LinearizabilityChecker::Verdict::kLinearizable
-              : LinearizabilityChecker::Verdict::kNotLinearizable;
+    return result;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const override {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h ^= present_ ? 0x9eULL : 0x37ULL;
+    h *= 0x100000001b3ULL;
+    return fnv1a(h, value_);
+  }
+
+  [[nodiscard]] std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<CellState>(*this);
   }
 
  private:
-  using Mask = std::uint64_t;
+  bool present_ = false;
+  std::string value_;
+};
 
-  [[nodiscard]] bool done(Mask mask) const {
-    // All *completed* operations must be linearized; pending ones may be
-    // dropped (their effect never became visible).
-    for (std::size_t i = 0; i < history_.size(); ++i) {
-      if (history_[i].responded != kTimeNever && (mask & (Mask{1} << i)) == 0) {
-        return false;
-      }
+/// Dynamic bitset over a partition's ops, with a value-semantics hash key.
+struct Mask {
+  std::vector<std::uint64_t> words;
+
+  explicit Mask(std::size_t bits) : words((bits + 63) / 64, 0) {}
+  void set(std::size_t i) { words[i / 64] |= std::uint64_t{1} << (i % 64); }
+  void clear(std::size_t i) { words[i / 64] &= ~(std::uint64_t{1} << (i % 64)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words[i / 64] >> (i % 64)) & 1;
+  }
+};
+
+struct MemoKey {
+  std::vector<std::uint64_t> words;
+  std::uint64_t digest;
+
+  bool operator==(const MemoKey& o) const {
+    return digest == o.digest && words == o.words;
+  }
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const {
+    std::uint64_t h = k.digest * 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t w : k.words) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     }
-    return true;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Memoized WGL search over one partition. Iterative (explicit frame
+/// stack): partitions can be thousands of ops deep, which would overflow
+/// the call stack with per-frame spec-state clones.
+class PartitionSearch {
+ public:
+  PartitionSearch(const std::vector<HistoryOp>& history,
+                  const std::vector<std::size_t>& ops, const SpecModel& spec,
+                  const LinOptions& options)
+      : history_(history), ops_(ops), spec_(spec), options_(options) {}
+
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+  /// Valid after run() returns kLinearizable: partition-local positions in
+  /// linearization order.
+  [[nodiscard]] const std::vector<std::size_t>& order() const { return order_; }
+
+  LinVerdict run() {
+    const std::size_t m = ops_.size();
+    Mask mask(m);
+    std::size_t completed_total = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (op(i).responded != kTimeNever) ++completed_total;
+    }
+    std::size_t completed_done = 0;
+
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    struct Frame {
+      std::unique_ptr<SpecState> state;  // state at this node
+      std::size_t cursor = 0;            // next candidate to try
+      TimePoint min_response = kTimeNever;
+      std::size_t via = kNone;           // op applied to reach this node
+    };
+
+    std::vector<Frame> stack;
+    stack.push_back(Frame{spec_.initial_state(), 0, kTimeNever, kNone});
+    bool entering = true;
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (entering) {
+        entering = false;
+        if (++nodes_ > options_.max_nodes) return LinVerdict::kBudgetExceeded;
+        if (completed_done == completed_total) {
+          // All completed ops linearized; pending ones may be dropped
+          // (their effect never became visible).
+          return LinVerdict::kLinearizable;
+        }
+        if (!memo_.insert(MemoKey{mask.words, f.state->digest()}).second) {
+          pop(stack, mask, completed_done);
+          continue;
+        }
+        // An op may be linearized next only if it is invoked before the
+        // earliest response among the remaining completed ops (otherwise
+        // some remaining op strictly precedes it in real time).
+        for (std::size_t i = 0; i < m; ++i) {
+          if (mask.test(i)) continue;
+          if (op(i).responded != kTimeNever) {
+            f.min_response = std::min(f.min_response, op(i).responded);
+          }
+        }
+      }
+      bool descended = false;
+      while (f.cursor < m) {
+        const std::size_t i = f.cursor++;
+        if (mask.test(i)) continue;
+        const HistoryOp& o = op(i);
+        if (o.invoked > f.min_response) continue;  // real-time order violated
+        std::unique_ptr<SpecState> next = f.state->clone();
+        KvResult spec_result = next->apply(o.cmd);
+        if (o.responded != kTimeNever &&
+            !results_match(o.result, spec_result)) {
+          continue;  // this op cannot take effect here
+        }
+        mask.set(i);
+        if (o.responded != kTimeNever) ++completed_done;
+        order_.push_back(i);
+        stack.push_back(Frame{std::move(next), 0, kTimeNever, i});
+        entering = true;
+        descended = true;
+        break;
+      }
+      if (!descended) pop(stack, mask, completed_done);
+    }
+    return LinVerdict::kNotLinearizable;
   }
 
-  bool dfs(Mask mask, const KvStore& state) {
-    if (++nodes_ > options_.max_nodes) {
-      budget_exceeded_ = true;
-      return false;
+ private:
+  template <typename Stack>
+  void pop(Stack& stack, Mask& mask, std::size_t& completed_done) {
+    const std::size_t via = stack.back().via;
+    stack.pop_back();
+    if (via != static_cast<std::size_t>(-1)) {
+      mask.clear(via);
+      if (op(via).responded != kTimeNever) --completed_done;
+      order_.pop_back();
     }
-    if (done(mask)) return true;
-    auto key = std::make_pair(mask, state.digest());
-    if (!visited_.insert(key).second) return false;
+  }
 
-    // An operation may be linearized next only if it is invoked before the
-    // earliest response among the remaining completed operations (otherwise
-    // some remaining op strictly precedes it in real time).
-    TimePoint min_response = kTimeNever;
-    for (std::size_t i = 0; i < history_.size(); ++i) {
-      if ((mask & (Mask{1} << i)) != 0) continue;
-      if (history_[i].responded != kTimeNever) {
-        min_response = std::min(min_response, history_[i].responded);
-      }
-    }
-
-    for (std::size_t i = 0; i < history_.size(); ++i) {
-      if ((mask & (Mask{1} << i)) != 0) continue;
-      const HistoryOp& op = history_[i];
-      if (op.invoked > min_response) continue;  // real-time order violated
-      KvStore next = state;
-      KvResult spec = next.apply(op.cmd);
-      if (op.responded != kTimeNever && !results_match(op.result, spec)) {
-        continue;  // this op cannot take effect here
-      }
-      if (dfs(mask | (Mask{1} << i), next)) return true;
-      if (budget_exceeded_) return false;
-    }
-    return false;
+  [[nodiscard]] const HistoryOp& op(std::size_t i) const {
+    return history_[ops_[i]];
   }
 
   const std::vector<HistoryOp>& history_;
-  LinearizabilityChecker::Options options_;
-  std::set<std::pair<Mask, std::uint64_t>> visited_;
+  const std::vector<std::size_t>& ops_;
+  const SpecModel& spec_;
+  const LinOptions& options_;
+  std::unordered_set<MemoKey, MemoKeyHash> memo_;
+  std::vector<std::size_t> order_;
   std::size_t nodes_ = 0;
-  bool budget_exceeded_ = false;
 };
+
+LinVerdict check_partition(const std::vector<HistoryOp>& history,
+                           const std::vector<std::size_t>& ops,
+                           const SpecModel& spec, const LinOptions& options) {
+  return PartitionSearch(history, ops, spec, options).run();
+}
+
+/// Greedy ddmin-style shrink of a rejected partition: repeatedly try to
+/// drop chunks (halving the chunk size down to single ops) while the
+/// remainder is still rejected. Budget-limited; best-effort by design.
+std::vector<std::size_t> shrink_core(const std::vector<HistoryOp>& history,
+                                     std::vector<std::size_t> ops,
+                                     const SpecModel& spec,
+                                     const LinOptions& options) {
+  std::size_t checks = 0;
+  for (std::size_t chunk = std::max<std::size_t>(ops.size() / 2, 1);;) {
+    bool any_removed = false;
+    for (std::size_t begin = 0; begin < ops.size() && ops.size() > 1;) {
+      if (++checks > options.max_shrink_checks) return ops;
+      std::vector<std::size_t> candidate;
+      candidate.reserve(ops.size());
+      const std::size_t end = std::min(begin + chunk, ops.size());
+      candidate.insert(candidate.end(), ops.begin(),
+                       ops.begin() + static_cast<std::ptrdiff_t>(begin));
+      candidate.insert(candidate.end(),
+                       ops.begin() + static_cast<std::ptrdiff_t>(end),
+                       ops.end());
+      if (!candidate.empty() &&
+          check_partition(history, candidate, spec, options) ==
+              LinVerdict::kNotLinearizable) {
+        ops = std::move(candidate);  // removal kept; retry same offset
+        any_removed = true;
+      } else {
+        begin += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!any_removed) return ops;  // 1-minimal
+    } else {
+      chunk = std::max<std::size_t>(chunk / 2, 1);
+    }
+  }
+}
 
 }  // namespace
 
+std::unique_ptr<SpecState> KvMapSpec::initial_state() const {
+  return std::make_unique<CellState>();
+}
+
+std::unique_ptr<SpecState> RegisterSpec::initial_state() const {
+  return std::make_unique<CellState>();
+}
+
+LinReport LinearizabilityChecker::check_report(
+    const std::vector<HistoryOp>& history, const SpecModel& spec,
+    Options options) {
+  LinReport report;
+
+  // Partition, preserving history order within each partition (std::map so
+  // the scan order — and therefore the reported first offender — is
+  // deterministic across platforms).
+  std::map<std::string, std::vector<std::size_t>> partitions;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    partitions[spec.partition_of(history[i].cmd)].push_back(i);
+  }
+  report.partitions = partitions.size();
+
+  bool budget_exceeded = false;
+  std::string budget_partition;
+  for (const auto& [key, ops] : partitions) {
+    PartitionSearch search(history, ops, spec, options);
+    LinVerdict verdict = search.run();
+    report.nodes += search.nodes();
+    switch (verdict) {
+      case LinVerdict::kLinearizable:
+        for (std::size_t pos : search.order()) {
+          report.witness.push_back(ops[pos]);
+        }
+        break;
+      case LinVerdict::kNotLinearizable: {
+        report.verdict = LinVerdict::kNotLinearizable;
+        report.failed_partition = key;
+        report.core =
+            options.shrink_core ? shrink_core(history, ops, spec, options) : ops;
+        report.witness.clear();
+        return report;  // first real violation wins over budget trouble
+      }
+      case LinVerdict::kBudgetExceeded:
+        if (!budget_exceeded) budget_partition = key;
+        budget_exceeded = true;
+        break;
+    }
+  }
+  if (budget_exceeded) {
+    report.verdict = LinVerdict::kBudgetExceeded;
+    report.failed_partition = budget_partition;
+    report.witness.clear();
+  }
+  return report;
+}
+
+LinReport LinearizabilityChecker::check_report(
+    const std::vector<HistoryOp>& history, Options options) {
+  return check_report(history, KvMapSpec{}, options);
+}
+
+LinearizabilityChecker::Verdict LinearizabilityChecker::check(
+    const std::vector<HistoryOp>& history, const SpecModel& spec,
+    Options options) {
+  options.shrink_core = false;  // verdict-only callers skip diagnostics
+  return check_report(history, spec, options).verdict;
+}
+
 LinearizabilityChecker::Verdict LinearizabilityChecker::check(
     const std::vector<HistoryOp>& history, Options options) {
-  return Search(history, options).run();
+  return check(history, KvMapSpec{}, options);
 }
 
 }  // namespace lls

@@ -1,18 +1,32 @@
-// Linearizability checking for KV histories (Wing & Gong style search).
+// Linearizability checking for operation histories (checker v2).
 //
 // A history is a set of operations with real-time invocation/response
 // intervals and observed results. The checker searches for a sequential
 // order, consistent with real time (an operation that responded before
-// another was invoked must precede it), under which the deterministic
-// KvStore spec reproduces every observed result. Exponential in the worst
-// case — intended for test-sized histories (tens of operations) — with
-// memoization on (linearized-set, state-digest) to prune.
+// another was invoked must precede it), under which a deterministic
+// sequential specification reproduces every observed result.
 //
-// Used by the RSM integration tests to validate the full stack: CE-Omega +
+// v2 is compositional: the history is first partitioned by the spec's
+// partition function (per key for an independent-key map — Herlihy & Wing's
+// locality theorem: a history is linearizable iff every per-object
+// subhistory is), then each partition runs a memoized Wing–Gong style
+// search with a dynamic linearized-set bitmask and (set, state-digest)
+// pruning. This takes tractable history size from tens of operations to
+// tens of thousands, provided per-partition concurrency stays bounded
+// (which window-limited clients guarantee).
+//
+// The spec is pluggable (SpecModel/SpecState below): the KV map spec is the
+// default, a single-cell register spec ships alongside it, and session-like
+// objects can be checked by implementing the two interfaces.
+//
+// Used by the RSM integration tests, the campaign `kv` scenario and the
+// offline `tools/lls_check` binary to validate the full stack: CE-Omega +
 // CE-consensus + replica gives a linearizable replicated map.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -31,20 +45,107 @@ struct HistoryOp {
   KvResult result;  ///< meaningful only when responded != kTimeNever
 };
 
-/// Search budget for the checker; exceeding it returns "unknown" (treated
-/// as failure by the convenience wrapper so tests stay sound).
+/// Sequential state of one partition's object. Implementations are value
+/// types: clone() must produce an independent copy, digest() must be equal
+/// for equal states (it keys the search's memoization, so two orders that
+/// reach the same state are explored once).
+class SpecState {
+ public:
+  virtual ~SpecState() = default;
+  /// Applies one command and returns the result the spec produces.
+  virtual KvResult apply(const Command& cmd) = 0;
+  [[nodiscard]] virtual std::uint64_t digest() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<SpecState> clone() const = 0;
+};
+
+/// A sequential specification: how to split a history into independently
+/// linearizable partitions, and the state machine of one partition.
+/// Partitioning is only sound for objects whose operations touch exactly
+/// one partition each (locality) — which holds for an independent-key map.
+class SpecModel {
+ public:
+  virtual ~SpecModel() = default;
+  [[nodiscard]] virtual std::string partition_of(const Command& cmd) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<SpecState> initial_state() const = 0;
+};
+
+/// The replicated map's spec: one partition per key, each a single cell
+/// honouring the full KvOp vocabulary (matches KvStore::apply per key).
+class KvMapSpec final : public SpecModel {
+ public:
+  [[nodiscard]] std::string partition_of(const Command& cmd) const override {
+    return cmd.key;
+  }
+  [[nodiscard]] std::unique_ptr<SpecState> initial_state() const override;
+};
+
+/// A single read/write cell: every command addresses the same object
+/// regardless of its key (one partition for the whole history). This is the
+/// classic atomic-register spec; it is also the right model for histories
+/// whose commands are not key-independent.
+class RegisterSpec final : public SpecModel {
+ public:
+  [[nodiscard]] std::string partition_of(const Command&) const override {
+    return std::string();
+  }
+  [[nodiscard]] std::unique_ptr<SpecState> initial_state() const override;
+};
+
+enum class LinVerdict { kLinearizable, kNotLinearizable, kBudgetExceeded };
+
+/// Search budget and diagnostics knobs.
 struct LinOptions {
-  std::size_t max_nodes = 2'000'000;
+  /// Maximum search nodes per partition; exceeding it yields
+  /// kBudgetExceeded for the whole check (treated as failure by the
+  /// convenience wrapper so tests stay sound).
+  std::size_t max_nodes = 4'000'000;
+  /// On kNotLinearizable, greedily shrink the failing partition to a small
+  /// subhistory that is still rejected (LinReport::core). Each shrink step
+  /// re-runs the search, so disable for latency-critical callers.
+  bool shrink_core = true;
+  /// Cap on shrink re-checks (keeps core extraction bounded on large
+  /// partitions).
+  std::size_t max_shrink_checks = 2'000;
+};
+
+/// Full result of a check. `witness` and `core` hold indices into the input
+/// history vector.
+struct LinReport {
+  LinVerdict verdict = LinVerdict::kLinearizable;
+  std::size_t partitions = 0;
+  /// Search nodes visited, summed over partitions.
+  std::size_t nodes = 0;
+  /// Partition id of the first violating (or budget-blowing) partition.
+  std::string failed_partition;
+  /// kNotLinearizable: a small subhistory (indices, ascending) of the
+  /// failing partition that is itself non-linearizable.
+  std::vector<std::size_t> core;
+  /// kLinearizable: a witness linearization — each partition's ops in a
+  /// valid sequential order, partitions concatenated. Applying each
+  /// partition's subsequence to a fresh spec state reproduces every
+  /// observed result. (No global real-time merge across partitions is
+  /// performed; locality guarantees one exists.)
+  std::vector<std::size_t> witness;
 };
 
 class LinearizabilityChecker {
  public:
   using Options = LinOptions;
+  using Verdict = LinVerdict;
 
-  enum class Verdict { kLinearizable, kNotLinearizable, kBudgetExceeded };
-
+  /// Checks against the KV map spec (partitioned per key).
   static Verdict check(const std::vector<HistoryOp>& history,
                        Options options = Options{});
+  static Verdict check(const std::vector<HistoryOp>& history,
+                       const SpecModel& spec, Options options = Options{});
+
+  /// Like check(), with diagnostics: witness order on success, failing
+  /// partition + minimal rejected core on violation.
+  static LinReport check_report(const std::vector<HistoryOp>& history,
+                                Options options = Options{});
+  static LinReport check_report(const std::vector<HistoryOp>& history,
+                                const SpecModel& spec,
+                                Options options = Options{});
 
   /// Convenience: true iff the verdict is kLinearizable.
   static bool is_linearizable(const std::vector<HistoryOp>& history,

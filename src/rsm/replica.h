@@ -135,6 +135,12 @@ class BasicKvReplica final : public Actor {
   [[nodiscard]] std::uint64_t duplicates_suppressed() const {
     return duplicates_;
   }
+  /// Local submissions whose callbacks have not fired yet.
+  [[nodiscard]] std::size_t callbacks_outstanding() const {
+    return callbacks_.size();
+  }
+  /// Commands batched locally but not yet handed to consensus.
+  [[nodiscard]] std::size_t batch_buffered() const { return batch_.size(); }
   OmegaT& omega() { return omega_; }
   LogConsensus& consensus() { return consensus_; }
   [[nodiscard]] const OmegaT& omega() const { return omega_; }
@@ -323,6 +329,7 @@ void BasicKvReplica<OmegaT, OmegaConfigT>::handle_client_request(
     e.process = self_;
     e.peer = src;
     e.a = req.seq;
+    e.payload = req.command;  // encoded Command, for history recorders
     rt.obs().bus().publish(e);
   }
 
@@ -377,6 +384,7 @@ void BasicKvReplica<OmegaT, OmegaConfigT>::send_reply(ProcessId client,
   reply.found = result.found;
   reply.value = result.value;
   ++client_replies_sent_;
+  Bytes encoded = reply.encode();
   {
     obs::Event e;
     e.type = obs::EventType::kClientReply;
@@ -384,9 +392,10 @@ void BasicKvReplica<OmegaT, OmegaConfigT>::send_reply(ProcessId client,
     e.process = self_;
     e.peer = client;
     e.a = seq;
+    e.payload = encoded;  // encoded ClientReplyMsg, for history recorders
     rt_->obs().bus().publish(e);
   }
-  rt_->send(client, msg_type::kClientReply, reply.encode());
+  rt_->send(client, msg_type::kClientReply, encoded);
 }
 
 template <typename OmegaT, typename OmegaConfigT>

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "client/cluster_client.h"
+#include "common/rng.h"
 #include "consensus/experiment.h"
 #include "consensus/node.h"
 #include "net/topology.h"
@@ -17,6 +18,7 @@
 #include "omega/ce_omega.h"
 #include "omega/cr_omega.h"
 #include "obs/trace.h"
+#include "rsm/history.h"
 #include "rsm/linearizability.h"
 #include "rsm/replica.h"
 #include "sim/nemesis.h"
@@ -379,74 +381,151 @@ std::vector<std::string> run_consensus(const CampaignConfig& config,
   return violations;
 }
 
-std::vector<std::string> run_kv(const CampaignConfig& config,
-                                std::uint64_t seed) {
+/// One pre-planned client operation of the randomized kv workload.
+struct PlannedKvOp {
+  TimePoint at = 0;
+  ProcessId submitter = kNoProcess;
+  KvOp op = KvOp::kGet;
+  std::string key;
+  std::string value;
+  std::string expected;
+};
+
+/// Generates the kv workload for one run: `kv_ops` operations over `kv_keys`
+/// keys at uniform times in [1s, submit_end], submitters uniform over the
+/// cluster. Purely a function of (config, seed) — the schedule is fixed
+/// before the simulation starts, so replays regenerate it bit-for-bit.
+std::vector<PlannedKvOp> plan_kv_workload(const CampaignConfig& config,
+                                          std::uint64_t seed,
+                                          TimePoint submit_end) {
+  // Decorrelated from both the link randomness (raw seed) and the nemesis
+  // schedule (different salt).
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL ^ 0x6b766f7073ULL);
+  const int n_ops = std::max(config.kv_ops, 1);
+  const int n_keys = std::max(config.kv_keys, 1);
+  const TimePoint submit_begin = 1 * kSecond;
+  std::vector<PlannedKvOp> plan(static_cast<std::size_t>(n_ops));
+  for (int k = 0; k < n_ops; ++k) {
+    PlannedKvOp& p = plan[static_cast<std::size_t>(k)];
+    p.at = submit_begin +
+           static_cast<TimePoint>(rng.next_below(
+               static_cast<std::uint64_t>(submit_end - submit_begin)));
+    p.submitter = static_cast<ProcessId>(
+        rng.next_below(static_cast<std::uint64_t>(config.n)));
+    p.key = "k" + std::to_string(rng.next_below(
+                      static_cast<std::uint64_t>(n_keys)));
+    // Unique-per-op values make lost updates and double applies visible to
+    // the checker (two ops never legitimately produce the same value).
+    p.value = "v" + std::to_string(k);
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 35) {
+      p.op = KvOp::kGet;
+    } else if (roll < 55) {
+      p.op = KvOp::kPut;
+    } else if (roll < 75) {
+      p.op = KvOp::kAppend;
+    } else if (roll < 90) {
+      p.op = KvOp::kCas;
+      // Half expect "absent/empty", half a plausible earlier value: some
+      // CAS succeed, some fail, both outcomes exercised.
+      p.expected = rng.chance(0.5)
+                       ? std::string()
+                       : "v" + std::to_string(rng.next_below(
+                                   static_cast<std::uint64_t>(n_ops)));
+    } else {
+      p.op = KvOp::kDel;
+    }
+  }
+  return plan;
+}
+
+CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   SimConfig sc;
   sc.n = config.n;
   sc.seed = seed;
   LinkFactory base = system_s_links(config);
   Simulator sim(sc, base);
   auto tracer = maybe_trace(sim, config);
+  // Batching keeps thousands of ops per run affordable: the Θ(n) consensus
+  // cost is amortized over each batch.
+  KvReplicaConfig rc;
+  rc.max_batch = 8;
+  rc.batch_flush_delay = 2 * kMillisecond;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
-    sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{});
+    sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{},
+                                 rc);
   }
   NemesisConfig nc = nemesis_for(config, seed);
   nc.crash_stop_budget = config.crash_stop_budget;
   nc.protected_processes = {source_of(config)};
   Nemesis nemesis(sim, base, nc);
 
-  // A small client history (the checker is exponential in pending overlap):
-  // writes, reads and CAS on two keys, issued from varying replicas during
-  // the disturbance window. Ops from killed clients stay pending
-  // (responded == kTimeNever), which the checker treats as "may take effect
-  // at any later point or never" — exactly crash semantics.
-  struct Spec {
-    KvOp op;
-    const char* key;
-    const char* value;
-    const char* expected;
-  };
-  static constexpr Spec kOps[] = {
-      {KvOp::kPut, "x", "1", ""},  {KvOp::kPut, "y", "a", ""},
-      {KvOp::kGet, "x", "", ""},   {KvOp::kCas, "x", "2", "1"},
-      {KvOp::kAppend, "y", "b", ""}, {KvOp::kGet, "y", "", ""},
-      {KvOp::kCas, "x", "3", "1"}, {KvOp::kPut, "y", "c", ""},
-      {KvOp::kGet, "x", "", ""},   {KvOp::kDel, "y", "", ""},
-      {KvOp::kGet, "y", "", ""},   {KvOp::kAppend, "x", "z", ""},
-  };
-  constexpr std::size_t kOpCount = sizeof(kOps) / sizeof(kOps[0]);
+  // Randomized concurrent workload, checked with checker v2 (per-key
+  // partitioning makes thousands of ops tractable). Submissions stop
+  // midway through the post-quiesce period so the tail of the run drains
+  // in-flight ops; ops from killed submitters stay pending
+  // (responded == kTimeNever), which the checker treats as "may take
+  // effect at any later point or never" — exactly crash semantics.
+  const TimePoint submit_end =
+      std::max(2 * kSecond,
+               config.quiesce + (config.horizon - config.quiesce) / 2);
+  auto plan = std::make_shared<std::vector<PlannedKvOp>>(
+      plan_kv_workload(config, seed, submit_end));
   auto history = std::make_shared<std::vector<HistoryOp>>();
-  history->reserve(kOpCount);
-  for (std::size_t k = 0; k < kOpCount; ++k) {
-    sim.schedule(
-        1 * kSecond + static_cast<Duration>(k) * 700 * kMillisecond,
-        [&sim, history, k, n = config.n]() {
-          const Spec& spec = kOps[k];
-          auto p = static_cast<ProcessId>((k * 2 + 1) % n);
-          if (!sim.alive(p)) return;
-          HistoryOp op;
-          op.cmd.origin = p;
-          op.cmd.op = spec.op;
-          op.cmd.key = spec.key;
-          op.cmd.value = spec.value;
-          op.cmd.expected = spec.expected;
-          op.invoked = sim.now();
-          std::size_t slot = history->size();
-          history->push_back(op);
-          sim.actor_as<KvReplica>(p).submit(
-              spec.op, spec.key, spec.value, spec.expected,
-              [history, slot, &sim](const KvResult& result) {
-                (*history)[slot].responded = sim.now();
-                (*history)[slot].result = result;
-              });
-        });
+  history->reserve(plan->size());
+  for (std::size_t k = 0; k < plan->size(); ++k) {
+    sim.schedule((*plan)[k].at, [&sim, plan, history, k]() {
+      const PlannedKvOp& spec = (*plan)[k];
+      if (!sim.alive(spec.submitter)) return;  // op never issued
+      HistoryOp op;
+      op.cmd.origin = spec.submitter;
+      op.cmd.seq = static_cast<std::uint64_t>(k) + 1;  // workload index
+      op.cmd.op = spec.op;
+      op.cmd.key = spec.key;
+      op.cmd.value = spec.value;
+      op.cmd.expected = spec.expected;
+      op.invoked = sim.now();
+      std::size_t slot = history->size();
+      history->push_back(op);
+      sim.actor_as<KvReplica>(spec.submitter)
+          .submit(spec.op, spec.key, spec.value, spec.expected,
+                  [history, slot, &sim](const KvResult& result) {
+                    (*history)[slot].responded = sim.now();
+                    (*history)[slot].result = result;
+                  });
+    });
   }
   sim.start();
   sim.run_until(config.horizon);
   dump_trace(tracer, config);
+  if (!config.hist_path.empty()) {
+    HistoryMeta meta;
+    meta.source = "lls_campaign/kv";
+    meta.seed = seed;
+    write_history_file(config.hist_path, *history, meta);
+  }
 
-  std::vector<std::string> violations;
+  CaseResult result;
+  std::vector<std::string>& violations = result.violations;
   check_kill_accounting(sim, nemesis, violations);
+
+  // Liveness: an op submitted at a never-killed replica must complete once
+  // the network heals (same owed-a-decision rule as the consensus scenario).
+  const auto& killed = nemesis.killed();
+  std::size_t owed_pending = 0;
+  for (const HistoryOp& op : *history) {
+    if (op.responded != kTimeNever) continue;
+    if (std::find(killed.begin(), killed.end(), op.cmd.origin) ==
+        killed.end()) {
+      ++owed_pending;
+    }
+  }
+  if (owed_pending > 0) {
+    std::ostringstream what;
+    what << owed_pending << " ops from never-killed submitters never "
+         << "completed by the horizon";
+    violations.push_back(what.str());
+  }
 
   // Convergence: alive replicas hold byte-identical stores at the horizon.
   std::optional<std::uint64_t> digest;
@@ -461,17 +540,25 @@ std::vector<std::string> run_kv(const CampaignConfig& config,
     }
   }
 
-  switch (LinearizabilityChecker::check(*history)) {
-    case LinearizabilityChecker::Verdict::kLinearizable:
+  LinOptions lo;
+  lo.max_nodes = config.lin_max_nodes;
+  LinReport report = LinearizabilityChecker::check_report(*history, lo);
+  switch (report.verdict) {
+    case LinVerdict::kLinearizable:
       break;
-    case LinearizabilityChecker::Verdict::kNotLinearizable:
-      violations.emplace_back("client history is not linearizable");
+    case LinVerdict::kNotLinearizable: {
+      std::ostringstream what;
+      what << "client history is not linearizable: partition \""
+           << report.failed_partition << "\", minimal core of "
+           << report.core.size() << " ops (of " << history->size() << ")";
+      violations.push_back(what.str());
       break;
-    case LinearizabilityChecker::Verdict::kBudgetExceeded:
-      violations.emplace_back("linearizability check exceeded search budget");
+    }
+    case LinVerdict::kBudgetExceeded:
+      result.lin_budget_exceeded = true;
       break;
   }
-  return violations;
+  return result;
 }
 
 /// External client sessions under chaos: replicas at [0, n), ClusterClient
@@ -481,8 +568,8 @@ std::vector<std::string> run_kv(const CampaignConfig& config,
 /// audited contract is the cluster's, not survival of the client process).
 /// At the horizon: alive stores identical, no token applied twice, every
 /// acked token present everywhere, and every client drained (liveness).
-std::vector<std::string> run_client_session(const CampaignConfig& config,
-                                            std::uint64_t seed) {
+CaseResult run_client_session(const CampaignConfig& config,
+                              std::uint64_t seed) {
   constexpr int kClients = 3;
   const int cluster_n = config.n;
   SimConfig sc;
@@ -491,6 +578,9 @@ std::vector<std::string> run_client_session(const CampaignConfig& config,
   LinkFactory base = system_s_links(config);
   Simulator sim(sc, base);
   auto tracer = maybe_trace(sim, config);
+  // Server-side history, assembled from the obs client-request/reply
+  // events: a second, independently recorded view of the same execution.
+  BusHistoryRecorder recorder(sim.plane().bus());
 
   KvReplicaConfig rc;
   rc.cluster_n = cluster_n;
@@ -556,7 +646,8 @@ std::vector<std::string> run_client_session(const CampaignConfig& config,
   // repeated campaign cases in one process do not accumulate.
   *submit_one = nullptr;
 
-  std::vector<std::string> violations;
+  CaseResult result;
+  std::vector<std::string>& violations = result.violations;
   check_kill_accounting(sim, nemesis, violations);
 
   // Liveness: with no request deadline, every submission must be acked once
@@ -614,22 +705,48 @@ std::vector<std::string> run_client_session(const CampaignConfig& config,
     }
   }
   if (!digest) violations.emplace_back("no alive replica to audit");
-  return violations;
+
+  // The server-side recorded history must itself be linearizable: the obs
+  // events bracket each op's log-order effect point, so this checks the
+  // same contract from the replicas' vantage instead of the clients'.
+  LinReport report = LinearizabilityChecker::check_report(recorder.history());
+  switch (report.verdict) {
+    case LinVerdict::kLinearizable:
+      break;
+    case LinVerdict::kNotLinearizable: {
+      std::ostringstream what;
+      what << "recorded server-side history is not linearizable: partition \""
+           << report.failed_partition << "\", core of " << report.core.size()
+           << " ops";
+      violations.push_back(what.str());
+      break;
+    }
+    case LinVerdict::kBudgetExceeded:
+      result.lin_budget_exceeded = true;
+      break;
+  }
+  return result;
 }
 
 }  // namespace
 
-std::vector<std::string> run_campaign_case(const CampaignConfig& config,
-                                           std::uint64_t seed) {
+CaseResult run_campaign_case(const CampaignConfig& config,
+                             std::uint64_t seed) {
   switch (config.scenario) {
-    case Scenario::kCeOmega: return run_ce_omega(config, seed);
-    case Scenario::kAll2AllOmega: return run_all2all(config, seed);
-    case Scenario::kCrOmegaStable: return run_cr_omega(config, seed);
-    case Scenario::kConsensus: return run_consensus(config, seed);
-    case Scenario::kKvLinearizable: return run_kv(config, seed);
-    case Scenario::kClientSession: return run_client_session(config, seed);
+    case Scenario::kCeOmega:
+      return CaseResult{run_ce_omega(config, seed)};
+    case Scenario::kAll2AllOmega:
+      return CaseResult{run_all2all(config, seed)};
+    case Scenario::kCrOmegaStable:
+      return CaseResult{run_cr_omega(config, seed)};
+    case Scenario::kConsensus:
+      return CaseResult{run_consensus(config, seed)};
+    case Scenario::kKvLinearizable:
+      return run_kv(config, seed);
+    case Scenario::kClientSession:
+      return run_client_session(config, seed);
   }
-  return {"unknown scenario"};
+  return CaseResult{{"unknown scenario"}};
 }
 
 std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
@@ -639,6 +756,9 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
       << " --horizon-ms=" << config.horizon / kMillisecond
       << " --quiesce-ms=" << config.quiesce / kMillisecond
       << " --kills=" << config.crash_stop_budget;
+  if (config.scenario == Scenario::kKvLinearizable) {
+    out << " --kv-ops=" << config.kv_ops << " --kv-keys=" << config.kv_keys;
+  }
   if (config.sabotage) out << " --sabotage";
   out << " --verbose";
   return out.str();
@@ -648,20 +768,44 @@ CampaignResult run_campaign(const CampaignConfig& config, std::FILE* log) {
   CampaignResult result;
   for (int i = 0; i < config.seeds; ++i) {
     std::uint64_t seed = config.first_seed + static_cast<std::uint64_t>(i);
-    std::vector<std::string> violations = run_campaign_case(config, seed);
+    CaseResult case_result = run_campaign_case(config, seed);
+    const std::vector<std::string>& violations = case_result.violations;
     ++result.runs;
-    if (!violations.empty() && !config.trace_dir.empty()) {
+    if (case_result.lin_budget_exceeded) {
+      ++result.budget_exceeded_runs;
+      if (log != nullptr) {
+        std::fprintf(log,
+                     "[%s] seed=%" PRIu64
+                     " BUDGET EXCEEDED: linearizability check gave up "
+                     "(raise --lin-max-nodes)\n  replay: %s\n",
+                     scenario_name(config.scenario), seed,
+                     replay_command(config, seed).c_str());
+      }
+    }
+    const bool failed = !violations.empty() || case_result.lin_budget_exceeded;
+    if (failed && !config.trace_dir.empty()) {
       // Runs are pure functions of (config, seed): re-run the offender with
-      // tracing on and commit the control-plane trace as an artifact.
+      // tracing on and commit the control-plane trace — and, for the kv
+      // scenario, the recorded `.hist` — as artifacts.
       CampaignConfig traced = config;
       traced.trace_path = config.trace_dir + "/trace_" +
                           scenario_name(config.scenario) + "_" +
                           std::to_string(seed) + ".jsonl";
+      if (config.scenario == Scenario::kKvLinearizable) {
+        traced.hist_path = config.trace_dir + "/hist_" +
+                           scenario_name(config.scenario) + "_" +
+                           std::to_string(seed) + ".hist";
+      }
       run_campaign_case(traced, seed);
       if (log != nullptr) {
         std::fprintf(log, "[%s] seed=%" PRIu64 " trace: %s\n",
                      scenario_name(config.scenario), seed,
                      traced.trace_path.c_str());
+        if (!traced.hist_path.empty()) {
+          std::fprintf(log, "[%s] seed=%" PRIu64 " history: %s\n",
+                       scenario_name(config.scenario), seed,
+                       traced.hist_path.c_str());
+        }
       }
     }
     for (const std::string& what : violations) {
@@ -677,15 +821,15 @@ CampaignResult run_campaign(const CampaignConfig& config, std::FILE* log) {
       }
       result.violations.push_back(std::move(v));
     }
-    if (log != nullptr && config.verbose && violations.empty()) {
+    if (log != nullptr && config.verbose && !failed) {
       std::fprintf(log, "[%s] seed=%" PRIu64 " ok\n",
                    scenario_name(config.scenario), seed);
     }
   }
   if (log != nullptr) {
-    std::fprintf(log, "[%s] %d runs, %zu violations\n",
+    std::fprintf(log, "[%s] %d runs, %zu violations, %d budget-exceeded\n",
                  scenario_name(config.scenario), result.runs,
-                 result.violations.size());
+                 result.violations.size(), result.budget_exceeded_runs);
   }
   return result;
 }

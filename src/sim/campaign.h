@@ -74,8 +74,21 @@ struct CampaignConfig {
   /// seeds=1 when replaying a specific execution.
   std::string trace_path;
   /// When non-empty, run_campaign deterministically re-runs every violating
-  /// seed with tracing on and writes trace_<scenario>_<seed>.jsonl here.
+  /// seed with tracing on and writes trace_<scenario>_<seed>.jsonl (and, for
+  /// the kv scenario, hist_<scenario>_<seed>.hist) here.
   std::string trace_dir;
+  /// kv scenario workload: randomized concurrent ops per run and distinct
+  /// keys, all derived from the run seed (the default is sized for a 50-seed
+  /// sweep; CI's timed check runs 5000 ops over 8 keys).
+  int kv_ops = 400;
+  int kv_keys = 8;
+  /// Per-partition search-node budget handed to the linearizability checker
+  /// (kv scenario). Exceeding it is reported as budget exhaustion — its own
+  /// verdict, not a violation — and still fails the campaign.
+  std::size_t lin_max_nodes = 4'000'000;
+  /// When non-empty, the kv scenario writes the recorded client history to
+  /// this `.hist` path (last run wins; pair with seeds=1).
+  std::string hist_path;
 };
 
 struct Violation {
@@ -87,13 +100,27 @@ struct Violation {
 struct CampaignResult {
   int runs = 0;
   std::vector<Violation> violations;
-  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Runs whose linearizability check ran out of search budget. Not a
+  /// violation (nothing was proven wrong) but not a pass either — the
+  /// campaign fails, with its own field so --json keeps the two apart.
+  int budget_exceeded_runs = 0;
+  [[nodiscard]] bool ok() const {
+    return violations.empty() && budget_exceeded_runs == 0;
+  }
 };
 
-/// Runs one scenario once; returns human-readable violations (empty = pass).
+/// Outcome of a single run. `violations` are proven safety/liveness
+/// failures; `lin_budget_exceeded` means the checker gave up before a
+/// verdict (raise CampaignConfig::lin_max_nodes or shrink the workload).
+struct CaseResult {
+  std::vector<std::string> violations;
+  bool lin_budget_exceeded = false;
+  bool operator==(const CaseResult&) const = default;
+};
+
+/// Runs one scenario once; violations are human-readable (empty = pass).
 /// Deterministic: same (config, seed) yields the same outcome.
-std::vector<std::string> run_campaign_case(const CampaignConfig& config,
-                                           std::uint64_t seed);
+CaseResult run_campaign_case(const CampaignConfig& config, std::uint64_t seed);
 
 /// Sweeps seeds [first_seed, first_seed + seeds). When `log` is non-null,
 /// prints progress and, for each violation, the offending seed plus the

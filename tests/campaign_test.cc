@@ -17,6 +17,8 @@ CampaignConfig small(Scenario scenario) {
   config.quiesce = 12 * kSecond;
   config.check_window = 5 * kSecond;
   config.crash_stop_budget = 1;
+  config.kv_ops = 120;  // keep the randomized kv workload test-sized
+  config.kv_keys = 4;
   return config;
 }
 
@@ -58,6 +60,45 @@ TEST(Campaign, RunsAreDeterministic) {
   auto c = run_campaign_case(config, 1);
   auto d = run_campaign_case(config, 1);
   EXPECT_EQ(c, d);
+}
+
+TEST(Campaign, LinBudgetExceededIsItsOwnVerdict) {
+  // Starving the checker must surface as "budget exceeded" — a distinct
+  // field, not a fake violation — and still fail the campaign, because an
+  // unchecked history proves nothing.
+  CampaignConfig config = small(Scenario::kKvLinearizable);
+  config.seeds = 1;
+  config.crash_stop_budget = 0;
+  config.lin_max_nodes = 1;
+  CaseResult case_result = run_campaign_case(config, 1);
+  EXPECT_TRUE(case_result.lin_budget_exceeded);
+  EXPECT_TRUE(case_result.violations.empty());
+
+  CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.budget_exceeded_runs, 1);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_FALSE(result.ok());
+
+  // The default budget checks the same run fine.
+  config.lin_max_nodes = CampaignConfig{}.lin_max_nodes;
+  CaseResult healthy = run_campaign_case(config, 1);
+  EXPECT_FALSE(healthy.lin_budget_exceeded);
+  EXPECT_TRUE(healthy.violations.empty());
+}
+
+TEST(Campaign, KvWorkloadScalesWithConfig) {
+  // The randomized workload is seed-deterministic and its size follows
+  // kv_ops: the same (config, seed) twice gives identical results, and a
+  // larger op count still checks out linearizable.
+  CampaignConfig config = small(Scenario::kKvLinearizable);
+  config.seeds = 1;
+  config.kv_ops = 300;
+  config.kv_keys = 6;
+  CaseResult a = run_campaign_case(config, 5);
+  CaseResult b = run_campaign_case(config, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.violations.empty());
+  EXPECT_FALSE(a.lin_budget_exceeded);
 }
 
 TEST(Campaign, ScenarioNamesRoundTrip) {

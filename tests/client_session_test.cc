@@ -18,6 +18,8 @@
 #include "client/cluster_client.h"
 #include "client/session.h"
 #include "net/topology.h"
+#include "rsm/history.h"
+#include "rsm/linearizability.h"
 #include "rsm/replica.h"
 #include "sim/nemesis.h"
 #include "sim/simulator.h"
@@ -53,6 +55,9 @@ TEST(ClientSessionE2E, ExactlyOnceAcrossForcedLeaderCrash) {
   sc.seed = 7;
   LinkFactory base = make_all_timely({500, 2 * kMillisecond});
   Simulator sim(sc, base);
+  // Server-side history view, assembled from obs client-request/reply
+  // events; checked against the client-side record below.
+  BusHistoryRecorder recorder(sim.plane().bus());
 
   KvReplicaConfig rc;
   rc.cluster_n = kClusterN;
@@ -97,17 +102,24 @@ TEST(ClientSessionE2E, ExactlyOnceAcrossForcedLeaderCrash) {
   const TimePoint submit_end = 10 * kSecond;
   const TimePoint horizon = 16 * kSecond;
   auto acked_tokens = std::make_shared<std::vector<std::string>>();
+  auto history = std::make_shared<std::vector<HistoryOp>>();
   auto counter = std::make_shared<std::uint64_t>(0);
   auto submit_one = std::make_shared<std::function<void(int)>>();
-  *submit_one = [&sim, clients, acked_tokens, counter, submit_end,
+  *submit_one = [&sim, clients, acked_tokens, history, counter, submit_end,
                  submit_one](int ci) {
     std::string token = std::to_string(kClusterN + ci) + "." +
                         std::to_string(++*counter) + ";";
     clients[static_cast<std::size_t>(ci)]->submit(
         KvOp::kAppend, "audit" + std::to_string(ci % 2), token, "",
-        [&sim, acked_tokens, token, submit_end, submit_one,
+        [&sim, acked_tokens, history, token, submit_end, submit_one,
          ci](const ClientCompletion& done) {
           if (!done.timed_out) acked_tokens->push_back(token);
+          HistoryOp hop;
+          hop.cmd = done.cmd;
+          hop.invoked = done.invoked;
+          hop.responded = done.timed_out ? kTimeNever : done.completed;
+          hop.result = done.result;
+          history->push_back(std::move(hop));
           if (sim.now() < submit_end) (*submit_one)(ci);
         });
   };
@@ -176,6 +188,41 @@ TEST(ClientSessionE2E, ExactlyOnceAcrossForcedLeaderCrash) {
     }
   }
   EXPECT_TRUE(have_digest);
+
+  // Cross-check the store census against the recorded history: the
+  // client-side record must be linearizable, and replaying its witness
+  // must apply every acked token exactly once, in an order consistent
+  // with what each completion observed.
+  ASSERT_GE(history->size(), acked_tokens->size());
+  LinReport lin = LinearizabilityChecker::check_report(*history);
+  ASSERT_EQ(lin.verdict, LinVerdict::kLinearizable)
+      << "client-side history rejected; failing key " << lin.failed_partition
+      << ", core of " << lin.core.size() << " ops";
+  EXPECT_EQ(lin.partitions, 2u);  // audit0 / audit1
+
+  KvStore replay;
+  std::map<std::string, int> witness_census;
+  for (std::size_t idx : lin.witness) {
+    const HistoryOp& hop = (*history)[idx];
+    KvResult r = replay.apply(hop.cmd);
+    if (hop.responded != kTimeNever) {
+      EXPECT_EQ(r.ok, hop.result.ok);
+      EXPECT_EQ(r.value, hop.result.value);
+    }
+    ++witness_census[hop.cmd.value];
+  }
+  for (const std::string& token : *acked_tokens) {
+    EXPECT_EQ(witness_census[token], 1)
+        << "acked token " << token << " not exactly-once in witness order";
+  }
+
+  // The server-side view (obs events) spans a sub-interval of each client
+  // interval and brackets the effect point, so it must check out too.
+  LinReport server = LinearizabilityChecker::check_report(recorder.history());
+  EXPECT_EQ(server.verdict, LinVerdict::kLinearizable)
+      << "server-side history rejected; failing key "
+      << server.failed_partition;
+  EXPECT_GE(recorder.history().size(), acked_tokens->size());
 }
 
 }  // namespace

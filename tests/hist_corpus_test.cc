@@ -1,0 +1,151 @@
+// Golden non-linearizable corpus: each hand-written .hist under
+// tests/corpus/ encodes one classic consistency bug, and the checker must
+// reject every one of them. This guards checker v2 against going silently
+// vacuous — a refactor that starts accepting stale reads fails here, not in
+// a flaky campaign run. Also round-trips the .hist format itself.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rsm/history.h"
+#include "rsm/linearizability.h"
+
+#ifndef CORPUS_DIR
+#error "CORPUS_DIR must point at tests/corpus (set by CMake)"
+#endif
+
+namespace lls {
+namespace {
+
+struct CorpusCase {
+  const char* name;
+  std::size_t ops;  // total operations the file must contain
+};
+
+const CorpusCase kCorpus[] = {
+    {"stale_read", 2},     // write acked, later read misses it
+    {"lost_update", 3},    // second append drops the first's suffix
+    {"double_append", 2},  // one append, read sees it applied twice
+    {"cas_twice", 2},      // two CAS from the same expected value both win
+};
+
+TEST(HistCorpus, EveryCorpusHistoryIsRejected) {
+  for (const CorpusCase& c : kCorpus) {
+    SCOPED_TRACE(c.name);
+    const std::string path = std::string(CORPUS_DIR) + "/" + c.name + ".hist";
+    LoadedHistory loaded;
+    std::string error;
+    ASSERT_TRUE(load_history_file(path, &loaded, &error)) << error;
+    EXPECT_EQ(loaded.meta.source, std::string("corpus/") + c.name);
+    ASSERT_EQ(loaded.ops.size(), c.ops);
+
+    LinReport report = LinearizabilityChecker::check_report(loaded.ops);
+    EXPECT_EQ(report.verdict, LinVerdict::kNotLinearizable);
+    EXPECT_FALSE(report.core.empty());
+    EXPECT_LE(report.core.size(), c.ops);
+    for (std::size_t idx : report.core) EXPECT_LT(idx, loaded.ops.size());
+  }
+}
+
+TEST(HistCorpus, RegisterSpecRejectsThemToo) {
+  // Every corpus case is single-key, so the single-cell register spec must
+  // reach the same verdict as the per-key map spec.
+  for (const CorpusCase& c : kCorpus) {
+    SCOPED_TRACE(c.name);
+    const std::string path = std::string(CORPUS_DIR) + "/" + c.name + ".hist";
+    LoadedHistory loaded;
+    ASSERT_TRUE(load_history_file(path, &loaded));
+    EXPECT_EQ(LinearizabilityChecker::check(loaded.ops, RegisterSpec{}),
+              LinVerdict::kNotLinearizable);
+  }
+}
+
+TEST(HistCorpus, WriterLoaderRoundTrip) {
+  // Exercise the format edges the corpus files don't: escaped characters,
+  // a pending op, and CAS expected values.
+  std::vector<HistoryOp> history;
+  HistoryOp a;
+  a.cmd = Command{.origin = 3, .seq = 9, .op = KvOp::kPut,
+                  .key = "we\"ird\\key\n", .value = "v\t1", .expected = ""};
+  a.invoked = 100;
+  a.responded = 250;
+  a.result = KvResult{.ok = true, .found = false, .value = "v\t1"};
+  history.push_back(a);
+  HistoryOp b;
+  b.cmd = Command{.origin = 4, .seq = 1, .op = KvOp::kCas,
+                  .key = "we\"ird\\key\n", .value = "v2", .expected = "v\t1"};
+  b.invoked = 300;  // never responded: pending
+  history.push_back(b);
+
+  const std::string path = ::testing::TempDir() + "/round_trip.hist";
+  ASSERT_TRUE(write_history_file(path, history,
+                                 HistoryMeta{.source = "hist_corpus_test",
+                                             .seed = 42}));
+  LoadedHistory loaded;
+  std::string error;
+  ASSERT_TRUE(load_history_file(path, &loaded, &error)) << error;
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.meta.source, "hist_corpus_test");
+  EXPECT_EQ(loaded.meta.seed, 42u);
+  ASSERT_EQ(loaded.ops.size(), history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(loaded.ops[i].cmd.origin, history[i].cmd.origin);
+    EXPECT_EQ(loaded.ops[i].cmd.seq, history[i].cmd.seq);
+    EXPECT_EQ(loaded.ops[i].cmd.op, history[i].cmd.op);
+    EXPECT_EQ(loaded.ops[i].cmd.key, history[i].cmd.key);
+    EXPECT_EQ(loaded.ops[i].cmd.value, history[i].cmd.value);
+    EXPECT_EQ(loaded.ops[i].cmd.expected, history[i].cmd.expected);
+    EXPECT_EQ(loaded.ops[i].invoked, history[i].invoked);
+    EXPECT_EQ(loaded.ops[i].responded, history[i].responded);
+  }
+  EXPECT_EQ(loaded.ops[0].result.value, "v\t1");
+  EXPECT_EQ(loaded.ops[1].responded, kTimeNever);
+  // The pending CAS may or may not have taken effect; either way the
+  // history is linearizable.
+  EXPECT_EQ(LinearizabilityChecker::check(loaded.ops),
+            LinVerdict::kLinearizable);
+}
+
+TEST(HistCorpus, LoaderRejectsMalformedFiles) {
+  struct Bad {
+    const char* label;
+    const char* contents;
+  };
+  const Bad bad[] = {
+      {"garbage", "not json at all\n"},
+      {"response_without_invoke",
+       "{\"e\":\"h\",\"v\":1,\"source\":\"t\",\"seed\":0}\n"
+       "{\"e\":\"r\",\"id\":7,\"t\":1,\"ok\":true,\"found\":false,\"val\":\"\"}\n"},
+      {"duplicate_invoke",
+       "{\"e\":\"h\",\"v\":1,\"source\":\"t\",\"seed\":0}\n"
+       "{\"e\":\"i\",\"id\":0,\"t\":0,\"origin\":1,\"seq\":1,\"op\":\"get\","
+       "\"key\":\"k\",\"val\":\"\",\"exp\":\"\"}\n"
+       "{\"e\":\"i\",\"id\":0,\"t\":5,\"origin\":1,\"seq\":2,\"op\":\"get\","
+       "\"key\":\"k\",\"val\":\"\",\"exp\":\"\"}\n"},
+      {"unknown_op",
+       "{\"e\":\"h\",\"v\":1,\"source\":\"t\",\"seed\":0}\n"
+       "{\"e\":\"i\",\"id\":0,\"t\":0,\"origin\":1,\"seq\":1,\"op\":\"frob\","
+       "\"key\":\"k\",\"val\":\"\",\"exp\":\"\"}\n"},
+  };
+  for (const Bad& c : bad) {
+    SCOPED_TRACE(c.label);
+    const std::string path =
+        ::testing::TempDir() + "/bad_" + c.label + ".hist";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(c.contents, f);
+    std::fclose(f);
+    LoadedHistory loaded;
+    std::string error;
+    EXPECT_FALSE(load_history_file(path, &loaded, &error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace lls

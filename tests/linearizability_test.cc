@@ -136,6 +136,107 @@ TEST(LinCheck, AppendOrderMatters) {
   EXPECT_FALSE(LinearizabilityChecker::is_linearizable(bad));
 }
 
+TEST(LinCheck, RegisterSpecSharesOneCell) {
+  // Under the register spec every command addresses the same cell, so a
+  // put on "a" must be visible to a later get on "b"; under the per-key
+  // map spec the same history is a violation (key "b" was never written).
+  std::vector<HistoryOp> h{
+      op(mk(KvOp::kPut, "a", "1"), 0, 10, res(true, false, "1")),
+      op(mk(KvOp::kGet, "b"), 20, 30, res(true, true, "1")),
+  };
+  EXPECT_EQ(LinearizabilityChecker::check(h, RegisterSpec{}),
+            LinVerdict::kLinearizable);
+  EXPECT_EQ(LinearizabilityChecker::check(h, KvMapSpec{}),
+            LinVerdict::kNotLinearizable);
+}
+
+TEST(LinCheck, ReportWitnessCoversEveryPartition) {
+  std::vector<HistoryOp> h{
+      op(mk(KvOp::kPut, "a", "1"), 0, 10, res(true, false, "1")),
+      op(mk(KvOp::kPut, "b", "2"), 0, 10, res(true, false, "2")),
+      op(mk(KvOp::kGet, "a"), 5, 25, res(true, true, "1")),
+      op(mk(KvOp::kGet, "b"), 20, 30, res(true, true, "2")),
+  };
+  LinReport report = LinearizabilityChecker::check_report(h);
+  EXPECT_EQ(report.verdict, LinVerdict::kLinearizable);
+  EXPECT_EQ(report.partitions, 2u);
+  EXPECT_TRUE(report.failed_partition.empty());
+  // Witness is a permutation of all history indices.
+  ASSERT_EQ(report.witness.size(), h.size());
+  std::vector<bool> seen(h.size(), false);
+  for (std::size_t idx : report.witness) {
+    ASSERT_LT(idx, h.size());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(LinCheck, ReportCoreIsolatesTheFailingKey) {
+  // Key "a" is healthy; key "b" has a stale read. The report must name
+  // partition "b" and the core must stay within b's ops.
+  std::vector<HistoryOp> h{
+      op(mk(KvOp::kPut, "a", "1"), 0, 10, res(true, false, "1")),
+      op(mk(KvOp::kGet, "a"), 20, 30, res(true, true, "1")),
+      op(mk(KvOp::kPut, "b", "2"), 0, 10, res(true, false, "2")),
+      op(mk(KvOp::kPut, "b", "3"), 20, 30, res(true, true, "3")),
+      op(mk(KvOp::kGet, "b"), 40, 50, res(true, true, "2")),
+  };
+  LinReport report = LinearizabilityChecker::check_report(h);
+  ASSERT_EQ(report.verdict, LinVerdict::kNotLinearizable);
+  EXPECT_EQ(report.failed_partition, "b");
+  ASSERT_FALSE(report.core.empty());
+  EXPECT_LE(report.core.size(), 2u);  // put "3" + stale get suffice
+  for (std::size_t idx : report.core) {
+    ASSERT_LT(idx, h.size());
+    EXPECT_EQ(h[idx].cmd.key, "b");
+  }
+}
+
+TEST(LinCheck, ExhaustedBudgetIsItsOwnVerdict) {
+  std::vector<HistoryOp> h{
+      op(mk(KvOp::kPut, "a", "1"), 0, 10, res(true, false, "1")),
+      op(mk(KvOp::kPut, "a", "2"), 0, 10, res(true, true, "2")),
+      op(mk(KvOp::kGet, "a"), 20, 30, res(true, true, "2")),
+  };
+  LinOptions tiny;
+  tiny.max_nodes = 1;
+  EXPECT_EQ(LinearizabilityChecker::check(h, tiny),
+            LinVerdict::kBudgetExceeded);
+  EXPECT_FALSE(LinearizabilityChecker::is_linearizable(h, tiny));
+  LinReport report = LinearizabilityChecker::check_report(h, tiny);
+  EXPECT_EQ(report.verdict, LinVerdict::kBudgetExceeded);
+  EXPECT_EQ(report.failed_partition, "a");
+  // An honest budget: the same history checks fine without the cap.
+  EXPECT_TRUE(LinearizabilityChecker::is_linearizable(h));
+}
+
+TEST(LinCheck, ThousandsOfOpsAcrossKeysStayTractable) {
+  // v2's reason to exist: a per-key partitioned, memoized search handles a
+  // few thousand ops with modest concurrency without blowing the budget.
+  std::vector<HistoryOp> h;
+  constexpr int kKeys = 16;
+  std::vector<std::string> value(kKeys);
+  for (int i = 0; i < 4000; ++i) {
+    const std::string key = "k" + std::to_string(i % kKeys);
+    std::string& cell = value[static_cast<std::size_t>(i % kKeys)];
+    const TimePoint t = static_cast<TimePoint>(10 * i);
+    if (i % 3 == 0) {
+      h.push_back(op(mk(KvOp::kGet, key), t, t + 25,
+                     res(!cell.empty(), !cell.empty(), cell)));
+    } else {
+      const bool found = !cell.empty();
+      cell = "v" + std::to_string(i);
+      // responded at t+25: overlaps the next couple of ops on other keys.
+      h.push_back(op(mk(KvOp::kPut, key, cell), t, t + 25,
+                     res(true, found, cell)));
+    }
+  }
+  LinReport report = LinearizabilityChecker::check_report(h);
+  EXPECT_EQ(report.verdict, LinVerdict::kLinearizable);
+  EXPECT_EQ(report.partitions, static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(report.witness.size(), h.size());
+}
+
 // --- full-stack histories ----------------------------------------------------
 
 std::vector<HistoryOp> run_cluster_history(std::uint64_t seed, int num_ops,

@@ -330,6 +330,65 @@ TEST(LogConsensusUnit, LeaderChangeAbandonsProposerRole) {
   EXPECT_EQ(ForwardMsg::decode(*fwd).value, val(4));
 }
 
+TEST(LogConsensusUnit, StaleReadyLeaderNeverAssignsADecidedInstance) {
+  // Regression for a liveness hole found by the randomized kv campaign
+  // (seed 163): a leader that became ready with next_free_ == i, then
+  // LEARNED instance i from a competing leader's decide, would assign its
+  // next proposal to the already-decided slot i. learn(i) had already run,
+  // so nothing ever displaced the value back to pending_, and abdication
+  // dropped it as "decided" — the submission was silently lost.
+  Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
+  f.tick();
+  Round r = f.consensus.current_round();
+  f.deliver(1, msg_type::kPromise, PromiseMsg{r, {}}.encode());
+  ASSERT_TRUE(f.consensus.is_leader_ready());
+
+  // A competing leader decided instance 0 behind our back.
+  f.deliver(2, msg_type::kDecide, DecideMsg{0, val(6)}.encode());
+  ASSERT_TRUE(f.consensus.decision(0).has_value());
+
+  // Our proposal must land on a fresh instance, not the decided slot.
+  f.rt.clear_sent();
+  f.consensus.propose(val(9));
+  const Bytes* acc = f.last_sent(1, msg_type::kAccept);
+  ASSERT_NE(acc, nullptr);
+  auto msg = AcceptMsg::decode(*acc);
+  EXPECT_EQ(msg.instance, 1u);
+  EXPECT_EQ(msg.value, val(9));
+
+  // Losing leadership must hand the still-undecided value back to the
+  // pending queue (and forward it to the new leader), not drop it.
+  f.omega.set(2);
+  f.rt.clear_sent();
+  f.tick();
+  EXPECT_FALSE(f.consensus.is_leader_ready());
+  EXPECT_EQ(f.consensus.pending_count(), 1u);
+  const Bytes* fwd = f.last_sent(2, msg_type::kForward);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(ForwardMsg::decode(*fwd).value, val(9));
+}
+
+TEST(LogConsensusUnit, AbdicationRequeuesAValueDisplacedFromADecidedSlot) {
+  // Belt-and-braces for the same hole: even if an in-flight entry somehow
+  // sits on a slot decided with a different value at abdication time, the
+  // value must be re-queued, not dropped.
+  Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
+  f.tick();
+  Round r = f.consensus.current_round();
+  f.deliver(1, msg_type::kPromise, PromiseMsg{r, {}}.encode());
+  ASSERT_TRUE(f.consensus.is_leader_ready());
+  f.consensus.propose(val(9));  // in flight at instance 0
+
+  // A competing leader's decide for instance 0 arrives with another value:
+  // the displaced value goes straight back to pending.
+  f.deliver(2, msg_type::kDecide, DecideMsg{0, val(6)}.encode());
+  EXPECT_EQ(f.consensus.pending_count(), 1u);
+
+  // And a duplicate of that decide must not disturb the queue.
+  f.deliver(2, msg_type::kDecide, DecideMsg{0, val(6)}.encode());
+  EXPECT_EQ(f.consensus.pending_count(), 1u);
+}
+
 TEST(LogConsensusUnit, ForwardDeduplicatesAgainstLogAndQueue) {
   Fixture f(/*self=*/0, /*n=*/3, /*leader=*/2);
   f.deliver(1, msg_type::kForward, ForwardMsg{val(6)}.encode());

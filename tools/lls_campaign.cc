@@ -42,9 +42,15 @@ namespace {
       "  --kills=<int>         crash-stop kills per run (default 1)\n"
       "  --sabotage            cripple timeouts; campaign must then FAIL\n"
       "  --verbose             print per-seed progress\n"
+      "  --kv-ops=<int>        kv scenario: randomized ops per run (default "
+      "400)\n"
+      "  --kv-keys=<int>       kv scenario: distinct keys (default 8)\n"
+      "  --lin-max-nodes=<u64> linearizability search budget per partition\n"
+      "  --hist=<path>         kv scenario: record the client history (.hist)\n"
       "  --trace=<path>        dump each run's control-plane trace (JSONL)\n"
       "  --trace-dir=<dir>     re-run violating seeds with tracing on and\n"
-      "                        write trace_<scenario>_<seed>.jsonl there\n"
+      "                        write trace_<scenario>_<seed>.jsonl (+ the kv\n"
+      "                        scenario's hist_<scenario>_<seed>.hist) there\n"
       "  --out=<path>          write a machine-readable summary\n"
       "                        (--json=<path> is an alias)\n",
       stderr);
@@ -85,6 +91,12 @@ int main(int argc, char** argv) {
       "kills", static_cast<std::uint64_t>(config.crash_stop_budget)));
   config.sabotage = flags.flag("sabotage");
   config.verbose = flags.flag("verbose");
+  config.kv_ops = static_cast<int>(
+      flags.u64("kv-ops", static_cast<std::uint64_t>(config.kv_ops)));
+  config.kv_keys = static_cast<int>(
+      flags.u64("kv-keys", static_cast<std::uint64_t>(config.kv_keys)));
+  config.lin_max_nodes = flags.u64("lin-max-nodes", config.lin_max_nodes);
+  config.hist_path = flags.str("hist");
   config.trace_path = flags.str("trace");
   config.trace_dir = flags.str("trace-dir");
   std::string json_path = flags.out();
@@ -104,6 +116,7 @@ int main(int argc, char** argv) {
 
   int runs = 0;
   std::size_t violations = 0;
+  int budget_exceeded = 0;
   std::vector<std::pair<Scenario, CampaignResult>> results;
   for (Scenario scenario : scenarios) {
     CampaignConfig one = config;
@@ -111,11 +124,13 @@ int main(int argc, char** argv) {
     CampaignResult result = run_campaign(one, stderr);
     runs += result.runs;
     violations += result.violations.size();
+    budget_exceeded += result.budget_exceeded_runs;
     results.emplace_back(scenario, std::move(result));
   }
-  std::fprintf(stderr, "campaign total: %d runs, %zu violations\n", runs,
-               violations);
-  const bool passed = violations == 0;
+  std::fprintf(stderr,
+               "campaign total: %d runs, %zu violations, %d budget-exceeded\n",
+               runs, violations, budget_exceeded);
+  const bool passed = violations == 0 && budget_exceeded == 0;
 
   if (!json_path.empty()) {
     bench::Json json;
@@ -136,6 +151,7 @@ int main(int argc, char** argv) {
       json.key("scenario").value(scenario_name(scenario));
       json.key("runs").value(result.runs);
       json.key("violations").value(result.violations.size());
+      json.key("budget_exceeded").value(result.budget_exceeded_runs);
       json.key("details").begin_array();
       for (const Violation& v : result.violations) {
         json.begin_object();
@@ -150,11 +166,17 @@ int main(int argc, char** argv) {
     json.end_array();
     json.key("total_runs").value(runs);
     json.key("total_violations").value(violations);
+    json.key("total_budget_exceeded").value(budget_exceeded);
     json.key("exit_code").value(passed ? 0 : 1);
     json.key("exit_rationale")
-        .value(passed ? "all runs passed every invariant"
-                      : "at least one invariant violation; see details for "
-                        "seeds and replay commands");
+        .value(passed
+                   ? "all runs passed every invariant"
+                   : violations > 0
+                         ? "at least one invariant violation; see details "
+                           "for seeds and replay commands"
+                         : "linearizability search budget exceeded; nothing "
+                           "proven wrong, raise --lin-max-nodes or shrink "
+                           "--kv-ops");
     json.end_object();
     if (!bench::write_json_file(json_path, json)) return 1;
   }

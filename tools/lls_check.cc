@@ -1,0 +1,185 @@
+// lls_check — offline linearizability checker for recorded `.hist` files.
+//
+// Loads a history recorded by the campaign kv scenario, lls_loadgen (sim or
+// UDP host) or any other producer of the JSONL `.hist` format (see
+// src/rsm/history.h), runs checker v2 against the chosen spec and prints the
+// verdict. On a violation it prints the failing partition and the minimal
+// rejected core — the smallest subhistory that is still non-linearizable —
+// rendered op by op.
+//
+//   lls_check --hist=run.hist
+//   lls_check --hist=run.hist --spec=register --max-nodes=10000000
+//   lls_check --hist=run.hist --out=verdict.json
+//
+// Exit status: 0 linearizable, 1 not linearizable, 2 usage or I/O error,
+// 3 search budget exceeded (nothing proven either way).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "flags.h"
+#include "rsm/history.h"
+#include "rsm/linearizability.h"
+
+using namespace lls;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fputs(
+      "usage: lls_check --hist=<path> [options]\n"
+      "\n"
+      "  --hist=<path>        the .hist file to check (required)\n"
+      "  --spec=kv|register   sequential spec: per-key map (default) or a\n"
+      "                       single cell shared by every command\n"
+      "  --max-nodes=<u64>    per-partition search budget (default 4000000)\n"
+      "  --no-shrink          skip minimal-core extraction on violation\n"
+      "  --out=<path>         write the verdict as JSON (--json= alias)\n",
+      stderr);
+  std::exit(2);
+}
+
+const char* op_name(KvOp op) {
+  switch (op) {
+    case KvOp::kPut: return "put";
+    case KvOp::kGet: return "get";
+    case KvOp::kDel: return "del";
+    case KvOp::kAppend: return "append";
+    case KvOp::kCas: return "cas";
+  }
+  return "?";
+}
+
+void print_op(std::size_t index, const HistoryOp& op) {
+  std::printf("  [%zu] origin=%u seq=%llu %s %s", index, op.cmd.origin,
+              (unsigned long long)op.cmd.seq, op_name(op.cmd.op),
+              op.cmd.key.c_str());
+  if (op.cmd.op == KvOp::kCas) {
+    std::printf(" exp=\"%s\" val=\"%s\"", op.cmd.expected.c_str(),
+                op.cmd.value.c_str());
+  } else if (op.cmd.op == KvOp::kPut || op.cmd.op == KvOp::kAppend) {
+    std::printf(" val=\"%s\"", op.cmd.value.c_str());
+  }
+  if (op.responded == kTimeNever) {
+    std::printf("  @[%lld, pending]\n", (long long)op.invoked);
+  } else {
+    std::printf("  @[%lld, %lld] -> ok=%d found=%d val=\"%s\"\n",
+                (long long)op.invoked, (long long)op.responded,
+                op.result.ok ? 1 : 0, op.result.found ? 1 : 0,
+                op.result.value.c_str());
+  }
+}
+
+const char* verdict_name(LinVerdict v) {
+  switch (v) {
+    case LinVerdict::kLinearizable: return "linearizable";
+    case LinVerdict::kNotLinearizable: return "NOT linearizable";
+    case LinVerdict::kBudgetExceeded: return "budget exceeded";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  if (flags.help()) usage();
+
+  const std::string path = flags.str("hist");
+  const std::string spec_name = flags.str("spec", "kv");
+  LinOptions options;
+  options.max_nodes = flags.u64("max-nodes", options.max_nodes);
+  options.shrink_core = !flags.flag("no-shrink");
+  const std::string json_path = flags.out();
+  if (!flags.ok()) {
+    flags.report(stderr);
+    usage();
+  }
+  if (path.empty()) usage("--hist is required");
+
+  const KvMapSpec kv_spec;
+  const RegisterSpec register_spec;
+  const SpecModel* spec = nullptr;
+  if (spec_name == "kv") {
+    spec = &kv_spec;
+  } else if (spec_name == "register") {
+    spec = &register_spec;
+  } else {
+    usage(("unknown spec: " + spec_name).c_str());
+  }
+
+  LoadedHistory loaded;
+  std::string error;
+  if (!load_history_file(path, &loaded, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  std::size_t completed = 0;
+  for (const HistoryOp& op : loaded.ops) {
+    if (op.responded != kTimeNever) ++completed;
+  }
+  std::printf("history: %s\n", path.c_str());
+  std::printf("  source=%s seed=%llu\n", loaded.meta.source.c_str(),
+              (unsigned long long)loaded.meta.seed);
+  std::printf("  %zu ops (%zu completed, %zu pending)\n", loaded.ops.size(),
+              completed, loaded.ops.size() - completed);
+
+  const auto begin = std::chrono::steady_clock::now();
+  LinReport report =
+      LinearizabilityChecker::check_report(loaded.ops, *spec, options);
+  const double elapsed_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+
+  std::printf("verdict: %s  (spec=%s, %zu partitions, %zu search nodes, "
+              "%.1f ms)\n",
+              verdict_name(report.verdict), spec_name.c_str(),
+              report.partitions, report.nodes, elapsed_ms);
+  if (report.verdict == LinVerdict::kNotLinearizable) {
+    std::printf("failed partition: \"%s\"\n", report.failed_partition.c_str());
+    std::printf("minimal rejected core (%zu ops):\n", report.core.size());
+    for (std::size_t index : report.core) print_op(index, loaded.ops[index]);
+  } else if (report.verdict == LinVerdict::kBudgetExceeded) {
+    std::printf("partition \"%s\" exhausted the %llu-node budget; raise "
+                "--max-nodes\n",
+                report.failed_partition.c_str(),
+                (unsigned long long)options.max_nodes);
+  }
+
+  if (!json_path.empty()) {
+    bench::Json json;
+    json.begin_object();
+    json.key("tool").value("lls_check");
+    json.key("hist").value(path);
+    json.key("source").value(loaded.meta.source);
+    json.key("seed").value(loaded.meta.seed);
+    json.key("spec").value(spec_name);
+    json.key("ops").value(loaded.ops.size());
+    json.key("completed").value(completed);
+    json.key("pending").value(loaded.ops.size() - completed);
+    json.key("partitions").value(report.partitions);
+    json.key("search_nodes").value(report.nodes);
+    json.key("elapsed_ms").value(elapsed_ms);
+    json.key("linearizable")
+        .value(report.verdict == LinVerdict::kLinearizable);
+    json.key("budget_exceeded")
+        .value(report.verdict == LinVerdict::kBudgetExceeded);
+    json.key("failed_partition").value(report.failed_partition);
+    json.key("core").begin_array();
+    for (std::size_t index : report.core) json.value(index);
+    json.end_array();
+    json.end_object();
+    if (!bench::write_json_file(json_path, json)) return 2;
+  }
+
+  switch (report.verdict) {
+    case LinVerdict::kLinearizable: return 0;
+    case LinVerdict::kNotLinearizable: return 1;
+    case LinVerdict::kBudgetExceeded: return 3;
+  }
+  return 2;
+}

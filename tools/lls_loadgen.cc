@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "client/loadgen.h"
 #include "common/metrics.h"
 #include "flags.h"
+#include "rsm/history.h"
 #include "rsm/replica.h"
 #include "runtime/udp_runtime.h"
 
@@ -68,6 +70,9 @@ void usage(const char* argv0) {
       "  --verify                   exactly-once audit (sim)\n"
       "  --artifacts=PREFIX         dump PREFIX.prom / .json / .trace.jsonl\n"
       "                             observability artifacts (sim)\n"
+      "  --hist=PATH                record the client op history as a .hist\n"
+      "                             file for offline lls_check (sim and udp;\n"
+      "                             with a --batches sweep the last run wins)\n"
       "  --seed=S\n"
       "  --out=PATH                 write results as JSON (--json= alias)\n"
       "  --udp [--udp-base-port=P]  run over UDP sockets instead of the sim\n"
@@ -125,6 +130,7 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
       kMillisecond;
   opt->load.verify = flags.flag("verify");
   opt->load.artifacts_prefix = flags.str("artifacts");
+  opt->load.hist_path = flags.str("hist");
   opt->load.seed = flags.u64("seed", opt->load.seed);
   opt->json_path = flags.out();
   opt->udp = flags.flag("udp");
@@ -235,6 +241,50 @@ int run_sim(const CliOptions& opt) {
   return 0;
 }
 
+/// Thread-safe `.hist` recorder for the UDP host. Timestamps come from one
+/// process-global steady clock, NOT from the per-node runtimes (each UdpNode
+/// epochs its clock at construction, so per-node times are mutually skewed).
+/// Invocations are stamped before submit() and responses when the completion
+/// runs, so every recorded interval is a superset of the true one — sound
+/// for the checker.
+class UdpHistRecorder {
+ public:
+  bool open(const std::string& path, std::uint64_t seed) {
+    HistoryMeta meta;
+    meta.source = "lls_loadgen/udp";
+    meta.seed = seed;
+    return writer_.open(path, meta);
+  }
+
+  [[nodiscard]] TimePoint now() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  std::uint64_t invoke(const Command& cmd, TimePoint t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writer_.invoke(cmd, t);
+  }
+
+  void respond(std::uint64_t id, const KvResult& result) {
+    TimePoint t = now();
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_.respond(id, t, result);
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_.close();
+  }
+
+ private:
+  std::mutex mu_;
+  HistoryWriter writer_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
 /// UDP host: same actors over loopback sockets, wall-clock timed, closed
 /// loop only (the sim host covers the parameter space; this proves the
 /// stack runs unchanged over real datagrams).
@@ -278,7 +328,11 @@ int run_udp(const CliOptions& opt) {
   }
 
   // Per-client driver state, only ever touched on that client's loop thread
-  // (submit + completion callbacks), so no locking.
+  // (submit + completion callbacks), so no locking (the shared history
+  // recorder locks internally).
+  UdpHistRecorder hist;
+  const bool record = !opt.load.hist_path.empty() &&
+                      hist.open(opt.load.hist_path, opt.load.seed);
   struct ClientState {
     UdpNode* node = nullptr;
     ClusterClient* client = nullptr;
@@ -295,27 +349,41 @@ int run_udp(const CliOptions& opt) {
     st.rng = std::make_unique<Rng>(opt.load.seed * 7919 +
                                    static_cast<std::uint64_t>(c));
     st.submit = std::make_shared<std::function<void()>>();
-    *st.submit = [&opt, &stop, &st]() {
+    *st.submit = [&opt, &stop, &st, &hist, record, c, cluster_n]() {
       if (stop.load(std::memory_order_relaxed)) return;
       std::string key =
           "k" + std::to_string(st.rng->next_below(
                     static_cast<std::uint64_t>(opt.load.keys)));
       bool write = st.rng->chance(opt.load.write_ratio);
+      std::string value = write ? std::string(opt.load.value_size, 'x')
+                                : std::string();
+      // Stamped before submit, written after (when the session seq is
+      // known); the completion cannot run before submit returns — both
+      // execute on this client's loop thread.
+      auto hist_id = record ? std::make_shared<std::uint64_t>(0)
+                            : std::shared_ptr<std::uint64_t>();
+      TimePoint invoked_at = record ? hist.now() : 0;
       auto resubmit = st.submit;
-      auto cb = [&st, &stop, resubmit](const ClientCompletion& done) {
+      auto cb = [&st, &stop, &hist, resubmit,
+                 hist_id](const ClientCompletion& done) {
         if (!done.timed_out) {
+          if (hist_id) hist.respond(*hist_id, done.result);
           st.latency_ms.push_back(
               static_cast<double>(done.completed - done.invoked) /
               static_cast<double>(kMillisecond));
         }
         if (!stop.load(std::memory_order_relaxed)) (*resubmit)();
       };
-      if (write) {
-        st.client->submit(KvOp::kPut, std::move(key),
-                          std::string(opt.load.value_size, 'x'), "",
-                          std::move(cb));
-      } else {
-        st.client->submit(KvOp::kGet, std::move(key), "", "", std::move(cb));
+      const KvOp op = write ? KvOp::kPut : KvOp::kGet;
+      std::uint64_t seq = st.client->submit(op, key, value, "", std::move(cb));
+      if (hist_id) {
+        Command cmd;
+        cmd.origin = static_cast<ProcessId>(cluster_n + c);
+        cmd.seq = seq;
+        cmd.op = op;
+        cmd.key = std::move(key);
+        cmd.value = std::move(value);
+        *hist_id = hist.invoke(cmd, invoked_at);
       }
     };
   }
@@ -331,6 +399,10 @@ int run_udp(const CliOptions& opt) {
   stop.store(true);
   std::this_thread::sleep_for(std::chrono::milliseconds(300));  // drain
   for (auto& node : nodes) node->stop();
+  hist.close();
+  if (record) {
+    std::printf("history: %s\n", opt.load.hist_path.c_str());
+  }
 
   // Threads are joined: pooling the per-client sample arrays is safe now.
   std::uint64_t acked = 0, timed_out = 0, retries = 0, redirects = 0;
