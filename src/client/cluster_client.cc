@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace lls {
 
@@ -9,11 +10,17 @@ void ClusterClient::on_start(Runtime& rt) {
   if (config_.cluster_n <= 0) {
     throw std::logic_error("ClusterClientConfig::cluster_n must be set");
   }
+  if (config_.shards < 1) {
+    throw std::logic_error("ClusterClientConfig::shards must be >= 1");
+  }
   self_ = rt.id();
   rt_ = &rt;
+  map_ = ShardMap(config_.shards);
   // First probe spread across replicas so a client swarm does not hammer
-  // replica 0; redirects converge everyone onto the leader.
-  target_ = static_cast<ProcessId>(static_cast<int>(self_) % config_.cluster_n);
+  // replica 0; redirects converge everyone onto the leader(s).
+  shard_target_.assign(
+      static_cast<std::size_t>(config_.shards),
+      static_cast<ProcessId>(static_cast<int>(self_) % config_.cluster_n));
 }
 
 std::uint64_t ClusterClient::submit(KvOp op, std::string key, std::string value,
@@ -29,6 +36,7 @@ std::uint64_t ClusterClient::submit(KvOp op, std::string key, std::string value,
   f.cmd.value = std::move(value);
   f.cmd.expected = std::move(expected);
   f.encoded = f.cmd.encode();
+  f.shard = map_.shard_of(f.cmd.key);
   f.cb = std::move(cb);
   f.invoked = rt_->now();
   std::uint64_t seq = f.cmd.seq;
@@ -43,8 +51,28 @@ void ClusterClient::pump(Runtime& rt) {
     queue_.pop_front();
     auto [it, inserted] = inflight_.emplace(f.cmd.seq, std::move(f));
     (void)inserted;
-    send_attempt(rt, it->second);
+    mark_for_send(rt, it->second);
   }
+}
+
+void ClusterClient::mark_for_send(Runtime& rt, InFlight& f) {
+  if (!config_.coalesce) {
+    send_attempt(rt, f);
+    return;
+  }
+  // Defer to a same-timestamp flush: everything marked in this execution
+  // turn (a submission burst, a redirect resend, a batch of due retries)
+  // leaves in one message per destination.
+  pending_send_.insert(f.cmd.seq);
+  if (send_timer_ == kInvalidTimer) send_timer_ = rt.set_timer(0);
+}
+
+void ClusterClient::note_attempt(Runtime& rt, InFlight& f) {
+  ++f.attempts;
+  if (f.attempts > 1) ++retries_;
+  Duration jitter =
+      f.backoff > 0 ? rt.rng().next_range(0, f.backoff / 2) : 0;
+  f.next_attempt = rt.now() + config_.attempt_timeout + f.backoff + jitter;
 }
 
 void ClusterClient::send_attempt(Runtime& rt, InFlight& f) {
@@ -52,22 +80,58 @@ void ClusterClient::send_attempt(Runtime& rt, InFlight& f) {
   req.seq = f.cmd.seq;
   req.ack_upto = session_.ack_upto();
   req.command = f.encoded;
-  rt.send(target_, msg_type::kClientRequest, req.encode());
-  ++f.attempts;
-  if (f.attempts > 1) ++retries_;
-  Duration jitter =
-      f.backoff > 0 ? rt.rng().next_range(0, f.backoff / 2) : 0;
-  f.next_attempt = rt.now() + config_.attempt_timeout + f.backoff + jitter;
+  rt.send(shard_target_[f.shard], msg_type::kClientRequest, req.encode());
+  note_attempt(rt, f);
   arm_tick(rt);
 }
 
-void ClusterClient::resend_all(Runtime& rt) {
-  for (auto& [seq, f] : inflight_) send_attempt(rt, f);
+void ClusterClient::flush_sends(Runtime& rt) {
+  // Group marked requests by their shard's believed leader; one wire
+  // message per destination. Iteration is seq-ordered (std::set), so batch
+  // contents are deterministic.
+  std::map<ProcessId, std::vector<InFlight*>> by_dst;
+  for (std::uint64_t seq : pending_send_) {
+    auto it = inflight_.find(seq);
+    if (it == inflight_.end()) continue;  // completed before the flush
+    by_dst[shard_target_[it->second.shard]].push_back(&it->second);
+  }
+  pending_send_.clear();
+  for (auto& [dst, requests] : by_dst) {
+    if (requests.size() == 1) {
+      InFlight& f = *requests.front();
+      ClientRequestMsg req;
+      req.seq = f.cmd.seq;
+      req.ack_upto = session_.ack_upto();
+      req.command = f.encoded;
+      rt.send(dst, msg_type::kClientRequest, req.encode());
+      note_attempt(rt, f);
+      continue;
+    }
+    ClientRequestBatchMsg batch;
+    batch.ack_upto = session_.ack_upto();
+    batch.items.reserve(requests.size());
+    for (InFlight* f : requests) {
+      batch.items.push_back({f->cmd.seq, f->encoded});
+      note_attempt(rt, *f);
+    }
+    rt.send(dst, msg_type::kClientRequestBatch, batch.encode());
+    ++batches_sent_;
+    batched_requests_ += requests.size();
+  }
+  if (!inflight_.empty()) arm_tick(rt);
 }
 
-void ClusterClient::rotate_target() {
-  target_ = static_cast<ProcessId>((static_cast<int>(target_) + 1) %
-                                   config_.cluster_n);
+void ClusterClient::resend_all(Runtime& rt) {
+  for (auto& [seq, f] : inflight_) mark_for_send(rt, f);
+}
+
+void ClusterClient::rotate_targets() {
+  // No reply from anyone we talk to: advance every shard's probe. (Shards
+  // sharing a leader — today's container — advance in lockstep, matching
+  // the old single-target behavior.)
+  for (ProcessId& t : shard_target_) {
+    t = static_cast<ProcessId>((static_cast<int>(t) + 1) % config_.cluster_n);
+  }
   since_progress_ = 0;
   ++rotations_;
 }
@@ -87,6 +151,11 @@ void ClusterClient::arm_tick(Runtime& rt) {
 }
 
 void ClusterClient::on_timer(Runtime& rt, TimerId timer) {
+  if (timer == send_timer_) {
+    send_timer_ = kInvalidTimer;
+    flush_sends(rt);
+    return;
+  }
   if (timer != tick_timer_) return;
   tick_timer_ = kInvalidTimer;
   const TimePoint now = rt.now();
@@ -105,9 +174,9 @@ void ClusterClient::on_timer(Runtime& rt, TimerId timer) {
       continue;
     }
     ++since_progress_;
-    if (since_progress_ >= config_.rotate_after) rotate_target();
+    if (since_progress_ >= config_.rotate_after) rotate_targets();
     bump_backoff(rt, f);
-    send_attempt(rt, f);
+    mark_for_send(rt, f);
   }
   if (!inflight_.empty()) arm_tick(rt);
 }
@@ -142,8 +211,23 @@ void ClusterClient::handle_redirect(Runtime& rt, const ClientRedirectMsg& msg) {
       msg.hint >= static_cast<ProcessId>(config_.cluster_n)) {
     return;  // "no leader here yet" — the tick's backoff/rotation handles it
   }
-  if (msg.hint == target_) return;  // stale redirect from the old target
-  target_ = msg.hint;
+  // A shard-scoped hint retargets only that group; kNoShard (an unsharded
+  // replica, or a cluster-wide hint) retargets every shard.
+  const bool scoped =
+      msg.shard != kNoShard && msg.shard < static_cast<ShardId>(config_.shards);
+  if (scoped) {
+    if (shard_target_[msg.shard] == msg.hint) return;  // stale redirect
+    shard_target_[msg.shard] = msg.hint;
+  } else {
+    bool changed = false;
+    for (ProcessId& t : shard_target_) {
+      if (t != msg.hint) {
+        t = msg.hint;
+        changed = true;
+      }
+    }
+    if (!changed) return;  // stale redirect from the old target
+  }
   // Chase the new leader immediately; per-request backoff is preserved so a
   // redirect loop between two confused replicas still decays.
   resend_all(rt);
@@ -164,6 +248,7 @@ void ClusterClient::complete(Runtime& rt, std::uint64_t seq,
   if (it == inflight_.end()) return;  // duplicate reply for a finished request
   InFlight f = std::move(it->second);
   inflight_.erase(it);
+  pending_send_.erase(seq);
   session_.complete(seq);
   ClientCompletion done;
   done.cmd = std::move(f.cmd);

@@ -18,18 +18,30 @@
 //    requests;
 //  * flow control — at most `window` requests are in flight; BUSY replies
 //    (admission queue over the leader's high-water mark) push the client
-//    into backoff without burning a retry against a healthy leader.
+//    into backoff without burning a retry against a healthy leader;
+//  * coalescing — sends are deferred to a zero-delay flush and packed per
+//    destination into kClientRequestBatch messages, so a burst of
+//    submissions (or retries) costs one network message and — on the
+//    leader — one consensus proposal instead of one per command (the
+//    unbatched hot path's first fix; measured by bench_a5_batching);
+//  * sharding — against a sharded cluster (shard/), keys are routed through
+//    a per-shard leader cache: redirects carry {shard, leader} and update
+//    only that shard's entry, so one confused group does not retarget the
+//    whole session.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "client/session.h"
 #include "common/actor.h"
 #include "net/message.h"
 #include "rsm/command.h"
+#include "shard/shard_map.h"
 
 namespace lls {
 
@@ -59,6 +71,17 @@ struct ClusterClientConfig {
 
   /// Deadline-scan granularity.
   Duration tick = 10 * kMillisecond;
+
+  /// Shard count of the target cluster (1 = unsharded). Must match the
+  /// replicas' ShardMap: the client hashes each key itself to pick the
+  /// per-shard leader cache entry to route through.
+  int shards = 1;
+
+  /// Pack same-destination sends into one kClientRequestBatch message.
+  /// Sends are deferred to a zero-delay timer, so requests submitted (or
+  /// due for retry) in the same execution turn share a message; off
+  /// reproduces the historical one-message-per-attempt path.
+  bool coalesce = true;
 };
 
 /// Final outcome of one submitted command, delivered to the submit callback.
@@ -92,7 +115,13 @@ class ClusterClient final : public Actor {
 
   // Introspection ------------------------------------------------------------
   [[nodiscard]] const ClientSession& session() const { return session_; }
-  [[nodiscard]] ProcessId target() const { return target_; }
+  /// Believed leader for shard 0 (the only shard when unsharded).
+  [[nodiscard]] ProcessId target() const { return shard_target_[0]; }
+  /// Believed leader for one shard's group.
+  [[nodiscard]] ProcessId target(ShardId shard) const {
+    return shard_target_[shard];
+  }
+  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
   [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t acked() const { return acked_; }
@@ -101,11 +130,18 @@ class ClusterClient final : public Actor {
   [[nodiscard]] std::uint64_t redirects() const { return redirects_; }
   [[nodiscard]] std::uint64_t busy_replies() const { return busy_; }
   [[nodiscard]] std::uint64_t target_rotations() const { return rotations_; }
+  /// Coalesced wire messages sent (each carrying >= 2 requests), and the
+  /// requests they carried — batched_requests / batches is the mean pack.
+  [[nodiscard]] std::uint64_t batches_sent() const { return batches_sent_; }
+  [[nodiscard]] std::uint64_t batched_requests() const {
+    return batched_requests_;
+  }
 
  private:
   struct InFlight {
     Command cmd;
     Bytes encoded;  // Command::encode(), reused across retries
+    ShardId shard = 0;
     Callback cb;
     TimePoint invoked = 0;
     TimePoint next_attempt = 0;
@@ -114,9 +150,14 @@ class ClusterClient final : public Actor {
   };
 
   void pump(Runtime& rt);
+  /// Queues `f` for the next flush (coalescing on) or sends it immediately.
+  void mark_for_send(Runtime& rt, InFlight& f);
   void send_attempt(Runtime& rt, InFlight& f);
+  void flush_sends(Runtime& rt);
+  /// Per-attempt bookkeeping shared by the immediate and coalesced paths.
+  void note_attempt(Runtime& rt, InFlight& f);
   void resend_all(Runtime& rt);
-  void rotate_target();
+  void rotate_targets();
   void bump_backoff(Runtime& rt, InFlight& f);
   void complete(Runtime& rt, std::uint64_t seq, const ClientReplyMsg* reply);
   void arm_tick(Runtime& rt);
@@ -126,16 +167,22 @@ class ClusterClient final : public Actor {
   void handle_busy(Runtime& rt, const ClientBusyMsg& msg);
 
   ClusterClientConfig config_;
+  ShardMap map_{1};
   ProcessId self_ = kNoProcess;
   Runtime* rt_ = nullptr;
 
   ClientSession session_;
-  ProcessId target_ = kNoProcess;
-  int since_progress_ = 0;  // unanswered attempts against current target
+  /// Believed leader per shard. With today's shared-Omega container all
+  /// entries converge to one process; per-shard entries future-proof the
+  /// client for per-group leadership and keep redirect handling local.
+  std::vector<ProcessId> shard_target_;
+  int since_progress_ = 0;  // unanswered attempts against current targets
 
   std::map<std::uint64_t, InFlight> inflight_;  // by seq, insertion order
   std::deque<InFlight> queue_;                  // submitted, not yet in window
+  std::set<std::uint64_t> pending_send_;        // marked, awaiting flush
   TimerId tick_timer_ = kInvalidTimer;
+  TimerId send_timer_ = kInvalidTimer;
 
   std::uint64_t acked_ = 0;
   std::uint64_t timed_out_ = 0;
@@ -143,6 +190,8 @@ class ClusterClient final : public Actor {
   std::uint64_t redirects_ = 0;
   std::uint64_t busy_ = 0;
   std::uint64_t rotations_ = 0;
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t batched_requests_ = 0;
 };
 
 }  // namespace lls

@@ -15,6 +15,7 @@
 #include "obs/trace.h"
 #include "rsm/history.h"
 #include "rsm/replica.h"
+#include "shard/sharded_replica.h"
 #include "sim/simulator.h"
 
 namespace lls {
@@ -61,11 +62,30 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   rc.max_batch = config.max_batch;
   rc.batch_flush_delay = config.batch_flush_delay;
   rc.admit_high_water = config.admit_high_water;
+  LogConsensusConfig lc;
+  lc.max_inflight = config.consensus_max_inflight;
+  // shards == 0: legacy unsharded stack; >= 1: the sharded container (1 is
+  // the degenerate single-group container, the M=1 baseline of C5).
+  const bool sharded = config.shards > 0;
+  const int shard_count = sharded ? config.shards : 1;
   std::vector<KvReplica*> replicas;
+  std::vector<ShardedKvReplica*> containers;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n); ++p) {
-    replicas.push_back(&sim.emplace_actor<KvReplica>(
-        p, CeOmegaConfig{}, LogConsensusConfig{}, rc));
+    if (sharded) {
+      ShardedReplicaConfig sc;
+      sc.shards = config.shards;
+      sc.replica = rc;
+      containers.push_back(&sim.emplace_actor<ShardedKvReplica>(
+          p, CeOmegaConfig{}, lc, sc));
+    } else {
+      replicas.push_back(
+          &sim.emplace_actor<KvReplica>(p, CeOmegaConfig{}, lc, rc));
+    }
   }
+  auto leader_view = [&](ProcessId p) {
+    return sharded ? containers[p]->omega().leader()
+                   : replicas[p]->omega().leader();
+  };
 
   ClusterClientConfig cc;
   cc.cluster_n = config.cluster_n;
@@ -74,6 +94,8 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
                   : static_cast<std::size_t>(config.closed_outstanding);
   cc.attempt_timeout = config.attempt_timeout;
   cc.request_deadline = config.request_deadline;
+  cc.shards = shard_count;
+  cc.coalesce = config.coalesce;
   std::vector<ClusterClient*> clients;
   for (int c = 0; c < config.clients; ++c) {
     clients.push_back(&sim.emplace_actor<ClusterClient>(
@@ -90,6 +112,20 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   // tracer retains the control-plane story for the JSONL artifact.
   obs::Histogram& latency_ms =
       sim.plane().registry().histogram("client_latency_ms");
+  // Per-shard breakdown (sharded runs only): measured ops and latency per
+  // key-hash partition, classified client-side with the same ShardMap the
+  // cluster uses.
+  const ShardMap route_map(shard_count);
+  std::vector<std::uint64_t> shard_acked(
+      static_cast<std::size_t>(shard_count), 0);
+  std::vector<obs::Histogram*> shard_latency;
+  if (sharded) {
+    shard_latency.reserve(static_cast<std::size_t>(shard_count));
+    for (int g = 0; g < shard_count; ++g) {
+      shard_latency.push_back(&sim.plane().registry().histogram(
+          "client_latency_ms_shard" + std::to_string(g)));
+    }
+  }
   obs::ElectionSpanTracker election_spans(sim.plane(), config.cluster_n);
   std::unique_ptr<obs::RingTracer> tracer;
   if (!config.artifacts_prefix.empty()) {
@@ -145,9 +181,15 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
         if (hist_id) hist.respond(*hist_id, done.completed, done.result);
         if (done.invoked >= measure_from && done.invoked < load_end) {
           ++measured_acked;
-          latency_ms.record(
+          const double ms =
               static_cast<double>(done.completed - done.invoked) /
-              static_cast<double>(kMillisecond));
+              static_cast<double>(kMillisecond);
+          latency_ms.record(ms);
+          if (sharded) {
+            ShardId g = route_map.shard_of(done.cmd.key);
+            ++shard_acked[g];
+            shard_latency[g]->record(ms);
+          }
         }
         if (!token.empty()) acked_tokens.push_back(token);
       }
@@ -197,7 +239,7 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n);
            ++p) {
         if (!sim.alive(p)) continue;
-        ProcessId leader = replicas[p]->omega().leader();
+        ProcessId leader = leader_view(p);
         if (leader != kNoProcess &&
             leader < static_cast<ProcessId>(config.cluster_n) &&
             sim.alive(leader)) {
@@ -224,6 +266,11 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
     }
     sim.run_for(20 * kMillisecond);
   }
+  // Settle: clients going idle only means the LEADER applied and replied;
+  // the final DecideMsg fan-out to the followers may still be in flight.
+  // Run past one consensus retransmit period so the tail decides land and
+  // the end-of-run audit compares converged stores.
+  if (result.drained) sim.run_for(100 * kMillisecond);
 
   // The closed-loop closure captures its own shared_ptr; break the cycle.
   *submit_one = nullptr;
@@ -238,6 +285,8 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
     result.redirects += c->redirects();
     result.busy_replies += c->busy_replies();
     result.target_rotations += c->target_rotations();
+    result.client_batches += c->batches_sent();
+    result.client_batched_requests += c->batched_requests();
   }
   result.p50_ms = latency_ms.percentile(50);
   result.p90_ms = latency_ms.percentile(90);
@@ -248,6 +297,23 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       static_cast<double>(load_end - measure_from) / kSecond;
   result.throughput =
       window_s > 0 ? static_cast<double>(measured_acked) / window_s : 0;
+  if (sharded) {
+    result.shard_stats.resize(static_cast<std::size_t>(shard_count));
+    std::uint64_t max_ops = 0;
+    for (int g = 0; g < shard_count; ++g) {
+      auto& s = result.shard_stats[static_cast<std::size_t>(g)];
+      s.acked = shard_acked[static_cast<std::size_t>(g)];
+      s.throughput = window_s > 0 ? static_cast<double>(s.acked) / window_s : 0;
+      s.p50_ms = shard_latency[static_cast<std::size_t>(g)]->percentile(50);
+      s.p99_ms = shard_latency[static_cast<std::size_t>(g)]->percentile(99);
+      max_ops = std::max(max_ops, s.acked);
+    }
+    if (measured_acked > 0) {
+      const double mean_ops = static_cast<double>(measured_acked) /
+                              static_cast<double>(shard_count);
+      result.shard_imbalance = static_cast<double>(max_ops) / mean_ops;
+    }
+  }
 
   const NetStats& stats = *NetStats::from(sim.plane().registry());
   result.omega_msgs =
@@ -264,13 +330,39 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
         static_cast<double>(result.acked);
   }
 
+  // Decisions: per group, the most advanced contiguous decided prefix any
+  // alive replica knows; summed over groups. Includes no-op fillers, so it
+  // measures log motion rather than client acks.
+  std::vector<Instance> group_decided(static_cast<std::size_t>(shard_count), 0);
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n); ++p) {
     if (!sim.alive(p)) continue;
-    result.duplicates_suppressed += replicas[p]->duplicates_suppressed();
-    result.dup_proposals_suppressed +=
-        replicas[p]->consensus().dup_proposals_suppressed();
-    result.cached_replies += replicas[p]->cached_replies_sent();
-    result.busy_sent += replicas[p]->busy_sent();
+    if (sharded) {
+      result.duplicates_suppressed += containers[p]->duplicates_suppressed();
+      result.cached_replies += containers[p]->cached_replies_sent();
+      result.busy_sent += containers[p]->busy_sent();
+      result.envelopes_rejected += containers[p]->envelopes_rejected();
+      for (int g = 0; g < shard_count; ++g) {
+        const LogConsensus& cons = containers[p]->group(g).consensus();
+        result.dup_proposals_suppressed += cons.dup_proposals_suppressed();
+        group_decided[static_cast<std::size_t>(g)] =
+            std::max(group_decided[static_cast<std::size_t>(g)],
+                     cons.first_unknown());
+      }
+    } else {
+      result.duplicates_suppressed += replicas[p]->duplicates_suppressed();
+      result.dup_proposals_suppressed +=
+          replicas[p]->consensus().dup_proposals_suppressed();
+      result.cached_replies += replicas[p]->cached_replies_sent();
+      result.busy_sent += replicas[p]->busy_sent();
+      group_decided[0] =
+          std::max(group_decided[0], replicas[p]->consensus().first_unknown());
+    }
+  }
+  for (Instance d : group_decided) result.consensus_decisions += d;
+  if (result.consensus_decisions > 0) {
+    result.consensus_msgs_per_decision =
+        static_cast<double>(result.consensus_msgs) /
+        static_cast<double>(result.consensus_decisions);
   }
 
   // Exactly-once audit.
@@ -279,32 +371,49 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       result.verify_ok = false;
       result.verify_errors.push_back(std::move(what));
     };
-    std::uint64_t ref_digest = 0;
+    // Digests are compared per group: a sharded process holds M disjoint
+    // stores, each of which must converge across replicas independently.
+    std::vector<std::uint64_t> ref_digest(
+        static_cast<std::size_t>(shard_count), 0);
     bool have_ref = false;
     for (ProcessId p = 0; p < static_cast<ProcessId>(config.cluster_n); ++p) {
       if (!sim.alive(p)) continue;
-      const KvStore& store = replicas[p]->store();
-      if (!have_ref) {
-        ref_digest = store.digest();
-        have_ref = true;
-      } else if (store.digest() != ref_digest) {
-        fail("replica " + std::to_string(p) +
-             " store digest diverges from first alive replica");
+      std::vector<const KvStore*> stores;
+      if (sharded) {
+        for (int g = 0; g < shard_count; ++g) {
+          stores.push_back(&containers[p]->group(g).store());
+        }
+      } else {
+        stores.push_back(&replicas[p]->store());
       }
-      // Token census: every value is a concatenation of ';'-terminated
-      // tokens (verify-mode writes are appends of exactly one token).
+      for (int g = 0; g < shard_count; ++g) {
+        const std::uint64_t digest =
+            stores[static_cast<std::size_t>(g)]->digest();
+        if (!have_ref) {
+          ref_digest[static_cast<std::size_t>(g)] = digest;
+        } else if (digest != ref_digest[static_cast<std::size_t>(g)]) {
+          fail("replica " + std::to_string(p) + " shard " + std::to_string(g) +
+               " store digest diverges from first alive replica");
+        }
+      }
+      have_ref = true;
+      // Token census over the process's whole keyspace (all groups merged):
+      // every value is a concatenation of ';'-terminated tokens (verify-mode
+      // writes are appends of exactly one token).
       std::unordered_map<std::string, int> census;
-      for (const auto& [key, value] : store.data()) {
-        std::size_t begin = 0;
-        while (begin < value.size()) {
-          std::size_t end = value.find(';', begin);
-          if (end == std::string::npos) {
-            fail("replica " + std::to_string(p) + " key " + key +
-                 " holds a malformed token tail");
-            break;
+      for (const KvStore* store : stores) {
+        for (const auto& [key, value] : store->data()) {
+          std::size_t begin = 0;
+          while (begin < value.size()) {
+            std::size_t end = value.find(';', begin);
+            if (end == std::string::npos) {
+              fail("replica " + std::to_string(p) + " key " + key +
+                   " holds a malformed token tail");
+              break;
+            }
+            ++census[value.substr(begin, end - begin + 1)];
+            begin = end + 1;
           }
-          ++census[value.substr(begin, end - begin + 1)];
-          begin = end + 1;
         }
       }
       for (const auto& [token, count] : census) {

@@ -46,9 +46,25 @@ struct LoadgenConfig {
   Duration batch_flush_delay = 2 * kMillisecond;
   std::size_t admit_high_water = 1024;
 
+  /// Sharding: number of consensus groups per replica process. 0 = the
+  /// legacy unsharded stack (one KvReplica per process); M >= 1 hosts M
+  /// groups behind one shared Omega (shard/BasicShardedReplica) with
+  /// shard-aware clients. Note 0 and 1 differ only in plumbing (1 runs the
+  /// container with a single group), which makes M=1 vs M=4 an
+  /// apples-to-apples scaling comparison.
+  int shards = 0;
+
+  /// Per-group proposer pipelining window (LogConsensusConfig::max_inflight);
+  /// 0 = unbounded. A finite window makes per-group throughput
+  /// window-limited, which is what lets shard counts scale aggregate
+  /// throughput in the sim's latency-bound regime (see EXPERIMENTS.md C5).
+  std::size_t consensus_max_inflight = 0;
+
   // Client knobs.
   Duration attempt_timeout = 120 * kMillisecond;
   Duration request_deadline = 0;  ///< 0 = retry forever
+  /// Coalesce same-destination client sends into request batches.
+  bool coalesce = true;
 
   /// Crash whatever the cluster believes is the leader at this virtual
   /// time (0 disables). The load must ride through the failover.
@@ -99,6 +115,32 @@ struct LoadgenResult {
   std::uint64_t dup_proposals_suppressed = 0;
   std::uint64_t cached_replies = 0;
   std::uint64_t busy_sent = 0;
+
+  // Client coalescing (whole run; a batch is a wire message carrying >= 2
+  // requests).
+  std::uint64_t client_batches = 0;
+  std::uint64_t client_batched_requests = 0;
+
+  // Consensus economy. Decisions are decided log instances summed over
+  // groups (no-op fillers included), taken as the max view across alive
+  // replicas per group.
+  std::uint64_t consensus_decisions = 0;
+  double consensus_msgs_per_decision = 0;
+
+  /// Per-shard breakdown over the measured window (size = shard count when
+  /// LoadgenConfig::shards >= 1, else empty). Zipf-skewed keyspaces show up
+  /// here as hot shards.
+  struct ShardStats {
+    std::uint64_t acked = 0;
+    double throughput = 0;
+    double p50_ms = 0, p99_ms = 0;
+  };
+  std::vector<ShardStats> shard_stats;
+  /// Hot-shard metric: max/mean measured ops per shard (1.0 = balanced,
+  /// 0 when nothing completed or unsharded).
+  double shard_imbalance = 0;
+  /// Group envelopes rejected by replicas (bad shard id / inner type).
+  std::uint64_t envelopes_rejected = 0;
 
   ProcessId crashed = kNoProcess;  ///< leader killed, or kNoProcess
   bool drained = false;  ///< all clients idle before the drain deadline

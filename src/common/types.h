@@ -43,4 +43,11 @@ inline constexpr TimerId kInvalidTimer = 0;
 /// "typed" fair-lossy links.
 using MessageType = std::uint16_t;
 
+/// Consensus-group index within a sharded replica (see shard/). Keys are
+/// partitioned over [0, M) groups by the ShardMap; kNoShard marks messages
+/// and hints that carry no shard affinity (the unsharded deployments).
+using ShardId = std::uint16_t;
+
+inline constexpr ShardId kNoShard = std::numeric_limits<ShardId>::max();
+
 }  // namespace lls

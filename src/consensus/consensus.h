@@ -64,12 +64,17 @@ class ConsensusActor : public Actor {
   /// the decision becomes known locally. Subscribers (the RSM, the
   /// experiment harness) filter on Event::process — this replaced the old
   /// single-slot set_decision_listener callback. The payload view is only
-  /// valid during the publish; `b` carries the value size.
-  static void notify_decision(Runtime& rt, Instance i, const Bytes& value) {
+  /// valid during the publish; `b` carries the value size. `group_tag`
+  /// lands in Event::mtype: 0 for a standalone engine, shard + 1 for an
+  /// engine inside a sharded container, so subscribers co-located with M
+  /// engines can tell the logs apart (see shard/).
+  static void notify_decision(Runtime& rt, Instance i, const Bytes& value,
+                              std::uint16_t group_tag = 0) {
     obs::Event e;
     e.type = obs::EventType::kDecide;
     e.t = rt.now();
     e.process = rt.id();
+    e.mtype = group_tag;
     e.a = i;
     e.b = value.size();
     e.payload = value;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "common/logging.h"
 
@@ -11,8 +12,12 @@ void LogConsensus::on_start(Runtime& rt) {
   self_ = rt.id();
   n_ = rt.n();
   rt_ = &rt;
-  decide_latency_ =
-      &rt.obs().registry().histogram("consensus_decide_latency_ms");
+  // Sharded engines get per-shard histograms (the registry is name-keyed,
+  // so the shard suffix is the label).
+  decide_latency_ = &rt.obs().registry().histogram(
+      config_.shard < 0 ? std::string("consensus_decide_latency_ms")
+                        : "consensus_decide_latency_ms_shard" +
+                              std::to_string(config_.shard));
   if (config_.durable) restore(rt);
   tick_timer_ = rt.set_timer(config_.retry_period);
 }
@@ -66,7 +71,7 @@ void LogConsensus::restore(Runtime& rt) {
     const Bytes& v = *decided_value(next_notify_);
     Instance idx = next_notify_;
     ++next_notify_;
-    notify_decision(rt, idx, v);
+    notify_decision(rt, idx, v, group_tag());
   }
 }
 
@@ -215,7 +220,7 @@ void LogConsensus::become_ready(Runtime& rt) {
 }
 
 void LogConsensus::assign_pending(Runtime& rt) {
-  while (!pending_.empty()) {
+  while (!pending_.empty() && window_open()) {
     Bytes value = std::move(pending_.front());
     pending_.pop_front();
     // A stale-ready leader's frontier can lag the decided log (a competing
@@ -344,6 +349,7 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     e.type = obs::EventType::kSpanEnd;
     e.t = rt.now();
     e.process = self_;
+    e.mtype = group_tag();  // shard + 1 inside a sharded container, else 0
     e.a = static_cast<std::uint64_t>(span);
     e.b = i;
     e.label = "consensus_instance";
@@ -366,7 +372,16 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     const Bytes& v = *decided_value(next_notify_);
     Instance idx = next_notify_;
     ++next_notify_;
-    notify_decision(rt, idx, v);
+    notify_decision(rt, idx, v, group_tag());
+  }
+
+  // With a bounded pipelining window, a decision frees a slot: refill it
+  // from the pending queue right away rather than waiting for the next
+  // tick. Safe against re-entry — assign_pending never calls learn, and
+  // the Phase-1 path (handle_promise) runs with leader_ready_ still false.
+  if (config_.max_inflight != 0 && leader_ready_ && i_am_omega_leader() &&
+      !pending_.empty()) {
+    assign_pending(rt);
   }
 }
 

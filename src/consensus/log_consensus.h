@@ -47,6 +47,21 @@ struct LogConsensusConfig {
   /// listener re-fires for the restored prefix on recovery, letting the
   /// application rebuild its state machine.
   bool durable = false;
+
+  /// Shard index when this engine is one of M groups inside a sharded
+  /// container (see shard/): tags kDecide and consensus-span events with
+  /// shard + 1 in Event::mtype and suffixes the decide-latency histogram
+  /// name with "_shard<g>", so co-located logs stay distinguishable.
+  /// -1 (default) = standalone engine; events carry tag 0 and the histogram
+  /// keeps its unsuffixed name — exactly the pre-sharding behavior.
+  int shard = -1;
+
+  /// Proposer pipelining window: maximum undecided instances this leader
+  /// keeps in flight at once. Fresh pending values beyond the window wait
+  /// in the queue until a decision frees a slot (Phase-1 merge re-proposals
+  /// are exempt — they are owed immediately for safety). 0 = unbounded,
+  /// the original eager behavior.
+  std::size_t max_inflight = 0;
 };
 
 class LogConsensus final : public ConsensusActor {
@@ -136,6 +151,16 @@ class LogConsensus final : public ConsensusActor {
   [[nodiscard]] int majority() const { return n_ / 2 + 1; }
   [[nodiscard]] bool i_am_omega_leader() const {
     return omega_->leader() == self_;
+  }
+  /// Event tag for this engine's kDecide / span events (0 = unsharded).
+  [[nodiscard]] std::uint16_t group_tag() const {
+    return config_.shard < 0 ? 0
+                             : static_cast<std::uint16_t>(config_.shard + 1);
+  }
+  /// True when the pipelining window has room for a fresh assignment.
+  [[nodiscard]] bool window_open() const {
+    return config_.max_inflight == 0 ||
+           inflight_.size() < config_.max_inflight;
   }
 
   LogConsensusConfig config_;

@@ -2,8 +2,10 @@
 // plus the client-facing request/reply protocol (0x03xx block).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/serialization.h"
@@ -55,6 +57,9 @@ inline constexpr MessageType kClientReply = 0x0311;
 inline constexpr MessageType kClientRedirect = 0x0312;
 /// Replica -> client: admission queue over the high-water mark; back off.
 inline constexpr MessageType kClientBusy = 0x0313;
+/// Client -> replica: several command submissions coalesced into one
+/// message (all bound for the same destination; see ClusterClient).
+inline constexpr MessageType kClientRequestBatch = 0x0314;
 }  // namespace msg_type
 
 /// One client command in flight. `command` is an rsm Command::encode() blob —
@@ -115,18 +120,66 @@ struct ClientReplyMsg {
 
 /// NOT_LEADER: the replica's current Omega output, as a routing hint.
 /// kNoProcess means "no leader elected yet here; ask someone else / retry".
+/// `shard` scopes the hint to one consensus group of a sharded cluster
+/// (kNoShard = the hint applies cluster-wide, the unsharded case — today
+/// co-located groups share one Omega, so the distinction is future-proofing
+/// for per-group leadership).
 struct ClientRedirectMsg {
   ProcessId hint = kNoProcess;
+  ShardId shard = kNoShard;
 
   [[nodiscard]] Bytes encode() const {
-    BufWriter w(4);
+    BufWriter w(6);
     w.put(hint);
+    w.put(shard);
     return w.take();
   }
   static ClientRedirectMsg decode(BytesView payload) {
     BufReader r(payload);
     ClientRedirectMsg m;
     m.hint = r.get<ProcessId>();
+    m.shard = r.get<ShardId>();
+    return m;
+  }
+};
+
+/// Several in-window requests bound for the same replica, packed into one
+/// message. Semantically equivalent to the member ClientRequestMsgs sent
+/// back-to-back — each item is admitted/answered independently — but the
+/// receiving replica may coalesce the newly admitted commands into a single
+/// consensus proposal, collapsing the per-command Θ(n) instance cost (the
+/// unbatched hot path measured by bench_a5_batching). `ack_upto` is shared:
+/// it is a property of the session, not of any one request.
+struct ClientRequestBatchMsg {
+  std::uint64_t ack_upto = 0;
+  struct Item {
+    std::uint64_t seq = 0;
+    Bytes command;
+  };
+  std::vector<Item> items;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(16 + items.size() * 32);
+    w.put(ack_upto);
+    w.put(static_cast<std::uint32_t>(items.size()));
+    for (const Item& item : items) {
+      w.put(item.seq);
+      w.put_bytes(item.command);
+    }
+    return w.take();
+  }
+  static ClientRequestBatchMsg decode(BytesView payload) {
+    BufReader r(payload);
+    ClientRequestBatchMsg m;
+    m.ack_upto = r.get<std::uint64_t>();
+    auto count = r.get<std::uint32_t>();
+    m.items.reserve(std::min<std::size_t>(count, 1024));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Item item;
+      item.seq = r.get<std::uint64_t>();
+      item.command = r.get_bytes();
+      m.items.push_back(std::move(item));
+    }
     return m;
   }
 };

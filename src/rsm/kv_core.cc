@@ -1,0 +1,301 @@
+#include "rsm/kv_core.h"
+
+#include <utility>
+
+namespace lls {
+
+namespace {
+Bytes encode_single_command(const Command& cmd) {
+  CommandBatch batch;
+  batch.commands.push_back(cmd);
+  return batch.encode();
+}
+}  // namespace
+
+KvCore::KvCore(const OmegaActor* omega,
+               const LogConsensusConfig& consensus_config,
+               KvReplicaConfig replica_config)
+    : config_(replica_config),
+      omega_(omega),
+      consensus_(consensus_config, omega) {
+  if (consensus_config.shard >= 0) {
+    group_tag_ = static_cast<std::uint16_t>(consensus_config.shard + 1);
+    shard_ = static_cast<ShardId>(consensus_config.shard);
+  }
+}
+
+void KvCore::on_start(Runtime& rt) {
+  self_ = rt.id();
+  rt_ = &rt;
+  cluster_n_ = config_.cluster_n > 0 ? config_.cluster_n : rt.n();
+  // Subscribe to decisions before the engine starts: a durable consensus
+  // log re-publishes the restored prefix from within on_start, and those
+  // events must reach this core. The bus is plane-wide (shared by every
+  // process in a simulation) and, in a sharded container, also shared by
+  // every co-located group — filter on the emitting process AND the group
+  // tag.
+  decide_sub_ = rt.obs().bus().subscribe(
+      obs::mask_of(obs::EventType::kDecide), [this](const obs::Event& e) {
+        if (e.process == self_ && e.mtype == group_tag_) {
+          on_decided(e.a, e.payload);
+        }
+      });
+  consensus_.on_start(rt);
+}
+
+void KvCore::on_message(Runtime& rt, ProcessId src, MessageType type,
+                        BytesView payload) {
+  if (type == msg_type::kClientRequest) {
+    handle_client_request(rt, src, payload);
+    return;
+  }
+  if (type == msg_type::kClientRequestBatch) {
+    handle_client_batch(rt, src, payload);
+    return;
+  }
+  if (type >= msg_type::kConsensusBase && type <= (msg_type::kConsensusBase | 0x00ff)) {
+    consensus_.on_message(rt, src, type, payload);
+  }
+}
+
+void KvCore::on_timer(Runtime& rt, TimerId timer) {
+  if (timer == flush_timer_) {
+    flush_timer_ = kInvalidTimer;
+    flush_batch();
+    return;
+  }
+  // Not ours: the consensus engine checks the id against its own timer.
+  consensus_.on_timer(rt, timer);
+}
+
+std::uint64_t KvCore::submit(KvOp op, std::string key, std::string value,
+                             std::string expected, Callback cb) {
+  if (!seq_initialized_) {
+    next_seq_ = initial_seq_ ? initial_seq_() : 1;
+    seq_initialized_ = true;
+  }
+  Command cmd;
+  cmd.origin = self_;
+  cmd.seq = next_seq_++;
+  cmd.op = op;
+  cmd.key = std::move(key);
+  cmd.value = std::move(value);
+  cmd.expected = std::move(expected);
+  if (cb) callbacks_[cmd.seq] = std::move(cb);
+
+  if (config_.fifo_client_order) {
+    session_queue_.push_back(std::move(cmd));
+    pump_session_queue();
+  } else {
+    enqueue_for_consensus(std::move(cmd));
+  }
+  return next_seq_ - 1;
+}
+
+void KvCore::enqueue_for_consensus(Command cmd) {
+  if (config_.max_batch > 1) {
+    batch_.push_back(std::move(cmd));
+    if (batch_.size() >= config_.max_batch) {
+      flush_batch();
+    } else if (flush_timer_ == kInvalidTimer && rt_ != nullptr) {
+      flush_timer_ = rt_->set_timer(config_.batch_flush_delay);
+    }
+  } else {
+    consensus_.propose(encode_single_command(cmd));
+  }
+}
+
+void KvCore::enqueue_commands(std::vector<Command> cmds) {
+  if (cmds.empty()) return;
+  if (config_.max_batch > 1) {
+    for (Command& cmd : cmds) enqueue_for_consensus(std::move(cmd));
+    return;
+  }
+  // Batching off: still propose a coalesced burst as ONE value — these
+  // commands arrived in one network message, so collapsing their instance
+  // cost is free (no added latency, no held-back singles).
+  CommandBatch batch;
+  batch.commands = std::move(cmds);
+  consensus_.propose(batch.encode());
+}
+
+void KvCore::flush_batch() {
+  if (batch_.empty()) return;
+  CommandBatch batch;
+  batch.commands = std::move(batch_);
+  batch_.clear();
+  consensus_.propose(batch.encode());
+  if (flush_timer_ != kInvalidTimer && rt_ != nullptr) {
+    rt_->cancel_timer(flush_timer_);
+    flush_timer_ = kInvalidTimer;
+  }
+}
+
+void KvCore::pump_session_queue() {
+  if (outstanding_ || session_queue_.empty()) return;
+  outstanding_ = true;
+  consensus_.propose(encode_single_command(session_queue_.front()));
+  session_queue_.pop_front();
+}
+
+std::optional<Command> KvCore::admit_one(Runtime& rt, ProcessId src,
+                                         std::uint64_t seq,
+                                         std::uint64_t ack_upto,
+                                         const Bytes& command_blob) {
+  Command cmd = Command::decode(command_blob);
+  if (cmd.origin != src || cmd.seq != seq || seq == 0) {
+    return std::nullopt;  // malformed or impersonating another session: drop
+  }
+  {
+    obs::Event e;
+    e.type = obs::EventType::kClientRequest;
+    e.t = rt.now();
+    e.process = self_;
+    e.peer = src;
+    e.a = seq;
+    e.payload = command_blob;  // encoded Command, for history recorders
+    rt.obs().bus().publish(e);
+  }
+
+  ClientSessionSrv& sess = clients_[src];
+  if (ack_upto > sess.ack_upto) {
+    // The client completed everything up to ack_upto: it can never retry
+    // those seqs, so their cached results are dead weight.
+    sess.ack_upto = ack_upto;
+    sess.results.erase(sess.results.begin(),
+                       sess.results.upper_bound(sess.ack_upto));
+  }
+
+  auto hit = sess.results.find(seq);
+  if (hit != sess.results.end()) {
+    // Applied already (possibly admitted by a previous leader): re-answer
+    // from the cache instead of re-executing — the exactly-once reply path.
+    ++cached_replies_sent_;
+    send_reply(src, seq, hit->second);
+    return std::nullopt;
+  }
+  if (seq <= sess.ack_upto) return std::nullopt;  // acked and pruned: stale
+
+  if (omega_->leader() != self_) {
+    ++redirects_sent_;
+    rt.send(src, msg_type::kClientRedirect,
+            ClientRedirectMsg{omega_->leader(), shard_}.encode());
+    return std::nullopt;
+  }
+  if (sess.admitted.count(seq) != 0) {
+    return std::nullopt;  // already queued; the reply fires on apply
+  }
+  if (admitted_inflight_ >= config_.admit_high_water) {
+    ++busy_sent_;
+    ClientBusyMsg busy;
+    busy.seq = seq;
+    busy.queue = static_cast<std::uint32_t>(admitted_inflight_);
+    rt.send(src, msg_type::kClientBusy, busy.encode());
+    return std::nullopt;
+  }
+  sess.admitted.insert(seq);
+  ++admitted_inflight_;
+  return cmd;
+}
+
+void KvCore::handle_client_request(Runtime& rt, ProcessId src,
+                                   BytesView payload) {
+  if (!is_client(src)) return;  // replicas do not speak the client protocol
+  ClientRequestMsg req = ClientRequestMsg::decode(payload);
+  auto cmd = admit_one(rt, src, req.seq, req.ack_upto, req.command);
+  if (cmd.has_value()) enqueue_for_consensus(std::move(*cmd));
+}
+
+void KvCore::handle_client_batch(Runtime& rt, ProcessId src,
+                                 BytesView payload) {
+  if (!is_client(src)) return;
+  ClientRequestBatchMsg req = ClientRequestBatchMsg::decode(payload);
+  std::vector<Command> fresh;
+  fresh.reserve(req.items.size());
+  for (const auto& item : req.items) {
+    auto cmd = admit_one(rt, src, item.seq, req.ack_upto, item.command);
+    if (cmd.has_value()) fresh.push_back(std::move(*cmd));
+  }
+  enqueue_commands(std::move(fresh));
+}
+
+void KvCore::send_reply(ProcessId client, std::uint64_t seq,
+                        const KvResult& result) {
+  ClientReplyMsg reply;
+  reply.seq = seq;
+  reply.ok = result.ok;
+  reply.found = result.found;
+  reply.value = result.value;
+  ++client_replies_sent_;
+  Bytes encoded = reply.encode();
+  {
+    obs::Event e;
+    e.type = obs::EventType::kClientReply;
+    e.t = rt_->now();
+    e.process = self_;
+    e.peer = client;
+    e.a = seq;
+    e.payload = encoded;  // encoded ClientReplyMsg, for history recorders
+    rt_->obs().bus().publish(e);
+  }
+  rt_->send(client, msg_type::kClientReply, encoded);
+}
+
+void KvCore::on_decided(Instance, BytesView value) {
+  if (value.empty()) return;  // consensus no-op filler
+  CommandBatch batch = CommandBatch::decode(value);
+  for (const Command& cmd : batch.commands) apply_command(cmd);
+}
+
+void KvCore::apply_command(const Command& cmd) {
+  if (!applied_[cmd.origin].insert(cmd.seq).second) {
+    ++duplicates_;
+    // A duplicate instance of a command this replica also admitted: the
+    // first instance already answered, so only release the window slot.
+    if (is_client(cmd.origin)) {
+      auto it = clients_.find(cmd.origin);
+      if (it != clients_.end() && it->second.admitted.erase(cmd.seq) > 0) {
+        --admitted_inflight_;
+      }
+    }
+    return;  // at-least-once from consensus -> exactly-once here
+  }
+  KvResult result = store_.apply(cmd);
+  if (rt_ != nullptr) {
+    obs::Event e;
+    e.type = obs::EventType::kApply;
+    e.t = rt_->now();
+    e.process = self_;
+    e.peer = cmd.origin;
+    e.a = cmd.seq;
+    rt_->obs().bus().publish(e);
+  }
+  if (is_client(cmd.origin)) {
+    ClientSessionSrv& sess = clients_[cmd.origin];
+    if (cmd.seq > sess.ack_upto) {
+      sess.results[cmd.seq] = result;
+      if (sess.results.size() > config_.results_cap) {
+        sess.results.erase(sess.results.begin());
+      }
+    }
+    if (sess.admitted.erase(cmd.seq) > 0) {
+      --admitted_inflight_;
+      send_reply(cmd.origin, cmd.seq, result);
+    }
+    return;
+  }
+  if (cmd.origin == self_) {
+    auto it = callbacks_.find(cmd.seq);
+    if (it != callbacks_.end()) {
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      cb(result);
+    }
+    if (config_.fifo_client_order) {
+      outstanding_ = false;
+      pump_session_queue();
+    }
+  }
+}
+
+}  // namespace lls

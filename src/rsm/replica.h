@@ -3,73 +3,24 @@
 // Layering (one Actor per process):
 //   CE-Omega  — elects the leader (communication-efficient);
 //   LogConsensus — orders commands (leader-driven, Θ(n) steady state);
-//   KvReplica — deduplicates decided commands and applies them to the
-//               deterministic KvStore, firing local completion callbacks —
-//               and serves external client sessions (0x03xx protocol):
-//               redirecting non-leader traffic, admitting commands under a
-//               bounded in-flight window with BUSY backpressure, batching
-//               admitted commands into consensus values, and caching results
-//               so retried-but-already-applied requests are re-answered
-//               instead of re-executed.
+//   KvCore    — deduplicates decided commands, applies them to the
+//               deterministic KvStore, and serves external client sessions
+//               (0x03xx protocol): redirects, admission with BUSY
+//               backpressure, batching, cached exactly-once replies.
 //
-// Consensus guarantees at-least-once placement of a submitted command (it
-// may appear in two instances across a leader change); the replica's
-// (origin, seq) dedup turns that into exactly-once application, so all
-// replicas' stores converge byte-for-byte. Client sessions extend the same
-// pair end-to-end: the client id is the origin, so however often a session
-// retries across failover, each command applies exactly once.
+// BasicKvReplica is the single-group composition: one leader oracle plus
+// one KvCore behind one MuxActor. The replication/client-service logic
+// itself lives in rsm/kv_core.h so the sharded container (shard/) can host
+// M cores behind one shared oracle; this wrapper keeps the original
+// one-process-one-log API intact.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <map>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
 #include "common/mux.h"
-#include "consensus/log_consensus.h"
-#include "net/message.h"
 #include "omega/ce_omega.h"
 #include "omega/cr_omega.h"
-#include "rsm/kv_store.h"
+#include "rsm/kv_core.h"
 
 namespace lls {
-
-struct KvReplicaConfig {
-  /// When true, this replica submits at most one command at a time to the
-  /// consensus log and holds the rest in a local session queue, giving
-  /// FIFO per-client order. The paper's links are non-FIFO, so without
-  /// this, concurrently submitted commands may be ordered arbitrarily.
-  /// Applies to local submissions only; external client sessions order
-  /// themselves through their own windows.
-  bool fifo_client_order = false;
-
-  /// Commands per consensus value. With > 1, bursts of submissions (local
-  /// or admitted from client sessions) are packed into one log entry,
-  /// amortizing the Θ(n) per-instance message cost over the batch
-  /// (extension; measured by bench_a5_batching). Ignored for local
-  /// submissions in FIFO session mode.
-  std::size_t max_batch = 1;
-
-  /// How long a partially filled batch may wait before being flushed.
-  Duration batch_flush_delay = 5 * kMillisecond;
-
-  /// Replicas occupy process ids [0, cluster_n); any higher id in the same
-  /// runtime is a client session. 0 means "all processes are replicas" (no
-  /// external clients — the pre-client-layer configuration). The protocol
-  /// stack underneath (Omega, consensus) quantifies over the cluster only.
-  int cluster_n = 0;
-
-  /// Admission control: maximum client commands admitted by this replica
-  /// and not yet applied. Beyond it, requests get a BUSY reply.
-  std::size_t admit_high_water = 1024;
-
-  /// Per-session cap on cached results kept for reply resends beyond the
-  /// client's acked watermark (memory bound for sessions that never ack).
-  std::size_t results_cap = 4096;
-};
 
 /// Generic over the leader oracle: KvReplica (below) instantiates it with
 /// the paper's crash-stop CE-Omega; CrKvReplica with the crash-recovery
@@ -79,384 +30,96 @@ struct KvReplicaConfig {
 template <typename OmegaT, typename OmegaConfigT>
 class BasicKvReplica final : public Actor {
  public:
-  using Callback = std::function<void(const KvResult&)>;
+  using Callback = KvCore::Callback;
 
   BasicKvReplica(const OmegaConfigT& omega_config,
                  const LogConsensusConfig& consensus_config,
                  KvReplicaConfig replica_config = {})
-      : config_(replica_config),
-        omega_(omega_config),
-        consensus_(consensus_config, &omega_) {
+      : omega_(omega_config),
+        core_(&omega_, consensus_config, replica_config) {
+    // Sequence numbers must be unique across a process's incarnations: a
+    // crash-recovery replica namespaces them by the omega's incarnation
+    // number (read lazily, after the omega has started), a crash-stop one
+    // starts at 1.
+    if constexpr (requires { omega_.incarnation(); }) {
+      core_.set_initial_seq(
+          [this] { return (omega_.incarnation() << 32) + 1; });
+    }
     mux_.add_child(omega_, 0x0100, 0x01ff);
-    mux_.add_child(consensus_, 0x0200, 0x02ff);
+    mux_.add_child(core_, 0x0200, 0x03ff);
   }
 
   // Actor ------------------------------------------------------------------
   void on_start(Runtime& rt) override {
-    self_ = rt.id();
-    rt_ = &rt;
-    cluster_n_ = config_.cluster_n > 0 ? config_.cluster_n : rt.n();
-    cluster_rt_.bind(rt, cluster_n_);
-    // Subscribe to decisions before the stack starts: a durable consensus
-    // log re-publishes the restored prefix from within on_start, and those
-    // events must reach this replica. The bus is plane-wide (shared by every
-    // process in a simulation), so filter on the emitting process.
-    decide_sub_ = rt.obs().bus().subscribe(
-        obs::mask_of(obs::EventType::kDecide), [this](const obs::Event& e) {
-          if (e.process == self_) on_decided(e.a, e.payload);
-        });
+    const int cluster_n = core_.config().cluster_n > 0
+                              ? core_.config().cluster_n
+                              : rt.n();
+    // Runtime view handed to the whole stack: n() is the cluster size, so
+    // clients sharing the fabric never enter quorums or heartbeat fan-outs.
+    cluster_rt_.bind(rt, cluster_n);
     mux_.on_start(cluster_rt_);
   }
   void on_message(Runtime& rt, ProcessId src, MessageType type,
                   BytesView payload) override {
-    if (type == msg_type::kClientRequest) {
-      handle_client_request(rt, src, payload);
-      return;
-    }
     mux_.on_message(rt, src, type, payload);
   }
   void on_timer(Runtime& rt, TimerId timer) override {
-    if (timer == flush_timer_) {
-      flush_timer_ = kInvalidTimer;
-      flush_batch();
-      return;
-    }
     mux_.on_timer(rt, timer);
   }
 
-  // Client surface ----------------------------------------------------------
-  /// Submits a command from this replica; `cb` (optional) fires when the
-  /// command is applied locally. Returns the command's sequence number.
+  // Client surface (delegated to the core) -----------------------------------
   std::uint64_t submit(KvOp op, std::string key, std::string value = "",
-                       std::string expected = "", Callback cb = nullptr);
+                       std::string expected = "", Callback cb = nullptr) {
+    return core_.submit(op, std::move(key), std::move(value),
+                        std::move(expected), std::move(cb));
+  }
 
-  [[nodiscard]] const KvStore& store() const { return store_; }
-  [[nodiscard]] std::uint64_t applied_count() const { return store_.applied(); }
+  [[nodiscard]] const KvStore& store() const { return core_.store(); }
+  [[nodiscard]] std::uint64_t applied_count() const {
+    return core_.applied_count();
+  }
   [[nodiscard]] std::uint64_t duplicates_suppressed() const {
-    return duplicates_;
+    return core_.duplicates_suppressed();
   }
-  /// Local submissions whose callbacks have not fired yet.
   [[nodiscard]] std::size_t callbacks_outstanding() const {
-    return callbacks_.size();
+    return core_.callbacks_outstanding();
   }
-  /// Commands batched locally but not yet handed to consensus.
-  [[nodiscard]] std::size_t batch_buffered() const { return batch_.size(); }
+  [[nodiscard]] std::size_t batch_buffered() const {
+    return core_.batch_buffered();
+  }
   OmegaT& omega() { return omega_; }
-  LogConsensus& consensus() { return consensus_; }
+  LogConsensus& consensus() { return core_.consensus(); }
   [[nodiscard]] const OmegaT& omega() const { return omega_; }
-  [[nodiscard]] const LogConsensus& consensus() const { return consensus_; }
+  [[nodiscard]] const LogConsensus& consensus() const {
+    return core_.consensus();
+  }
+  KvCore& core() { return core_; }
+  [[nodiscard]] const KvCore& core() const { return core_; }
 
   // Client-service introspection --------------------------------------------
-  /// True when (origin, seq) has been applied to this replica's store.
   [[nodiscard]] bool has_applied(ProcessId origin, std::uint64_t seq) const {
-    auto it = applied_.find(origin);
-    return it != applied_.end() && it->second.count(seq) != 0;
+    return core_.has_applied(origin, seq);
   }
-  /// Client commands admitted here and not yet applied (the BUSY meter).
   [[nodiscard]] std::size_t admitted_inflight() const {
-    return admitted_inflight_;
+    return core_.admitted_inflight();
   }
-  [[nodiscard]] std::uint64_t busy_sent() const { return busy_sent_; }
+  [[nodiscard]] std::uint64_t busy_sent() const { return core_.busy_sent(); }
   [[nodiscard]] std::uint64_t redirects_sent() const {
-    return redirects_sent_;
+    return core_.redirects_sent();
   }
   [[nodiscard]] std::uint64_t client_replies_sent() const {
-    return client_replies_sent_;
+    return core_.client_replies_sent();
   }
-  /// Retried requests answered from the result cache (no re-execution).
   [[nodiscard]] std::uint64_t cached_replies_sent() const {
-    return cached_replies_sent_;
+    return core_.cached_replies_sent();
   }
 
  private:
-  /// Per-session server-side state. `results` answers retries of applied
-  /// commands; `admitted` marks commands this replica queued for consensus
-  /// (it replies when they apply — other replicas apply silently).
-  struct ClientSessionSrv {
-    std::uint64_t ack_upto = 0;
-    std::map<std::uint64_t, KvResult> results;
-    std::set<std::uint64_t> admitted;
-  };
-
-  void on_decided(Instance i, BytesView value);
-  void apply_command(const Command& cmd);
-  void pump_session_queue();
-  void flush_batch();
-  void enqueue_for_consensus(Command cmd);
-  void handle_client_request(Runtime& rt, ProcessId src, BytesView payload);
-  void send_reply(ProcessId client, std::uint64_t seq, const KvResult& result);
-
-  [[nodiscard]] bool is_client(ProcessId p) const {
-    return p != kNoProcess && p >= static_cast<ProcessId>(cluster_n_) &&
-           cluster_n_ > 0;
-  }
-
-  /// Sequence numbers must be unique across a process's incarnations: a
-  /// crash-recovery replica namespaces them by the omega's incarnation
-  /// number (read lazily, after the omega has started), a crash-stop one
-  /// starts at 1.
-  [[nodiscard]] std::uint64_t initial_seq() const {
-    if constexpr (requires { omega_.incarnation(); }) {
-      return (omega_.incarnation() << 32) + 1;
-    } else {
-      return 1;
-    }
-  }
-
-  KvReplicaConfig config_;
-  Runtime* rt_ = nullptr;
   OmegaT omega_;
-  LogConsensus consensus_;
+  KvCore core_;
   MuxActor mux_;
-  /// Runtime view handed to the protocol stack: n() is the cluster size, so
-  /// clients sharing the fabric never enter quorums or heartbeat fan-outs.
   ClusterViewRuntime cluster_rt_;
-
-  ProcessId self_ = kNoProcess;
-  int cluster_n_ = 0;
-  KvStore store_;
-  std::uint64_t next_seq_ = 0;
-  bool seq_initialized_ = false;
-  std::uint64_t duplicates_ = 0;
-  /// Applied sequences per origin. A plain set rather than a watermark:
-  /// commands of one origin may be decided out of sequence order across
-  /// leader changes (an old leader's stranded proposal can resurface late).
-  std::unordered_map<ProcessId, std::unordered_set<std::uint64_t>> applied_;
-  std::map<std::uint64_t, Callback> callbacks_;  // by local seq
-
-  // Client service.
-  std::unordered_map<ProcessId, ClientSessionSrv> clients_;
-  std::size_t admitted_inflight_ = 0;
-  std::uint64_t busy_sent_ = 0;
-  std::uint64_t redirects_sent_ = 0;
-  std::uint64_t client_replies_sent_ = 0;
-  std::uint64_t cached_replies_sent_ = 0;
-
-  // FIFO session mode.
-  std::deque<Command> session_queue_;
-  bool outstanding_ = false;
-
-  // Batching mode.
-  std::vector<Command> batch_;
-  TimerId flush_timer_ = kInvalidTimer;
-
-  obs::Subscription decide_sub_;
 };
-
-// --- member definitions (template) -------------------------------------------
-
-namespace detail {
-inline Bytes encode_single_command(const Command& cmd) {
-  CommandBatch batch;
-  batch.commands.push_back(cmd);
-  return batch.encode();
-}
-}  // namespace detail
-
-template <typename OmegaT, typename OmegaConfigT>
-std::uint64_t BasicKvReplica<OmegaT, OmegaConfigT>::submit(KvOp op, std::string key, std::string value,
-                                std::string expected, Callback cb) {
-  if (!seq_initialized_) {
-    next_seq_ = initial_seq();
-    seq_initialized_ = true;
-  }
-  Command cmd;
-  cmd.origin = self_;
-  cmd.seq = next_seq_++;
-  cmd.op = op;
-  cmd.key = std::move(key);
-  cmd.value = std::move(value);
-  cmd.expected = std::move(expected);
-  if (cb) callbacks_[cmd.seq] = std::move(cb);
-
-  if (config_.fifo_client_order) {
-    session_queue_.push_back(std::move(cmd));
-    pump_session_queue();
-  } else {
-    enqueue_for_consensus(std::move(cmd));
-  }
-  return next_seq_ - 1;
-}
-
-template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::enqueue_for_consensus(Command cmd) {
-  if (config_.max_batch > 1) {
-    batch_.push_back(std::move(cmd));
-    if (batch_.size() >= config_.max_batch) {
-      flush_batch();
-    } else if (flush_timer_ == kInvalidTimer && rt_ != nullptr) {
-      flush_timer_ = rt_->set_timer(config_.batch_flush_delay);
-    }
-  } else {
-    consensus_.propose(detail::encode_single_command(cmd));
-  }
-}
-
-template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::flush_batch() {
-  if (batch_.empty()) return;
-  CommandBatch batch;
-  batch.commands = std::move(batch_);
-  batch_.clear();
-  consensus_.propose(batch.encode());
-  if (flush_timer_ != kInvalidTimer && rt_ != nullptr) {
-    rt_->cancel_timer(flush_timer_);
-    flush_timer_ = kInvalidTimer;
-  }
-}
-
-template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::pump_session_queue() {
-  if (outstanding_ || session_queue_.empty()) return;
-  outstanding_ = true;
-  consensus_.propose(detail::encode_single_command(session_queue_.front()));
-  session_queue_.pop_front();
-}
-
-template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::handle_client_request(
-    Runtime& rt, ProcessId src, BytesView payload) {
-  if (!is_client(src)) return;  // replicas do not speak the client protocol
-  ClientRequestMsg req = ClientRequestMsg::decode(payload);
-  Command cmd = Command::decode(req.command);
-  if (cmd.origin != src || cmd.seq != req.seq || req.seq == 0) {
-    return;  // malformed or impersonating another session: drop
-  }
-  {
-    obs::Event e;
-    e.type = obs::EventType::kClientRequest;
-    e.t = rt.now();
-    e.process = self_;
-    e.peer = src;
-    e.a = req.seq;
-    e.payload = req.command;  // encoded Command, for history recorders
-    rt.obs().bus().publish(e);
-  }
-
-  ClientSessionSrv& sess = clients_[src];
-  if (req.ack_upto > sess.ack_upto) {
-    // The client completed everything up to ack_upto: it can never retry
-    // those seqs, so their cached results are dead weight.
-    sess.ack_upto = req.ack_upto;
-    sess.results.erase(sess.results.begin(),
-                       sess.results.upper_bound(sess.ack_upto));
-  }
-
-  auto hit = sess.results.find(req.seq);
-  if (hit != sess.results.end()) {
-    // Applied already (possibly admitted by a previous leader): re-answer
-    // from the cache instead of re-executing — the exactly-once reply path.
-    ++cached_replies_sent_;
-    send_reply(src, req.seq, hit->second);
-    return;
-  }
-  if (req.seq <= sess.ack_upto) return;  // acked and pruned: stale duplicate
-
-  if (omega_.leader() != self_) {
-    ++redirects_sent_;
-    rt.send(src, msg_type::kClientRedirect,
-            ClientRedirectMsg{omega_.leader()}.encode());
-    return;
-  }
-  if (sess.admitted.count(req.seq) != 0) {
-    return;  // already queued for consensus; the reply fires on apply
-  }
-  if (admitted_inflight_ >= config_.admit_high_water) {
-    ++busy_sent_;
-    ClientBusyMsg busy;
-    busy.seq = req.seq;
-    busy.queue = static_cast<std::uint32_t>(admitted_inflight_);
-    rt.send(src, msg_type::kClientBusy, busy.encode());
-    return;
-  }
-  sess.admitted.insert(req.seq);
-  ++admitted_inflight_;
-  enqueue_for_consensus(std::move(cmd));
-}
-
-template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::send_reply(ProcessId client,
-                                                      std::uint64_t seq,
-                                                      const KvResult& result) {
-  ClientReplyMsg reply;
-  reply.seq = seq;
-  reply.ok = result.ok;
-  reply.found = result.found;
-  reply.value = result.value;
-  ++client_replies_sent_;
-  Bytes encoded = reply.encode();
-  {
-    obs::Event e;
-    e.type = obs::EventType::kClientReply;
-    e.t = rt_->now();
-    e.process = self_;
-    e.peer = client;
-    e.a = seq;
-    e.payload = encoded;  // encoded ClientReplyMsg, for history recorders
-    rt_->obs().bus().publish(e);
-  }
-  rt_->send(client, msg_type::kClientReply, encoded);
-}
-
-template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::on_decided(Instance, BytesView value) {
-  if (value.empty()) return;  // consensus no-op filler
-  CommandBatch batch = CommandBatch::decode(value);
-  for (const Command& cmd : batch.commands) apply_command(cmd);
-}
-
-template <typename OmegaT, typename OmegaConfigT>
-void BasicKvReplica<OmegaT, OmegaConfigT>::apply_command(const Command& cmd) {
-  if (!applied_[cmd.origin].insert(cmd.seq).second) {
-    ++duplicates_;
-    // A duplicate instance of a command this replica also admitted: the
-    // first instance already answered, so only release the window slot.
-    if (is_client(cmd.origin)) {
-      auto it = clients_.find(cmd.origin);
-      if (it != clients_.end() && it->second.admitted.erase(cmd.seq) > 0) {
-        --admitted_inflight_;
-      }
-    }
-    return;  // at-least-once from consensus -> exactly-once here
-  }
-  KvResult result = store_.apply(cmd);
-  if (rt_ != nullptr) {
-    obs::Event e;
-    e.type = obs::EventType::kApply;
-    e.t = rt_->now();
-    e.process = self_;
-    e.peer = cmd.origin;
-    e.a = cmd.seq;
-    rt_->obs().bus().publish(e);
-  }
-  if (is_client(cmd.origin)) {
-    ClientSessionSrv& sess = clients_[cmd.origin];
-    if (cmd.seq > sess.ack_upto) {
-      sess.results[cmd.seq] = result;
-      if (sess.results.size() > config_.results_cap) {
-        sess.results.erase(sess.results.begin());
-      }
-    }
-    if (sess.admitted.erase(cmd.seq) > 0) {
-      --admitted_inflight_;
-      send_reply(cmd.origin, cmd.seq, result);
-    }
-    return;
-  }
-  if (cmd.origin == self_) {
-    auto it = callbacks_.find(cmd.seq);
-    if (it != callbacks_.end()) {
-      Callback cb = std::move(it->second);
-      callbacks_.erase(it);
-      cb(result);
-    }
-    if (config_.fifo_client_order) {
-      outstanding_ = false;
-      pump_session_queue();
-    }
-  }
-}
-
 
 /// The paper's crash-stop replica.
 using KvReplica = BasicKvReplica<CeOmega, CeOmegaConfig>;

@@ -1,0 +1,87 @@
+// ShardMap: the static key-hash partition behind multi-group consensus.
+//
+// A sharded cluster runs M independent consensus groups ("shards") over the
+// same n processes and the same network fabric; every key belongs to exactly
+// one group, determined by a stable hash of the key. Both sides of the wall
+// share this map — replicas route incoming client commands to the owning
+// group, clients pick the leader cache entry to send through — so the hash
+// must be a fixed cross-platform function, not std::hash. The map carries a
+// version number so a future reconfiguration protocol (split/merge,
+// rebalancing) can fence stale routing; today there is exactly one version
+// per deployment.
+//
+// Wire format: inter-replica traffic of group g travels as a
+// GroupEnvelopeMsg (kGroupEnvelope, inside the 0x02xx consensus block so
+// per-class accounting still sees it as consensus traffic) wrapping the
+// unchanged LogConsensus message. Client-facing 0x031x messages are never
+// enveloped — the container routes them by key.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/serialization.h"
+#include "common/types.h"
+
+namespace lls {
+
+namespace msg_type {
+/// Replica -> replica: one consensus-group message, tagged with its shard.
+/// Allocated inside the consensus block (0x02xx) — see NetStats::type_class.
+inline constexpr MessageType kGroupEnvelope = 0x0290;
+}  // namespace msg_type
+
+class ShardMap {
+ public:
+  explicit ShardMap(int shards, std::uint32_t version = 1)
+      : shards_(shards < 1 ? 1 : shards), version_(version) {}
+
+  [[nodiscard]] int shards() const { return shards_; }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+
+  /// Owning group of a key: FNV-1a (fixed, platform-independent) mod M.
+  /// Deterministic across processes, runs and builds — the partition is the
+  /// contract between clients and replicas.
+  [[nodiscard]] ShardId shard_of(std::string_view key) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<ShardId>(h % static_cast<std::uint64_t>(shards_));
+  }
+
+ private:
+  int shards_;
+  std::uint32_t version_;
+};
+
+/// One consensus-group message in flight between two sharded containers.
+/// `inner_type` must itself lie in the consensus block; the receiving
+/// container rejects (counts and drops) envelopes whose shard is out of
+/// range or whose inner type escapes the block — a malformed or
+/// wrong-deployment envelope must not reach an engine.
+struct GroupEnvelopeMsg {
+  ShardId shard = kNoShard;
+  MessageType inner_type = 0;
+  Bytes payload;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(8 + payload.size());
+    w.put(shard);
+    w.put(inner_type);
+    w.put_bytes(payload);
+    return w.take();
+  }
+  static GroupEnvelopeMsg decode(BytesView payload) {
+    BufReader r(payload);
+    GroupEnvelopeMsg m;
+    m.shard = r.get<ShardId>();
+    m.inner_type = r.get<MessageType>();
+    m.payload = r.get_bytes();
+    return m;
+  }
+};
+
+}  // namespace lls

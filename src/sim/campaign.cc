@@ -21,6 +21,7 @@
 #include "rsm/history.h"
 #include "rsm/linearizability.h"
 #include "rsm/replica.h"
+#include "shard/sharded_replica.h"
 #include "sim/nemesis.h"
 #include "sim/simulator.h"
 
@@ -451,9 +452,18 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   KvReplicaConfig rc;
   rc.max_batch = 8;
   rc.batch_flush_delay = 2 * kMillisecond;
+  const bool sharded = config.shards > 0;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
-    sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{},
-                                 rc);
+    if (sharded) {
+      ShardedReplicaConfig src;
+      src.shards = config.shards;
+      src.replica = rc;
+      sim.emplace_actor<ShardedKvReplica>(p, ce_config(config),
+                                          LogConsensusConfig{}, src);
+    } else {
+      sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{},
+                                   rc);
+    }
   }
   NemesisConfig nc = nemesis_for(config, seed);
   nc.crash_stop_budget = config.crash_stop_budget;
@@ -474,7 +484,7 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   auto history = std::make_shared<std::vector<HistoryOp>>();
   history->reserve(plan->size());
   for (std::size_t k = 0; k < plan->size(); ++k) {
-    sim.schedule((*plan)[k].at, [&sim, plan, history, k]() {
+    sim.schedule((*plan)[k].at, [&sim, plan, history, k, sharded]() {
       const PlannedKvOp& spec = (*plan)[k];
       if (!sim.alive(spec.submitter)) return;  // op never issued
       HistoryOp op;
@@ -487,12 +497,19 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
       op.invoked = sim.now();
       std::size_t slot = history->size();
       history->push_back(op);
-      sim.actor_as<KvReplica>(spec.submitter)
-          .submit(spec.op, spec.key, spec.value, spec.expected,
-                  [history, slot, &sim](const KvResult& result) {
-                    (*history)[slot].responded = sim.now();
-                    (*history)[slot].result = result;
-                  });
+      auto done = [history, slot, &sim](const KvResult& result) {
+        (*history)[slot].responded = sim.now();
+        (*history)[slot].result = result;
+      };
+      if (sharded) {
+        sim.actor_as<ShardedKvReplica>(spec.submitter)
+            .submit(spec.op, spec.key, spec.value, spec.expected,
+                    std::move(done));
+      } else {
+        sim.actor_as<KvReplica>(spec.submitter)
+            .submit(spec.op, spec.key, spec.value, spec.expected,
+                    std::move(done));
+      }
     });
   }
   sim.start();
@@ -527,16 +544,28 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
     violations.push_back(what.str());
   }
 
-  // Convergence: alive replicas hold byte-identical stores at the horizon.
-  std::optional<std::uint64_t> digest;
+  // Convergence: alive replicas hold byte-identical stores at the horizon —
+  // per group when sharded (the groups' stores are disjoint key partitions
+  // that must each converge independently).
+  const int groups = sharded ? config.shards : 1;
+  std::vector<std::optional<std::uint64_t>> digests(
+      static_cast<std::size_t>(groups));
+  std::vector<bool> diverged(static_cast<std::size_t>(groups), false);
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     if (!sim.alive(p)) continue;
-    std::uint64_t d = sim.actor_as<KvReplica>(p).store().digest();
-    if (!digest) {
-      digest = d;
-    } else if (*digest != d) {
-      violations.emplace_back("alive replicas diverged: store digests differ");
-      break;
+    for (int g = 0; g < groups; ++g) {
+      const std::uint64_t d =
+          sharded ? sim.actor_as<ShardedKvReplica>(p).group(g).store().digest()
+                  : sim.actor_as<KvReplica>(p).store().digest();
+      auto& ref = digests[static_cast<std::size_t>(g)];
+      if (!ref) {
+        ref = d;
+      } else if (*ref != d && !diverged[static_cast<std::size_t>(g)]) {
+        diverged[static_cast<std::size_t>(g)] = true;
+        violations.emplace_back(
+            "alive replicas diverged: store digests differ" +
+            (sharded ? " (shard " + std::to_string(g) + ")" : std::string()));
+      }
     }
   }
 
@@ -758,6 +787,7 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
       << " --kills=" << config.crash_stop_budget;
   if (config.scenario == Scenario::kKvLinearizable) {
     out << " --kv-ops=" << config.kv_ops << " --kv-keys=" << config.kv_keys;
+    if (config.shards > 0) out << " --shards=" << config.shards;
   }
   if (config.sabotage) out << " --sabotage";
   out << " --verbose";

@@ -82,6 +82,13 @@ struct CampaignConfig {
   /// sweep; CI's timed check runs 5000 ops over 8 keys).
   int kv_ops = 400;
   int kv_keys = 8;
+  /// kv scenario: consensus groups per replica. 0 = the legacy unsharded
+  /// stack; M >= 1 hosts M key-partitioned groups per process behind one
+  /// shared Omega (shard/BasicShardedReplica), with convergence checked per
+  /// group and the same global history fed to the linearizability checker
+  /// (its per-key partitioning aligns with the shard partition, so the
+  /// check is unchanged).
+  int shards = 0;
   /// Per-partition search-node budget handed to the linearizability checker
   /// (kv scenario). Exceeding it is reported as budget exhaustion — its own
   /// verdict, not a violation — and still fails the campaign.

@@ -45,6 +45,8 @@ namespace {
       "  --kv-ops=<int>        kv scenario: randomized ops per run (default "
       "400)\n"
       "  --kv-keys=<int>       kv scenario: distinct keys (default 8)\n"
+      "  --shards=<int>        kv scenario: consensus groups per replica\n"
+      "                        (default 0 = legacy unsharded stack)\n"
       "  --lin-max-nodes=<u64> linearizability search budget per partition\n"
       "  --hist=<path>         kv scenario: record the client history (.hist)\n"
       "  --trace=<path>        dump each run's control-plane trace (JSONL)\n"
@@ -95,6 +97,8 @@ int main(int argc, char** argv) {
       flags.u64("kv-ops", static_cast<std::uint64_t>(config.kv_ops)));
   config.kv_keys = static_cast<int>(
       flags.u64("kv-keys", static_cast<std::uint64_t>(config.kv_keys)));
+  config.shards = static_cast<int>(
+      flags.i64("shards", static_cast<std::int64_t>(config.shards)));
   config.lin_max_nodes = flags.u64("lin-max-nodes", config.lin_max_nodes);
   config.hist_path = flags.str("hist");
   config.trace_path = flags.str("trace");
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
     usage();
   }
   if (config.n < 3) usage("--n must be >= 3");
+  if (config.shards < 0) usage("--shards must be >= 0");
   if (config.quiesce >= config.horizon) usage("--quiesce-ms must precede --horizon-ms");
 
   std::vector<Scenario> scenarios;

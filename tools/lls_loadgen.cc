@@ -38,6 +38,7 @@
 #include "rsm/history.h"
 #include "rsm/replica.h"
 #include "runtime/udp_runtime.h"
+#include "shard/sharded_replica.h"
 
 using namespace lls;
 using namespace lls::bench;
@@ -65,6 +66,11 @@ void usage(const char* argv0) {
       "  --write-ratio=F            fraction of mutating ops (default 0.5)\n"
       "  --value-size=B             written value bytes\n"
       "  --batches=1,8,32           replica max_batch sweep\n"
+      "  --shards=M                 host M consensus groups per replica\n"
+      "                             (default 0 = legacy unsharded stack)\n"
+      "  --max-inflight=W           per-group proposer pipeline window\n"
+      "                             (default 0 = unbounded)\n"
+      "  --no-coalesce              one wire message per client attempt\n"
       "  --duration-ms=D --warmup-ms=W --drain-ms=X\n"
       "  --crash-leader-at-ms=T     kill the leader at virtual time T (sim)\n"
       "  --verify                   exactly-once audit (sim)\n"
@@ -128,6 +134,10 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
   opt->load.crash_leader_at =
       static_cast<TimePoint>(flags.u64("crash-leader-at-ms", 0)) *
       kMillisecond;
+  opt->load.shards = static_cast<int>(flags.i64("shards", opt->load.shards));
+  opt->load.consensus_max_inflight = static_cast<std::size_t>(
+      flags.u64("max-inflight", opt->load.consensus_max_inflight));
+  opt->load.coalesce = !flags.flag("no-coalesce");
   opt->load.verify = flags.flag("verify");
   opt->load.artifacts_prefix = flags.str("artifacts");
   opt->load.hist_path = flags.str("hist");
@@ -143,6 +153,10 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
   }
   if (opt->load.cluster_n < 1 || opt->load.clients < 1) {
     std::fprintf(stderr, "--n and --clients must be positive\n");
+    return false;
+  }
+  if (opt->load.shards < 0) {
+    std::fprintf(stderr, "--shards must be >= 0\n");
     return false;
   }
   return true;
@@ -170,6 +184,24 @@ void emit_run_json(Json& json, std::size_t batch, const LoadgenResult& r) {
   json.key("duplicates_suppressed").value(r.duplicates_suppressed);
   json.key("dup_proposals_suppressed").value(r.dup_proposals_suppressed);
   json.key("cached_replies").value(r.cached_replies);
+  json.key("client_batches").value(r.client_batches);
+  json.key("client_batched_requests").value(r.client_batched_requests);
+  json.key("consensus_decisions").value(r.consensus_decisions);
+  json.key("consensus_msgs_per_decision").value(r.consensus_msgs_per_decision);
+  json.key("envelopes_rejected").value(r.envelopes_rejected);
+  json.key("shard_imbalance").value(r.shard_imbalance);
+  json.key("shards").begin_array();
+  for (std::size_t g = 0; g < r.shard_stats.size(); ++g) {
+    const auto& s = r.shard_stats[g];
+    json.begin_object();
+    json.key("shard").value(g);
+    json.key("acked").value(s.acked);
+    json.key("throughput_ops_s").value(s.throughput);
+    json.key("p50_ms").value(s.p50_ms);
+    json.key("p99_ms").value(s.p99_ms);
+    json.end_object();
+  }
+  json.end_array();
   json.key("crashed_leader")
       .value(static_cast<std::int64_t>(r.crashed == kNoProcess ? -1 : r.crashed));
   json.key("drained").value(r.drained);
@@ -181,12 +213,13 @@ void emit_run_json(Json& json, std::size_t batch, const LoadgenResult& r) {
 }
 
 int run_sim(const CliOptions& opt) {
-  std::printf("lls_loadgen (sim): n=%d clients=%d mode=%s seed=%llu%s%s\n\n",
-              opt.load.cluster_n, opt.load.clients,
-              opt.load.open_loop ? "open" : "closed",
-              (unsigned long long)opt.load.seed,
-              opt.load.crash_leader_at > 0 ? " +leader-crash" : "",
-              opt.load.verify ? " +verify" : "");
+  std::printf(
+      "lls_loadgen (sim): n=%d clients=%d mode=%s shards=%d seed=%llu%s%s\n\n",
+      opt.load.cluster_n, opt.load.clients,
+      opt.load.open_loop ? "open" : "closed", opt.load.shards,
+      (unsigned long long)opt.load.seed,
+      opt.load.crash_leader_at > 0 ? " +leader-crash" : "",
+      opt.load.verify ? " +verify" : "");
 
   Table table({"batch", "acked", "ops/s", "p50(ms)", "p99(ms)", "retries",
                "redirects", "cmsg/cmd", "verify"});
@@ -203,6 +236,9 @@ int run_sim(const CliOptions& opt) {
   json.key("crash_leader_at_ms")
       .value(opt.load.crash_leader_at / kMillisecond);
   json.key("verify").value(opt.load.verify);
+  json.key("shards").value(opt.load.shards);
+  json.key("max_inflight").value(opt.load.consensus_max_inflight);
+  json.key("coalesce").value(opt.load.coalesce);
   json.end_object();
   json.key("runs").begin_array();
 
@@ -224,6 +260,17 @@ int run_sim(const CliOptions& opt) {
                    !opt.load.verify ? "-" : (r.verify_ok ? "ok" : "FAIL")});
     for (const auto& e : r.verify_errors) {
       std::fprintf(stderr, "verify: %s\n", e.c_str());
+    }
+    if (!r.shard_stats.empty()) {
+      std::printf("batch=%zu per-shard breakdown (imbalance %.2f):\n", batch,
+                  r.shard_imbalance);
+      for (std::size_t g = 0; g < r.shard_stats.size(); ++g) {
+        const auto& s = r.shard_stats[g];
+        std::printf("  shard %zu: acked %llu  %.0f ops/s  p50 %.2f ms  "
+                    "p99 %.2f ms\n",
+                    g, (unsigned long long)s.acked, s.throughput, s.p50_ms,
+                    s.p99_ms);
+      }
     }
     emit_run_json(json, batch, r);
   }
@@ -299,20 +346,31 @@ int run_udp(const CliOptions& opt) {
     KvReplicaConfig rc;
     rc.cluster_n = cluster_n;
     rc.max_batch = opt.batches.front();
+    LogConsensusConfig lc;
+    lc.max_inflight = opt.load.consensus_max_inflight;
     UdpNodeConfig nc;
     nc.id = p;
     nc.n = n;
     nc.base_port = opt.udp_base_port;
     nc.seed = opt.load.seed + p;
     if (p == 0) nc.stats_port = opt.stats_port;
-    nodes.push_back(std::make_unique<UdpNode>(
-        nc, std::make_unique<KvReplica>(CeOmegaConfig{}, LogConsensusConfig{},
-                                        rc)));
+    std::unique_ptr<Actor> actor;
+    if (opt.load.shards > 0) {
+      ShardedReplicaConfig sc;
+      sc.shards = opt.load.shards;
+      sc.replica = rc;
+      actor = std::make_unique<ShardedKvReplica>(CeOmegaConfig{}, lc, sc);
+    } else {
+      actor = std::make_unique<KvReplica>(CeOmegaConfig{}, lc, rc);
+    }
+    nodes.push_back(std::make_unique<UdpNode>(nc, std::move(actor)));
   }
   for (int c = 0; c < opt.load.clients; ++c) {
     ClusterClientConfig cc;
     cc.cluster_n = cluster_n;
     cc.window = static_cast<std::size_t>(opt.load.closed_outstanding);
+    cc.shards = opt.load.shards > 0 ? opt.load.shards : 1;
+    cc.coalesce = opt.load.coalesce;
     UdpNodeConfig nc;
     nc.id = static_cast<ProcessId>(cluster_n + c);
     nc.n = n;
