@@ -42,7 +42,9 @@ Outcome run(std::size_t batch_size, int commands) {
   std::vector<KvReplica*> replicas;
   for (ProcessId p = 0; p < 5; ++p) {
     replicas.push_back(&sim.emplace_actor<KvReplica>(
-        p, CeOmegaConfig{}, LogConsensusConfig{}, rc));
+        p, KvReplica::Options{.omega = CeOmegaConfig{},
+                              .consensus = LogConsensusConfig{},
+                              .replica = rc}));
   }
   // One burst at t = 2s (after election settles), all at replica 1.
   sim.schedule(2 * kSecond, [&]() {
@@ -102,7 +104,9 @@ ClientOutcome run_client_burst(bool coalesce, int commands) {
   std::vector<KvReplica*> replicas;
   for (ProcessId p = 0; p < 5; ++p) {
     replicas.push_back(&sim.emplace_actor<KvReplica>(
-        p, CeOmegaConfig{}, LogConsensusConfig{}, rc));
+        p, KvReplica::Options{.omega = CeOmegaConfig{},
+                              .consensus = LogConsensusConfig{},
+                              .replica = rc}));
   }
   ClusterClientConfig cc;
   cc.cluster_n = 5;

@@ -59,8 +59,9 @@ int main() {
                         make_all_timely({200, 1 * kMillisecond}));
   std::vector<KvReplica*> replicas;
   for (ProcessId p = 0; p < kN; ++p) {
-    replicas.push_back(
-        &cluster.emplace_actor<KvReplica>(p, omega_config(), log_config()));
+    replicas.push_back(&cluster.emplace_actor<KvReplica>(
+        p, KvReplica::Options{.omega = omega_config(),
+                              .consensus = log_config()}));
   }
   cluster.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(100));

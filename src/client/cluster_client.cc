@@ -25,16 +25,32 @@ void ClusterClient::on_start(Runtime& rt) {
 
 std::uint64_t ClusterClient::submit(KvOp op, std::string key, std::string value,
                                     std::string expected, Callback cb) {
+  Command cmd;
+  cmd.op = op;
+  cmd.key = std::move(key);
+  cmd.value = std::move(value);
+  cmd.expected = std::move(expected);
+  return enqueue_command(std::move(cmd), std::move(cb));
+}
+
+std::uint64_t ClusterClient::get(std::string key, Callback cb) {
+  Command cmd;
+  cmd.op = KvOp::kGet;
+  cmd.key = std::move(key);
+  // The read-only mark is what licenses a leaseholder to answer locally;
+  // without it (lease_reads off) this is an ordinary ordered kGet.
+  cmd.read_only = config_.lease_reads;
+  return enqueue_command(std::move(cmd), std::move(cb));
+}
+
+std::uint64_t ClusterClient::enqueue_command(Command cmd, Callback cb) {
   if (rt_ == nullptr) {
     throw std::logic_error("ClusterClient::submit before on_start");
   }
   InFlight f;
+  f.cmd = std::move(cmd);
   f.cmd.origin = self_;
   f.cmd.seq = session_.next_seq();
-  f.cmd.op = op;
-  f.cmd.key = std::move(key);
-  f.cmd.value = std::move(value);
-  f.cmd.expected = std::move(expected);
   f.encoded = f.cmd.encode();
   f.shard = map_.shard_of(f.cmd.key);
   f.cb = std::move(cb);

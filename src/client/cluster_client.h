@@ -82,6 +82,12 @@ struct ClusterClientConfig {
   /// due for retry) in the same execution turn share a message; off
   /// reproduces the historical one-message-per-attempt path.
   bool coalesce = true;
+
+  /// Mark get() commands read-only on the wire, letting a leader holding a
+  /// valid lease answer them from local state (zero consensus instances).
+  /// Linearizability is unaffected either way — with this off (or when the
+  /// lease doesn't hold) reads take the ordered path.
+  bool lease_reads = false;
 };
 
 /// Final outcome of one submitted command, delivered to the submit callback.
@@ -112,6 +118,11 @@ class ClusterClient final : public Actor {
   /// called after on_start, from the client's execution context.
   std::uint64_t submit(KvOp op, std::string key, std::string value = "",
                        std::string expected = "", Callback cb = nullptr);
+
+  /// Read-path API: submits a kGet, marked read-only when
+  /// config.lease_reads is set so the leaseholder may serve it locally.
+  /// Retry/redirect/deadline semantics are identical to submit().
+  std::uint64_t get(std::string key, Callback cb = nullptr);
 
   // Introspection ------------------------------------------------------------
   [[nodiscard]] const ClientSession& session() const { return session_; }
@@ -149,6 +160,8 @@ class ClusterClient final : public Actor {
     int attempts = 0;
   };
 
+  /// Shared tail of submit()/get(): window the command and kick the pump.
+  std::uint64_t enqueue_command(Command cmd, Callback cb);
   void pump(Runtime& rt);
   /// Queues `f` for the next flush (coalescing on) or sends it immediately.
   void mark_for_send(Runtime& rt, InFlight& f);

@@ -64,6 +64,12 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   rc.admit_high_water = config.admit_high_water;
   LogConsensusConfig lc;
   lc.max_inflight = config.consensus_max_inflight;
+  lc.lease.enabled = config.lease_reads;
+  lc.lease.duration = config.lease_duration;
+  lc.lease.clock_margin = config.lease_clock_margin;
+  CeOmegaConfig oc;
+  // The omega hint is advisory fast invalidation; 0 (leases off) disables it.
+  oc.lease_duration = config.lease_reads ? config.lease_duration : 0;
   // shards == 0: legacy unsharded stack; >= 1: the sharded container (1 is
   // the degenerate single-group container, the M=1 baseline of C5).
   const bool sharded = config.shards > 0;
@@ -76,10 +82,12 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       sc.shards = config.shards;
       sc.replica = rc;
       containers.push_back(&sim.emplace_actor<ShardedKvReplica>(
-          p, CeOmegaConfig{}, lc, sc));
+          p, ShardedKvReplica::Options{
+                 .omega = oc, .consensus = lc, .sharded = sc}));
     } else {
-      replicas.push_back(
-          &sim.emplace_actor<KvReplica>(p, CeOmegaConfig{}, lc, rc));
+      replicas.push_back(&sim.emplace_actor<KvReplica>(
+          p, KvReplica::Options{
+                 .omega = oc, .consensus = lc, .replica = rc}));
     }
   }
   auto leader_view = [&](ProcessId p) {
@@ -96,6 +104,7 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   cc.request_deadline = config.request_deadline;
   cc.shards = shard_count;
   cc.coalesce = config.coalesce;
+  cc.lease_reads = config.lease_reads;
   std::vector<ClusterClient*> clients;
   for (int c = 0; c < config.clients; ++c) {
     clients.push_back(&sim.emplace_actor<ClusterClient>(
@@ -112,6 +121,10 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
   // tracer retains the control-plane story for the JSONL artifact.
   obs::Histogram& latency_ms =
       sim.plane().registry().histogram("client_latency_ms");
+  obs::Histogram& read_latency_ms =
+      sim.plane().registry().histogram("client_read_latency_ms");
+  obs::Histogram& write_latency_ms =
+      sim.plane().registry().histogram("client_write_latency_ms");
   // Per-shard breakdown (sharded runs only): measured ops and latency per
   // key-hash partition, classified client-side with the same ShardMap the
   // cluster uses.
@@ -145,6 +158,8 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
     tracer = std::make_unique<obs::RingTracer>(sim.plane().bus(), 65536, story);
   }
   std::uint64_t measured_acked = 0;
+  std::uint64_t measured_reads = 0;
+  std::uint64_t measured_writes = 0;
   std::vector<std::string> acked_tokens;   // verify mode: acked appends
   std::uint64_t write_counter = 0;
 
@@ -185,6 +200,13 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
               static_cast<double>(done.completed - done.invoked) /
               static_cast<double>(kMillisecond);
           latency_ms.record(ms);
+          if (done.cmd.op == KvOp::kGet) {
+            ++measured_reads;
+            read_latency_ms.record(ms);
+          } else {
+            ++measured_writes;
+            write_latency_ms.record(ms);
+          }
           if (sharded) {
             ShardId g = route_map.shard_of(done.cmd.key);
             ++shard_acked[g];
@@ -199,7 +221,9 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
     std::string value =
         write ? (config.verify ? token : std::string(config.value_size, 'x'))
               : std::string();
-    std::uint64_t seq = client.submit(op, key, value, "", std::move(cb));
+    std::uint64_t seq =
+        write ? client.submit(op, key, value, "", std::move(cb))
+              : client.get(key, std::move(cb));
     if (hist_id) {
       Command cmd;
       cmd.origin = static_cast<ProcessId>(config.cluster_n + ci);
@@ -297,6 +321,18 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       static_cast<double>(load_end - measure_from) / kSecond;
   result.throughput =
       window_s > 0 ? static_cast<double>(measured_acked) / window_s : 0;
+  auto fill_op = [&](LoadgenResult::OpStats& op, obs::Histogram& h,
+                     std::uint64_t acked) {
+    op.acked = acked;
+    op.throughput = window_s > 0 ? static_cast<double>(acked) / window_s : 0;
+    op.p50_ms = h.percentile(50);
+    op.p90_ms = h.percentile(90);
+    op.p99_ms = h.percentile(99);
+    op.mean_ms = h.mean();
+    op.max_ms = h.max();
+  };
+  fill_op(result.reads, read_latency_ms, measured_reads);
+  fill_op(result.writes, write_latency_ms, measured_writes);
   if (sharded) {
     result.shard_stats.resize(static_cast<std::size_t>(shard_count));
     std::uint64_t max_ops = 0;
@@ -341,6 +377,8 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       result.cached_replies += containers[p]->cached_replies_sent();
       result.busy_sent += containers[p]->busy_sent();
       result.envelopes_rejected += containers[p]->envelopes_rejected();
+      result.reads_local += containers[p]->reads_local();
+      result.reads_ordered += containers[p]->reads_ordered();
       for (int g = 0; g < shard_count; ++g) {
         const LogConsensus& cons = containers[p]->group(g).consensus();
         result.dup_proposals_suppressed += cons.dup_proposals_suppressed();
@@ -350,6 +388,8 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
       }
     } else {
       result.duplicates_suppressed += replicas[p]->duplicates_suppressed();
+      result.reads_local += replicas[p]->reads_local();
+      result.reads_ordered += replicas[p]->reads_ordered();
       result.dup_proposals_suppressed +=
           replicas[p]->consensus().dup_proposals_suppressed();
       result.cached_replies += replicas[p]->cached_replies_sent();
@@ -359,6 +399,28 @@ LoadgenResult run_sim_loadgen(const LoadgenConfig& config) {
     }
   }
   for (Instance d : group_decided) result.consensus_decisions += d;
+  // Per-op-class message economy. Consensus traffic belongs to ordered
+  // commands; a lease-served read costs zero consensus messages by
+  // construction. The replicas' own admission counters give the
+  // local/ordered split for reads (with leases off every read is ordered).
+  if (result.reads_local + result.reads_ordered > 0) {
+    result.lease_read_ratio =
+        static_cast<double>(result.reads_local) /
+        static_cast<double>(result.reads_local + result.reads_ordered);
+  }
+  const double ordered_reads =
+      static_cast<double>(result.reads.acked) * (1.0 - result.lease_read_ratio);
+  const double ordered_cmds =
+      static_cast<double>(result.writes.acked) + ordered_reads;
+  if (ordered_cmds > 0) {
+    const double per_ordered =
+        static_cast<double>(result.consensus_msgs) / ordered_cmds;
+    result.writes.consensus_msgs_per_op = per_ordered;
+    if (result.reads.acked > 0) {
+      result.reads.consensus_msgs_per_op =
+          per_ordered * ordered_reads / static_cast<double>(result.reads.acked);
+    }
+  }
   if (result.consensus_decisions > 0) {
     result.consensus_msgs_per_decision =
         static_cast<double>(result.consensus_msgs) /

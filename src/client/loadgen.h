@@ -66,6 +66,18 @@ struct LoadgenConfig {
   /// Coalesce same-destination client sends into request batches.
   bool coalesce = true;
 
+  /// Leader leases: reads are submitted via ClusterClient::get() marked
+  /// read-only, replicas run the lease protocol (fence grants on supporting
+  /// replies, quorum-supported lease_valid()) and the leader answers reads
+  /// from local state while its lease holds — zero consensus instances per
+  /// local read. Off reproduces the ordered-everything baseline.
+  bool lease_reads = false;
+  /// Lease window (consensus fence duration and the omega hint horizon).
+  Duration lease_duration = 200 * kMillisecond;
+  /// Conservative clock slack subtracted from remote support. Keep 0 on the
+  /// simulator (one global clock); set to a few ms on real UDP runs.
+  Duration lease_clock_margin = 0;
+
   /// Crash whatever the cluster believes is the leader at this virtual
   /// time (0 disables). The load must ride through the failover.
   TimePoint crash_leader_at = 0;
@@ -101,6 +113,29 @@ struct LoadgenResult {
   double p50_ms = 0, p90_ms = 0, p99_ms = 0, mean_ms = 0, max_ms = 0;
   /// Acked requests per second over the measured window.
   double throughput = 0;
+
+  /// Per-op-class breakdown over the measured window: reads (kGet) and
+  /// writes (everything that mutates) get separate latency percentiles and
+  /// message economy, which is what makes the lease read path visible — a
+  /// leased read completes in one client round trip with ~0 consensus
+  /// messages while writes still pay the ordered path.
+  struct OpStats {
+    std::uint64_t acked = 0;
+    double throughput = 0;
+    double p50_ms = 0, p90_ms = 0, p99_ms = 0, mean_ms = 0, max_ms = 0;
+    /// Consensus-class messages attributed to one op of this class (reads
+    /// split local/ordered by the replicas' own counters; local reads cost
+    /// zero consensus messages by construction).
+    double consensus_msgs_per_op = 0;
+  };
+  OpStats reads;
+  OpStats writes;
+
+  // Lease read path (summed over alive replicas, whole run).
+  std::uint64_t reads_local = 0;    ///< Gets answered from a held lease
+  std::uint64_t reads_ordered = 0;  ///< read-only Gets that missed the lease
+  /// reads_local / (reads_local + reads_ordered); 0 when leases are off.
+  double lease_read_ratio = 0;
 
   // Message economy (whole run).
   std::uint64_t omega_msgs = 0;

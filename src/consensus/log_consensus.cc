@@ -12,6 +12,7 @@ void LogConsensus::on_start(Runtime& rt) {
   self_ = rt.id();
   n_ = rt.n();
   rt_ = &rt;
+  support_until_.assign(static_cast<std::size_t>(n_), 0);
   // Sharded engines get per-shard histograms (the registry is name-keyed,
   // so the shard suffix is the label).
   decide_latency_ = &rt.obs().registry().histogram(
@@ -47,6 +48,17 @@ void LogConsensus::restore(Runtime& rt) {
   StableStorage* storage = rt.storage();
   if (storage == nullptr) {
     throw std::logic_error("durable LogConsensus requires Runtime::storage()");
+  }
+  // Crash-recovery conservatism: fences are volatile, so a recovered
+  // acceptor may have granted a supporting reply it no longer remembers.
+  // Refuse support to EVERYONE (fence-all: holder = kNoProcess) for one
+  // full window — any lease the old promise could still be backing has
+  // expired by then. Applies even on first boot (we cannot tell the two
+  // apart without persisting fences).
+  if (fence_enforced()) {
+    fence_holder_ = kNoProcess;
+    fence_round_ = kNoRound;
+    fence_until_ = rt.now() + config_.lease.duration;
   }
   auto blob = storage->read(kDurableKey);
   if (!blob.has_value()) return;  // first boot
@@ -125,6 +137,7 @@ void LogConsensus::on_timer(Runtime& rt, TimerId timer) {
 }
 
 void LogConsensus::drive(Runtime& rt) {
+  if (config_.lease.enabled) sample_lease_span(rt);
   if (i_am_omega_leader()) {
     if (!leader_ready_ && !preparing_) start_prepare(rt);
     if (leader_ready_) assign_pending(rt);
@@ -161,7 +174,7 @@ void LogConsensus::start_prepare(Runtime& rt) {
     become_ready(rt);
     return;
   }
-  Bytes payload = PrepareMsg{my_round_, prepare_from_}.encode();
+  Bytes payload = PrepareMsg{my_round_, prepare_from_, rt.now()}.encode();
   for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
     if (q != self_) rt.send(q, msg_type::kPrepare, payload);
   }
@@ -185,6 +198,10 @@ void LogConsensus::become_ready(Runtime& rt) {
   if (!promise_merge_.empty()) {
     next_free_ = std::max<Instance>(next_free_, promise_merge_.rbegin()->first + 1);
   }
+  // Lease freshness gate: local reads are stale until every instance below
+  // this epoch-start frontier has been learned and applied (a predecessor
+  // may have decided writes this leader has merely merged, not delivered).
+  ready_watermark_ = next_free_;
 
   // Fill holes the quorum knows nothing about with no-ops so the log prefix
   // becomes decidable, and re-propose every merged value at my round.
@@ -243,13 +260,13 @@ void LogConsensus::assign_pending(Runtime& rt) {
 
 void LogConsensus::send_accept(Runtime& rt, ProcessId dst, Instance i) {
   const InFlight& inf = inflight_.at(i);
-  AcceptMsg msg{my_round_, i, commit_upto(), inf.value};
+  AcceptMsg msg{my_round_, i, commit_upto(), inf.value, rt.now()};
   rt.send(dst, msg_type::kAccept, msg.encode());
 }
 
 void LogConsensus::retransmit(Runtime& rt) {
   if (preparing_) {
-    Bytes payload = PrepareMsg{my_round_, prepare_from_}.encode();
+    Bytes payload = PrepareMsg{my_round_, prepare_from_, rt.now()}.encode();
     for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
       if (q != self_ && !promises_.contains(q)) {
         rt.send(q, msg_type::kPrepare, payload);
@@ -419,6 +436,12 @@ void LogConsensus::on_message(Runtime& rt, ProcessId src, MessageType type,
 
 void LogConsensus::handle_prepare(Runtime& rt, ProcessId src,
                                   const PrepareMsg& msg) {
+  // Fence: while the supporting reply this acceptor last granted is alive,
+  // help no other proposer — no promise, no NACK, no state change at all
+  // (even updating highest_seen_round_ would leak the competitor into the
+  // holder's epoch check). The window is bounded by the lease duration, so
+  // a competitor's retransmit loop gets through once it lapses.
+  if (fenced_against(src, rt.now())) return;
   highest_seen_round_ = std::max(highest_seen_round_, msg.round);
   Round before = acceptor_.promised();
   if (!acceptor_.on_prepare(msg.round)) {
@@ -430,9 +453,11 @@ void LogConsensus::handle_prepare(Runtime& rt, ProcessId src,
   // acceptor must (a reply that outlives the promise breaks safety).
   if (config_.durable && acceptor_.promised() != before) persist(rt);
   if (msg.round > my_round_ && (preparing_ || leader_ready_)) abdicate();
+  grant_fence(src, msg.round, rt.now());
 
   PromiseMsg reply;
   reply.round = msg.round;
+  reply.echo_ts = msg.ts;
   for (const auto& [i, pair] : acceptor_.all_accepted()) {
     if (i < msg.from || is_decided(i)) continue;
     reply.entries.push_back(PromiseEntry{i, pair.round, false, pair.value});
@@ -449,6 +474,7 @@ void LogConsensus::handle_prepare(Runtime& rt, ProcessId src,
 void LogConsensus::handle_promise(Runtime& rt, ProcessId src,
                                   const PromiseMsg& msg) {
   if (!preparing_ || msg.round != my_round_) return;
+  record_support(src, msg.echo_ts);
   for (const auto& e : msg.entries) {
     if (e.decided) {
       learn(rt, e.instance, e.value);
@@ -466,6 +492,9 @@ void LogConsensus::handle_promise(Runtime& rt, ProcessId src,
 
 void LogConsensus::handle_accept(Runtime& rt, ProcessId src,
                                  const AcceptMsg& msg) {
+  // Same fence discipline as handle_prepare: a fenced acceptor is silent
+  // toward everyone but the fence holder.
+  if (fenced_against(src, rt.now())) return;
   highest_seen_round_ = std::max(highest_seen_round_, msg.round);
   if (!acceptor_.on_accept(msg.round, msg.instance, msg.value)) {
     rt.send(src, msg_type::kNack,
@@ -474,8 +503,9 @@ void LogConsensus::handle_accept(Runtime& rt, ProcessId src,
   }
   if (config_.durable) persist(rt);  // accepted pair is durable state
   if (msg.round > my_round_ && (preparing_ || leader_ready_)) abdicate();
+  grant_fence(src, msg.round, rt.now());
   rt.send(src, msg_type::kAccepted,
-          AcceptedMsg{msg.round, msg.instance}.encode());
+          AcceptedMsg{msg.round, msg.instance, msg.ts}.encode());
 
   // Pipelined commit: everything below commit_upto was decided by the
   // leader of this round; our accepted value at this same round for such an
@@ -490,6 +520,9 @@ void LogConsensus::handle_accept(Runtime& rt, ProcessId src,
 void LogConsensus::handle_accepted(Runtime& rt, ProcessId src,
                                    const AcceptedMsg& msg) {
   if (!leader_ready_ || msg.round != my_round_) return;
+  // Even an ack for an already-decided instance renews the support — the
+  // follower granted (and fenced) it either way.
+  record_support(src, msg.echo_ts);
   auto it = inflight_.find(msg.instance);
   if (it == inflight_.end()) return;  // already decided
   it->second.acks.insert(src);
@@ -543,6 +576,85 @@ Instance LogConsensus::compact(Instance upto) {
   acceptor_.forget_upto(upto);
   if (config_.durable && rt_ != nullptr) persist(*rt_);
   return log_base_;
+}
+
+// ---------------------------------------------------------------------------
+// Leader lease (DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+bool LogConsensus::lease_valid() const {
+  if (!config_.lease.enabled || rt_ == nullptr) return false;
+  if (!leader_ready_ || !i_am_omega_leader()) return false;
+  const TimePoint now = rt_->now();
+  // Fast-invalidation hint from the oracle, when it grants one: an expired
+  // omega lease means our heartbeats stopped proving liveness; stop serving
+  // local reads even if quorum supports have residual time.
+  if (auto hint = omega_->lease_until(); hint.has_value() && *hint <= now) {
+    return false;
+  }
+  if (config_.lease.unsafe_skip_fence) {
+    // Sabotage self-test: bare self-belief stands in for the quorum lease.
+    // Unsound by construction — the lease_test campaign proves the
+    // linearizability checker catches what this serves.
+    return true;
+  }
+  // Epoch fence: any observed higher round means a competitor got through a
+  // quorum we thought was fenced; abdication is imminent — never serve a
+  // read in the gap. (Belt to the supporters check's braces.)
+  if (highest_seen_round_ > my_round_) return false;
+  // Freshness gate: until the epoch-start prefix is fully learned, local
+  // state may miss writes a predecessor decided.
+  if (next_notify_ < ready_watermark_) return false;
+  return lease_supporters() >= majority();
+}
+
+int LogConsensus::lease_supporters() const {
+  if (rt_ == nullptr || !leader_ready_) return 0;
+  const TimePoint now = rt_->now();
+  // Self counts unconditionally: our own acceptor helping a competitor
+  // abdicates us synchronously, which is a stronger guarantee than any
+  // timed fence.
+  int supporters = 1;
+  for (std::size_t q = 0; q < support_until_.size(); ++q) {
+    if (static_cast<ProcessId>(q) == self_) continue;
+    if (support_until_[q] > now + config_.lease.clock_margin) ++supporters;
+  }
+  return supporters;
+}
+
+void LogConsensus::grant_fence(ProcessId src, Round round, TimePoint now) {
+  if (!config_.lease.enabled) return;
+  fence_holder_ = src;
+  fence_round_ = round;
+  fence_until_ = now + config_.lease.duration;
+}
+
+void LogConsensus::record_support(ProcessId q, TimePoint echo_ts) {
+  if (!config_.lease.enabled) return;
+  if (static_cast<std::size_t>(q) >= support_until_.size()) return;
+  // echo_ts is OUR clock at the original send — earlier in real time than
+  // the follower's fence anchor, so echo_ts + duration is a conservative
+  // bound on that fence's expiry. max(): a stale echo never shortens.
+  support_until_[q] =
+      std::max(support_until_[q], echo_ts + config_.lease.duration);
+}
+
+void LogConsensus::sample_lease_span(Runtime& rt) {
+  const bool valid = lease_valid();
+  if (valid && !lease_was_valid_) {
+    lease_span_start_ = rt.now();
+  } else if (!valid && lease_was_valid_) {
+    obs::Event e;
+    e.type = obs::EventType::kSpanEnd;
+    e.t = rt.now();
+    e.process = self_;
+    e.mtype = group_tag();
+    e.a = static_cast<std::uint64_t>(rt.now() - lease_span_start_);
+    e.b = static_cast<std::uint64_t>(my_round_);
+    e.label = "lease_held";
+    rt.obs().bus().publish(e);
+  }
+  lease_was_valid_ = valid;
 }
 
 void LogConsensus::handle_forward(ProcessId, const ForwardMsg& msg) {

@@ -62,6 +62,44 @@ struct LogConsensusConfig {
   /// are exempt — they are owed immediately for safety). 0 = unbounded,
   /// the original eager behavior.
   std::size_t max_inflight = 0;
+
+  /// Leader lease: a quorum-anchored window during which lease_valid() may
+  /// return true at the leader, certifying that no other proposer can have
+  /// assembled a majority — so a local read is linearizable with zero
+  /// messages. Mechanism (DESIGN.md §14): every supporting PROMISE/ACCEPTED
+  /// a follower grants also fences that follower to the grantee for
+  /// `duration` (it silently drops PREPARE/ACCEPT from anyone else while
+  /// fenced), and echoes back the proposer's own send timestamp; the
+  /// proposer counts a support as live until echo_ts + duration. Because
+  /// echo_ts predates the follower's fence anchor in real time, the
+  /// proposer's view is conservative; only relative clock *rates* matter,
+  /// absorbed by `clock_margin`.
+  struct LeaseConfig {
+    /// Master switch. Off (default) = wire-compatible no-op: timestamps are
+    /// stamped/echoed but fences are never honored and lease_valid() is
+    /// always false.
+    bool enabled = false;
+
+    /// The lease window W: follower fence lifetime and support lifetime.
+    /// Must comfortably exceed the retry period (supports renew via the
+    /// ordinary ACCEPT/ACCEPTED traffic; a window shorter than one
+    /// round-trip can never stay valid).
+    Duration duration = 200 * kMillisecond;
+
+    /// Safety margin subtracted from every support expiry before trusting
+    /// it, covering relative clock drift over one window (>= 2 * drift_rate
+    /// * duration). 0 is correct in the simulator (one global clock); the
+    /// UDP runtime should set a few milliseconds.
+    Duration clock_margin = 0;
+
+    /// SABOTAGE SELF-TEST ONLY: skip the fence/quorum machinery and treat
+    /// bare Omega self-belief as a lease. Deliberately unsound — exists so
+    /// the linearizability checker can demonstrate it catches the stale
+    /// read a broken lease serves. Never enable outside the sabotage
+    /// campaign.
+    bool unsafe_skip_fence = false;
+  };
+  LeaseConfig lease;
 };
 
 class LogConsensus final : public ConsensusActor {
@@ -94,6 +132,19 @@ class LogConsensus final : public ConsensusActor {
 
   [[nodiscard]] Instance compacted_upto() const { return log_base_; }
 
+  // Leader lease ------------------------------------------------------------
+  /// True iff this process may serve a linearizable read from local state
+  /// right now, with zero messages: it is the ready leader, a majority of
+  /// fence promises (its own included) is provably unexpired after the
+  /// clock margin, no higher round has been observed, and the decided
+  /// prefix as of this epoch's start has been fully delivered. Re-check
+  /// before *every* read — validity is a property of an instant.
+  [[nodiscard]] bool lease_valid() const;
+
+  /// Supports counted live by lease_valid()'s quorum rule at this instant
+  /// (including self when ready). For tests and gauges.
+  [[nodiscard]] int lease_supporters() const;
+
   // Introspection ----------------------------------------------------------
   [[nodiscard]] bool is_leader_ready() const { return leader_ready_; }
   [[nodiscard]] Round current_round() const { return my_round_; }
@@ -101,6 +152,8 @@ class LogConsensus final : public ConsensusActor {
   [[nodiscard]] Instance log_size() const { return log_base_ + log_.size(); }
   [[nodiscard]] std::size_t log_entries_held() const { return log_.size(); }
   [[nodiscard]] const Acceptor& acceptor() const { return acceptor_; }
+  [[nodiscard]] ProcessId fence_holder() const { return fence_holder_; }
+  [[nodiscard]] TimePoint fence_until() const { return fence_until_; }
   [[nodiscard]] std::uint64_t proposals() const { return proposals_; }
   /// propose() calls dropped as byte-identical to a queued/in-flight value.
   [[nodiscard]] std::uint64_t dup_proposals_suppressed() const {
@@ -152,6 +205,26 @@ class LogConsensus final : public ConsensusActor {
   [[nodiscard]] bool i_am_omega_leader() const {
     return omega_->leader() == self_;
   }
+
+  // Lease internals ---------------------------------------------------------
+  /// Fences are only honored when leases are on and not sabotaged.
+  [[nodiscard]] bool fence_enforced() const {
+    return config_.lease.enabled && !config_.lease.unsafe_skip_fence;
+  }
+  /// True when an unexpired fence blocks proposer traffic from `src`.
+  /// fence_holder_ == kNoProcess with an unexpired window means fence-all
+  /// (post-recovery conservatism: the promises we forgot could belong to
+  /// anyone).
+  [[nodiscard]] bool fenced_against(ProcessId src, TimePoint now) const {
+    if (!fence_enforced() || now >= fence_until_) return false;
+    return fence_holder_ == kNoProcess || src != fence_holder_;
+  }
+  /// Grants/renews the fence to `src` after a supporting reply.
+  void grant_fence(ProcessId src, Round round, TimePoint now);
+  /// Records a support echo from `q` (PROMISE or ACCEPTED for my round).
+  void record_support(ProcessId q, TimePoint echo_ts);
+  /// Publishes lease-held spans on validity transitions (called per tick).
+  void sample_lease_span(Runtime& rt);
   /// Event tag for this engine's kDecide / span events (0 = unsharded).
   [[nodiscard]] std::uint16_t group_tag() const {
     return config_.shard < 0 ? 0
@@ -205,6 +278,21 @@ class LogConsensus final : public ConsensusActor {
 
   std::uint64_t proposals_ = 0;
   std::uint64_t dup_proposals_suppressed_ = 0;
+
+  // Lease state -------------------------------------------------------------
+  // Acceptor side: who this process last granted a supporting reply to, at
+  // which round, and until when that grant fences out other proposers.
+  ProcessId fence_holder_ = kNoProcess;
+  Round fence_round_ = kNoRound;
+  TimePoint fence_until_ = 0;
+  // Proposer side: per-process conservative support expiry (own send clock
+  // echoed back + window), and the epoch-start frontier that must be fully
+  // learned before local reads are fresh.
+  std::vector<TimePoint> support_until_;
+  Instance ready_watermark_ = 0;
+  // Span bookkeeping for the lease-held observability spans.
+  bool lease_was_valid_ = false;
+  TimePoint lease_span_start_ = 0;
 
   // Observability (per-instance consensus spans). The histogram handle is
   // resolved once at on_start; accept_started_ remembers when this process,

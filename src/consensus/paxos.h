@@ -14,6 +14,7 @@
 
 #include "common/serialization.h"
 #include "consensus/consensus.h"
+#include "net/wire.h"
 
 namespace lls {
 
@@ -25,16 +26,26 @@ namespace lls {
 }
 
 // ---------------------------------------------------------------------------
-// Wire messages.
+// Wire messages (layouts declared once via LLS_WIRE_FIELDS; see net/wire.h).
+//
+// Leader leases ride the existing Phase-1/Phase-2 exchange instead of a new
+// message class: the proposer stamps PREPARE/ACCEPT with `ts` (its own clock
+// at send time) and a supporting reply echoes it back verbatim as `echo_ts`.
+// Because the echo is the *proposer's* clock at the original send — which is
+// strictly earlier in real time than the follower's fence anchor (set at
+// receive) — the proposer's lease window [echo_ts, echo_ts + W) is a
+// conservative subset of the follower's fence window, with no cross-clock
+// comparison anywhere. See DESIGN.md §14.
 // ---------------------------------------------------------------------------
 
 struct PrepareMsg {
   Round round = kNoRound;
   /// The new leader asks for acceptor state from this instance upward.
   Instance from = 0;
+  /// Proposer clock at send; echoed by PromiseMsg for lease accounting.
+  TimePoint ts = 0;
 
-  [[nodiscard]] Bytes encode() const;
-  static PrepareMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(PrepareMsg, round, from, ts)
 };
 
 struct PromiseEntry {
@@ -42,14 +53,17 @@ struct PromiseEntry {
   Round accepted_round = kNoRound;
   bool decided = false;
   Bytes value;
+
+  LLS_WIRE_FIELDS(PromiseEntry, instance, accepted_round, decided, value)
 };
 
 struct PromiseMsg {
   Round round = kNoRound;
   std::vector<PromiseEntry> entries;
+  /// PrepareMsg::ts echoed back (support anchor for the proposer's lease).
+  TimePoint echo_ts = 0;
 
-  [[nodiscard]] Bytes encode() const;
-  static PromiseMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(PromiseMsg, round, entries, echo_ts)
 };
 
 struct AcceptMsg {
@@ -59,47 +73,45 @@ struct AcceptMsg {
   /// followers commit pipelined instances without waiting for DECIDE.
   Instance commit_upto = 0;
   Bytes value;
+  /// Proposer clock at send; echoed by AcceptedMsg for lease accounting.
+  TimePoint ts = 0;
 
-  [[nodiscard]] Bytes encode() const;
-  static AcceptMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(AcceptMsg, round, instance, commit_upto, value, ts)
 };
 
 struct AcceptedMsg {
   Round round = kNoRound;
   Instance instance = 0;
+  /// AcceptMsg::ts echoed back (support anchor for the proposer's lease).
+  TimePoint echo_ts = 0;
 
-  [[nodiscard]] Bytes encode() const;
-  static AcceptedMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(AcceptedMsg, round, instance, echo_ts)
 };
 
 struct NackMsg {
   Round rejected_round = kNoRound;
   Round promised_round = kNoRound;
 
-  [[nodiscard]] Bytes encode() const;
-  static NackMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(NackMsg, rejected_round, promised_round)
 };
 
 struct DecideMsg {
   Instance instance = 0;
   Bytes value;
 
-  [[nodiscard]] Bytes encode() const;
-  static DecideMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(DecideMsg, instance, value)
 };
 
 struct DecideAckMsg {
   Instance instance = 0;
 
-  [[nodiscard]] Bytes encode() const;
-  static DecideAckMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(DecideAckMsg, instance)
 };
 
 struct ForwardMsg {
   Bytes value;
 
-  [[nodiscard]] Bytes encode() const;
-  static ForwardMsg decode(BytesView payload);
+  LLS_WIRE_FIELDS(ForwardMsg, value)
 };
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "common/bytes.h"
 #include "common/serialization.h"
 #include "common/types.h"
+#include "net/wire.h"
 
 namespace lls {
 
@@ -74,21 +75,7 @@ struct ClientRequestMsg {
   std::uint64_t ack_upto = 0;
   Bytes command;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(20 + command.size());
-    w.put(seq);
-    w.put(ack_upto);
-    w.put_bytes(command);
-    return w.take();
-  }
-  static ClientRequestMsg decode(BytesView payload) {
-    BufReader r(payload);
-    ClientRequestMsg m;
-    m.seq = r.get<std::uint64_t>();
-    m.ack_upto = r.get<std::uint64_t>();
-    m.command = r.get_bytes();
-    return m;
-  }
+  LLS_WIRE_FIELDS(ClientRequestMsg, seq, ack_upto, command)
 };
 
 /// Result of one applied command (mirrors rsm KvResult field-for-field so
@@ -99,23 +86,7 @@ struct ClientReplyMsg {
   bool found = false;
   std::string value;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(16 + value.size());
-    w.put(seq);
-    w.put(static_cast<std::uint8_t>(ok));
-    w.put(static_cast<std::uint8_t>(found));
-    w.put_string(value);
-    return w.take();
-  }
-  static ClientReplyMsg decode(BytesView payload) {
-    BufReader r(payload);
-    ClientReplyMsg m;
-    m.seq = r.get<std::uint64_t>();
-    m.ok = r.get<std::uint8_t>() != 0;
-    m.found = r.get<std::uint8_t>() != 0;
-    m.value = r.get_string();
-    return m;
-  }
+  LLS_WIRE_FIELDS(ClientReplyMsg, seq, ok, found, value)
 };
 
 /// NOT_LEADER: the replica's current Omega output, as a routing hint.
@@ -128,19 +99,7 @@ struct ClientRedirectMsg {
   ProcessId hint = kNoProcess;
   ShardId shard = kNoShard;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(6);
-    w.put(hint);
-    w.put(shard);
-    return w.take();
-  }
-  static ClientRedirectMsg decode(BytesView payload) {
-    BufReader r(payload);
-    ClientRedirectMsg m;
-    m.hint = r.get<ProcessId>();
-    m.shard = r.get<ShardId>();
-    return m;
-  }
+  LLS_WIRE_FIELDS(ClientRedirectMsg, hint, shard)
 };
 
 /// Several in-window requests bound for the same replica, packed into one
@@ -155,33 +114,12 @@ struct ClientRequestBatchMsg {
   struct Item {
     std::uint64_t seq = 0;
     Bytes command;
+
+    LLS_WIRE_FIELDS(Item, seq, command)
   };
   std::vector<Item> items;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(16 + items.size() * 32);
-    w.put(ack_upto);
-    w.put(static_cast<std::uint32_t>(items.size()));
-    for (const Item& item : items) {
-      w.put(item.seq);
-      w.put_bytes(item.command);
-    }
-    return w.take();
-  }
-  static ClientRequestBatchMsg decode(BytesView payload) {
-    BufReader r(payload);
-    ClientRequestBatchMsg m;
-    m.ack_upto = r.get<std::uint64_t>();
-    auto count = r.get<std::uint32_t>();
-    m.items.reserve(std::min<std::size_t>(count, 1024));
-    for (std::uint32_t i = 0; i < count; ++i) {
-      Item item;
-      item.seq = r.get<std::uint64_t>();
-      item.command = r.get_bytes();
-      m.items.push_back(std::move(item));
-    }
-    return m;
-  }
+  LLS_WIRE_FIELDS(ClientRequestBatchMsg, ack_upto, items)
 };
 
 /// Backpressure: the leader's admission queue is over its high-water mark.
@@ -190,19 +128,7 @@ struct ClientBusyMsg {
   std::uint64_t seq = 0;
   std::uint32_t queue = 0;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(12);
-    w.put(seq);
-    w.put(queue);
-    return w.take();
-  }
-  static ClientBusyMsg decode(BytesView payload) {
-    BufReader r(payload);
-    ClientBusyMsg m;
-    m.seq = r.get<std::uint64_t>();
-    m.queue = r.get<std::uint32_t>();
-    return m;
-  }
+  LLS_WIRE_FIELDS(ClientBusyMsg, seq, queue)
 };
 
 }  // namespace lls

@@ -64,6 +64,9 @@ ProcessId CeOmega::compute_leader() const {
 void CeOmega::update_leadership(Runtime& rt, bool force_restart_timer) {
   ProcessId next = compute_leader();
   if (next != leader_) {
+    // Losing self-leadership kills the lease hint at once — don't let a
+    // stale window outlive the belief it certified.
+    if (leader_ == self_) lease_until_ = 0;
     LLS_TRACE("t=%lld p%u leader %u -> %u", static_cast<long long>(rt.now()),
               self_, leader_, next);
     leader_ = next;
@@ -109,6 +112,11 @@ void CeOmega::send_alive(Runtime& rt) {
   for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
     if (q != self_) rt.send(q, msg_type::kCeOmegaAlive, payload);
   }
+  // The same heartbeat that advertises leadership renews the lease hint —
+  // no extra message class (ISSUE: leases ride existing traffic).
+  if (config_.lease_duration > 0) {
+    lease_until_ = rt.now() + config_.lease_duration;
+  }
 }
 
 void CeOmega::on_message(Runtime& rt, ProcessId src, MessageType type,
@@ -149,6 +157,10 @@ void CeOmega::handle_accuse(Runtime& rt, ProcessId src, const AccuseMsg& msg) {
   } else {
     ++acc_[self_];
   }
+  // An accepted accusation means some follower timed out on us: our ALIVEs
+  // are not landing everywhere. Drop the lease hint immediately instead of
+  // letting it run out the window.
+  lease_until_ = 0;
   update_leadership(rt, /*force_restart_timer=*/false);
 }
 

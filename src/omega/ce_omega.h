@@ -57,6 +57,14 @@ struct CeOmegaConfig {
   /// Send accusations to everyone instead of only the accused (ablation
   /// A3). Correct but destroys communication efficiency during instability.
   bool broadcast_accusations = false;
+
+  /// Leader-lease hint window: while this process believes itself leader,
+  /// every ALIVE it emits renews lease_until() to now + lease_duration; an
+  /// accepted accusation (own counter bump) or loss of self-leadership
+  /// zeroes it immediately. 0 (default) = no hint (lease_until() returns
+  /// nullopt). Pick >= the consensus-layer lease window so the hint expires
+  /// no earlier than the quorum lease it is meant to pre-empt.
+  Duration lease_duration = 0;
 };
 
 class CeOmega final : public OmegaActor {
@@ -71,6 +79,10 @@ class CeOmega final : public OmegaActor {
 
   // OmegaActor ------------------------------------------------------------
   [[nodiscard]] ProcessId leader() const override { return leader_; }
+  [[nodiscard]] std::optional<TimePoint> lease_until() const override {
+    if (config_.lease_duration <= 0) return std::nullopt;
+    return lease_until_;
+  }
 
   // Introspection for tests and ablation benches --------------------------
   [[nodiscard]] std::uint64_t accusations(ProcessId q) const {
@@ -133,6 +145,10 @@ class CeOmega final : public OmegaActor {
   ProcessId leader_ = kNoProcess;
   TimerId alive_timer_ = kInvalidTimer;
   TimerId leader_timer_ = kInvalidTimer;
+
+  /// Self-lease hint (see CeOmegaConfig::lease_duration); renewed by
+  /// send_alive, zeroed on own-counter bumps and on demotion.
+  TimePoint lease_until_ = 0;
 };
 
 }  // namespace lls

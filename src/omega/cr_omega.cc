@@ -90,10 +90,16 @@ void CrOmegaStable::send_leader_msg(Runtime& rt) {
   for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
     if (q != self_) rt.send(q, msg_type::kCrLeader, payload);
   }
+  // The LEADER broadcast doubles as the lease-hint renewal (no extra
+  // message class), exactly like CeOmega's ALIVE.
+  if (config_.lease_duration > 0) {
+    lease_until_ = rt.now() + config_.lease_duration;
+  }
 }
 
 void CrOmegaStable::set_leader(Runtime& rt, ProcessId q, bool restart_timer) {
   if (leader_ != q) {
+    if (leader_ == self_) lease_until_ = 0;  // demotion kills the hint
     leader_ = q;
     notify_leader(rt, leader_);
     // Persist subsequent refinements once the initial wait completed: the

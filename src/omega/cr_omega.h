@@ -52,6 +52,11 @@ struct CrOmegaConfig {
   Duration incarnation_step = 10 * kMillisecond;
   /// Timeout growth per premature suspicion.
   Duration timeout_step = 10 * kMillisecond;
+
+  /// Leader-lease hint window (CrOmegaStable only): every LEADER broadcast
+  /// renews lease_until() to now + lease_duration while self-led; demotion
+  /// zeroes it. 0 (default) = no hint.
+  Duration lease_duration = 0;
 };
 
 /// Fig. 3: communication-efficient, stable storage.
@@ -65,6 +70,10 @@ class CrOmegaStable final : public OmegaActor {
   void on_timer(Runtime& rt, TimerId timer) override;
 
   [[nodiscard]] ProcessId leader() const override { return leader_; }
+  [[nodiscard]] std::optional<TimePoint> lease_until() const override {
+    if (config_.lease_duration <= 0) return std::nullopt;
+    return lease_until_;
+  }
 
   [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
   [[nodiscard]] bool leader_written() const { return leader_written_; }
@@ -86,6 +95,10 @@ class CrOmegaStable final : public OmegaActor {
   TimerId wait_timer_ = kInvalidTimer;
   TimerId tick_timer_ = kInvalidTimer;
   TimerId leader_timer_ = kInvalidTimer;
+
+  /// Self-lease hint (see CrOmegaConfig::lease_duration); volatile by
+  /// design — an incarnation restarts with no lease.
+  TimePoint lease_until_ = 0;
 };
 
 /// Fig. 4: near-communication-efficient, no stable storage, majority of

@@ -8,6 +8,8 @@
 // the all-to-all baseline in all2all_omega.h.
 #pragma once
 
+#include <optional>
+
 #include "common/actor.h"
 #include "common/types.h"
 
@@ -29,6 +31,19 @@ class OmegaActor : public Actor {
  public:
   /// The process currently trusted; kNoProcess if none yet.
   [[nodiscard]] virtual ProcessId leader() const = 0;
+
+  /// Leader-lease hint: the local time until which this process's *own*
+  /// self-belief as leader is backed by a recent heartbeat round. Oracles
+  /// that grant leases renew the hint with the same periodic message they
+  /// already send (no extra traffic) and zero it the moment their own
+  /// election key worsens. nullopt = this oracle grants no leases (the
+  /// consensus layer then relies solely on its quorum-anchored lease).
+  /// The hint is advisory for fast invalidation — never a safety argument
+  /// by itself (an isolated self-believed leader keeps renewing its own
+  /// hint; see DESIGN.md §14).
+  [[nodiscard]] virtual std::optional<TimePoint> lease_until() const {
+    return std::nullopt;
+  }
 
  protected:
   /// Publishes a kLeaderChange event on the runtime's observability bus.

@@ -15,6 +15,7 @@
 
 #include "common/serialization.h"
 #include "common/types.h"
+#include "net/wire.h"
 
 namespace lls {
 
@@ -33,29 +34,14 @@ struct Command {
   std::string key;
   std::string value;     ///< new value (kPut/kAppend/kCas)
   std::string expected;  ///< compare operand (kCas)
+  /// Client marked this command as having no side effects (kGet only): a
+  /// replica holding a valid leader lease may answer it from local state
+  /// without a consensus instance; when the lease doesn't hold the command
+  /// falls back to the ordered path unchanged. Commands that mutate must
+  /// never set this.
+  bool read_only = false;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(32 + key.size() + value.size() + expected.size());
-    w.put(origin);
-    w.put(seq);
-    w.put(op);
-    w.put_string(key);
-    w.put_string(value);
-    w.put_string(expected);
-    return w.take();
-  }
-
-  static Command decode(BytesView payload) {
-    BufReader r(payload);
-    Command c;
-    c.origin = r.get<ProcessId>();
-    c.seq = r.get<std::uint64_t>();
-    c.op = r.get<KvOp>();
-    c.key = r.get_string();
-    c.value = r.get_string();
-    c.expected = r.get_string();
-    return c;
-  }
+  LLS_WIRE_FIELDS(Command, origin, seq, op, key, value, expected, read_only)
 };
 
 struct KvResult {

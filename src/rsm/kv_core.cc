@@ -12,15 +12,13 @@ Bytes encode_single_command(const Command& cmd) {
 }
 }  // namespace
 
-KvCore::KvCore(const OmegaActor* omega,
-               const LogConsensusConfig& consensus_config,
-               KvReplicaConfig replica_config)
-    : config_(replica_config),
-      omega_(omega),
-      consensus_(consensus_config, omega) {
-  if (consensus_config.shard >= 0) {
-    group_tag_ = static_cast<std::uint16_t>(consensus_config.shard + 1);
-    shard_ = static_cast<ShardId>(consensus_config.shard);
+KvCore::KvCore(const KvCoreOptions& options)
+    : config_(options.replica),
+      omega_(options.omega),
+      consensus_(options.consensus, options.omega) {
+  if (options.consensus.shard >= 0) {
+    group_tag_ = static_cast<std::uint16_t>(options.consensus.shard + 1);
+    shard_ = static_cast<ShardId>(options.consensus.shard);
   }
 }
 
@@ -28,6 +26,10 @@ void KvCore::on_start(Runtime& rt) {
   self_ = rt.id();
   rt_ = &rt;
   cluster_n_ = config_.cluster_n > 0 ? config_.cluster_n : rt.n();
+  // Plane-wide fast-path economy counters (all cores of all processes share
+  // them — the aggregate is what the benches assert on).
+  reads_local_ctr_ = &rt.obs().registry().counter("kv_reads_local");
+  reads_ordered_ctr_ = &rt.obs().registry().counter("kv_reads_ordered");
   // Subscribe to decisions before the engine starts: a durable consensus
   // log re-publishes the restored prefix from within on_start, and those
   // events must reach this core. The bus is plane-wide (shared by every
@@ -74,6 +76,23 @@ std::uint64_t KvCore::submit(KvOp op, std::string key, std::string value,
     next_seq_ = initial_seq_ ? initial_seq_() : 1;
     seq_initialized_ = true;
   }
+  if (config_.lease_reads && op == KvOp::kGet) {
+    // Lease fast path for local submissions: a valid lease certifies no
+    // other proposer can commit concurrently, so the local store is the
+    // linearizable truth — answer synchronously, zero messages, zero
+    // instances. The sequence number is still burned so callers correlate
+    // as usual. Invalid lease -> the ordinary ordered path below.
+    if (consensus_.lease_valid()) {
+      ++reads_local_;
+      if (reads_local_ctr_ != nullptr) reads_local_ctr_->inc();
+      std::uint64_t seq = next_seq_++;
+      KvResult result = local_read(key);
+      if (cb) cb(result);
+      return seq;
+    }
+    ++reads_ordered_;
+    if (reads_ordered_ctr_ != nullptr) reads_ordered_ctr_->inc();
+  }
   Command cmd;
   cmd.origin = self_;
   cmd.seq = next_seq_++;
@@ -81,6 +100,7 @@ std::uint64_t KvCore::submit(KvOp op, std::string key, std::string value,
   cmd.key = std::move(key);
   cmd.value = std::move(value);
   cmd.expected = std::move(expected);
+  cmd.read_only = config_.lease_reads && op == KvOp::kGet;
   if (cb) callbacks_[cmd.seq] = std::move(cb);
 
   if (config_.fifo_client_order) {
@@ -176,6 +196,22 @@ std::optional<Command> KvCore::admit_one(Runtime& rt, ProcessId src,
   }
   if (seq <= sess.ack_upto) return std::nullopt;  // acked and pruned: stale
 
+  if (cmd.op == KvOp::kGet && cmd.read_only) {
+    // Client-marked read-only command: under a valid lease, answer from
+    // local state — no admission slot, no consensus instance, no
+    // inter-replica message. Not cached in sess.results: a retried read is
+    // idempotent and simply re-serves (fast or ordered, whichever the lease
+    // allows then).
+    if (consensus_.lease_valid()) {
+      ++reads_local_;
+      if (reads_local_ctr_ != nullptr) reads_local_ctr_->inc();
+      send_reply(src, seq, local_read(cmd.key));
+      return std::nullopt;
+    }
+    ++reads_ordered_;
+    if (reads_ordered_ctr_ != nullptr) reads_ordered_ctr_->inc();
+  }
+
   if (omega_->leader() != self_) {
     ++redirects_sent_;
     rt.send(src, msg_type::kClientRedirect,
@@ -217,6 +253,17 @@ void KvCore::handle_client_batch(Runtime& rt, ProcessId src,
     if (cmd.has_value()) fresh.push_back(std::move(*cmd));
   }
   enqueue_commands(std::move(fresh));
+}
+
+KvResult KvCore::local_read(const std::string& key) const {
+  // Mirrors KvStore::apply's kGet semantics exactly, without counting as an
+  // application (the command was never ordered).
+  KvResult result;
+  auto it = store_.data().find(key);
+  result.found = it != store_.data().end();
+  result.ok = result.found;
+  if (result.found) result.value = it->second;
+  return result;
 }
 
 void KvCore::send_reply(ProcessId client, std::uint64_t seq,

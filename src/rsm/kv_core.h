@@ -65,19 +65,35 @@ struct KvReplicaConfig {
   /// Per-session cap on cached results kept for reply resends beyond the
   /// client's acked watermark (memory bound for sessions that never ack).
   std::size_t results_cap = 4096;
+
+  /// Serve locally submitted kGet commands from local state whenever the
+  /// consensus leader lease holds (zero messages, zero instances); fall
+  /// back to the ordered path otherwise. Requires the consensus config's
+  /// lease to be enabled to ever fire. Client-protocol reads are governed
+  /// by the Command::read_only flag the client sets, not by this knob.
+  bool lease_reads = false;
+};
+
+/// Everything a KvCore needs, in one named place (replaces the positional
+/// (omega, consensus config, replica config) constructor sprawl). The
+/// consensus config's `shard` field doubles as the core's shard identity.
+struct KvCoreOptions {
+  /// Leader oracle; not owned, must outlive the core.
+  const OmegaActor* omega = nullptr;
+  LogConsensusConfig consensus;
+  KvReplicaConfig replica;
 };
 
 class KvCore final : public Actor {
  public:
   using Callback = std::function<void(const KvResult&)>;
 
-  /// `omega` supplies the leader oracle; not owned, must outlive this core
-  /// (the owning replica holds both). The consensus config's `shard` field
-  /// doubles as this core's shard identity: redirects carry it as the
-  /// routing hint scope, and the core only consumes kDecide events tagged
-  /// with the matching group (shard < 0 = unsharded, tag 0).
-  KvCore(const OmegaActor* omega, const LogConsensusConfig& consensus_config,
-         KvReplicaConfig replica_config);
+  /// The options' omega supplies the leader oracle; not owned, must outlive
+  /// this core (the owning replica holds both). The consensus config's
+  /// `shard` field doubles as this core's shard identity: redirects carry it
+  /// as the routing hint scope, and the core only consumes kDecide events
+  /// tagged with the matching group (shard < 0 = unsharded, tag 0).
+  explicit KvCore(const KvCoreOptions& options);
 
   /// Overrides the first local submit() sequence number, evaluated lazily on
   /// the first submission (after the oracle has started). Crash-recovery
@@ -139,6 +155,12 @@ class KvCore final : public Actor {
   [[nodiscard]] std::uint64_t cached_replies_sent() const {
     return cached_replies_sent_;
   }
+  /// Read-only commands served from local state under a valid leader lease
+  /// (zero consensus instances, zero inter-replica messages each).
+  [[nodiscard]] std::uint64_t reads_local() const { return reads_local_; }
+  /// Read-only commands that fell back to the ordered (consensus) path
+  /// because the lease did not hold at service time.
+  [[nodiscard]] std::uint64_t reads_ordered() const { return reads_ordered_; }
 
  private:
   /// Per-session server-side state. `results` answers retries of applied
@@ -168,6 +190,9 @@ class KvCore final : public Actor {
                                    std::uint64_t seq, std::uint64_t ack_upto,
                                    const Bytes& command_blob);
   void send_reply(ProcessId client, std::uint64_t seq, const KvResult& result);
+  /// Executes kGet semantics against the local store without touching any
+  /// replication state — the lease fast path's read.
+  [[nodiscard]] KvResult local_read(const std::string& key) const;
 
   [[nodiscard]] bool is_client(ProcessId p) const {
     return p != kNoProcess && p >= static_cast<ProcessId>(cluster_n_) &&
@@ -204,6 +229,12 @@ class KvCore final : public Actor {
   std::uint64_t redirects_sent_ = 0;
   std::uint64_t client_replies_sent_ = 0;
   std::uint64_t cached_replies_sent_ = 0;
+
+  // Lease read path.
+  std::uint64_t reads_local_ = 0;
+  std::uint64_t reads_ordered_ = 0;
+  obs::Counter* reads_local_ctr_ = nullptr;
+  obs::Counter* reads_ordered_ctr_ = nullptr;
 
   // FIFO session mode.
   std::deque<Command> session_queue_;

@@ -32,11 +32,19 @@ class BasicKvReplica final : public Actor {
  public:
   using Callback = KvCore::Callback;
 
-  BasicKvReplica(const OmegaConfigT& omega_config,
-                 const LogConsensusConfig& consensus_config,
-                 KvReplicaConfig replica_config = {})
-      : omega_(omega_config),
-        core_(&omega_, consensus_config, replica_config) {
+  /// Aggregate options: one named place for every knob of the stack
+  /// (replaces the positional omega/consensus/replica constructor sprawl).
+  /// Designated initializers keep call sites self-documenting:
+  ///   KvReplica r({.omega = {...}, .consensus = {...}, .replica = {...}});
+  struct Options {
+    OmegaConfigT omega;
+    LogConsensusConfig consensus;
+    KvReplicaConfig replica;
+  };
+
+  explicit BasicKvReplica(const Options& options)
+      : omega_(options.omega),
+        core_(KvCoreOptions{&omega_, options.consensus, options.replica}) {
     // Sequence numbers must be unique across a process's incarnations: a
     // crash-recovery replica namespaces them by the omega's incarnation
     // number (read lazily, after the omega has started), a crash-stop one
@@ -112,6 +120,17 @@ class BasicKvReplica final : public Actor {
   }
   [[nodiscard]] std::uint64_t cached_replies_sent() const {
     return core_.cached_replies_sent();
+  }
+
+  // Lease read path ----------------------------------------------------------
+  [[nodiscard]] bool lease_valid() const {
+    return core_.consensus().lease_valid();
+  }
+  [[nodiscard]] std::uint64_t reads_local() const {
+    return core_.reads_local();
+  }
+  [[nodiscard]] std::uint64_t reads_ordered() const {
+    return core_.reads_ordered();
   }
 
  private:

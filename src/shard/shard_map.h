@@ -23,6 +23,7 @@
 #include "common/bytes.h"
 #include "common/serialization.h"
 #include "common/types.h"
+#include "net/wire.h"
 
 namespace lls {
 
@@ -67,21 +68,7 @@ struct GroupEnvelopeMsg {
   MessageType inner_type = 0;
   Bytes payload;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(8 + payload.size());
-    w.put(shard);
-    w.put(inner_type);
-    w.put_bytes(payload);
-    return w.take();
-  }
-  static GroupEnvelopeMsg decode(BytesView payload) {
-    BufReader r(payload);
-    GroupEnvelopeMsg m;
-    m.shard = r.get<ShardId>();
-    m.inner_type = r.get<MessageType>();
-    m.payload = r.get_bytes();
-    return m;
-  }
+  LLS_WIRE_FIELDS(GroupEnvelopeMsg, shard, inner_type, payload)
 };
 
 }  // namespace lls

@@ -51,14 +51,23 @@ class BasicShardedReplica final : public Actor {
  public:
   using Callback = KvCore::Callback;
 
-  /// `consensus_config` is the per-group template; the container stamps
-  /// each copy with its shard index (events, histograms and redirects pick
-  /// up the per-shard identity from there).
-  BasicShardedReplica(const OmegaConfigT& omega_config,
-                      const LogConsensusConfig& consensus_config,
-                      ShardedReplicaConfig config = {})
-      : config_(config), map_(config.shards), omega_(omega_config) {
-    if (consensus_config.durable) {
+  /// Aggregate options, mirroring BasicKvReplica::Options. `consensus` is
+  /// the per-group template; the container stamps each copy with its shard
+  /// index (events, histograms, redirects and leases pick up the per-shard
+  /// identity from there). Per-group leases all ride the ONE shared Omega:
+  /// each group's fence/support accounting is independent, but the oracle's
+  /// self-belief (and its lease hint, if configured) is container-wide.
+  struct Options {
+    OmegaConfigT omega;
+    LogConsensusConfig consensus;
+    ShardedReplicaConfig sharded;
+  };
+
+  explicit BasicShardedReplica(const Options& options)
+      : config_(options.sharded),
+        map_(options.sharded.shards),
+        omega_(options.omega) {
+    if (options.consensus.durable) {
       // All groups would collide on the one durable-state storage key; a
       // per-group storage namespace is future work.
       throw std::logic_error(
@@ -66,10 +75,10 @@ class BasicShardedReplica final : public Actor {
     }
     groups_.reserve(static_cast<std::size_t>(map_.shards()));
     for (int g = 0; g < map_.shards(); ++g) {
-      LogConsensusConfig cc = consensus_config;
+      LogConsensusConfig cc = options.consensus;
       cc.shard = g;
-      groups_.push_back(
-          std::make_unique<KvCore>(&omega_, cc, config_.replica));
+      groups_.push_back(std::make_unique<KvCore>(
+          KvCoreOptions{&omega_, cc, config_.replica}));
     }
   }
 
@@ -159,6 +168,21 @@ class BasicShardedReplica final : public Actor {
   }
   [[nodiscard]] std::uint64_t cached_replies_sent() const {
     return sum(&KvCore::cached_replies_sent);
+  }
+  [[nodiscard]] std::uint64_t reads_local() const {
+    return sum(&KvCore::reads_local);
+  }
+  [[nodiscard]] std::uint64_t reads_ordered() const {
+    return sum(&KvCore::reads_ordered);
+  }
+  /// Groups whose leader lease is valid at this instant (0..shards). All
+  /// groups share one oracle, so on a stable leader this converges to M.
+  [[nodiscard]] int lease_valid_groups() const {
+    int count = 0;
+    for (const auto& g : groups_) {
+      if (g->consensus().lease_valid()) ++count;
+    }
+    return count;
   }
   [[nodiscard]] std::size_t admitted_inflight() const {
     std::size_t total = 0;

@@ -444,7 +444,21 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   SimConfig sc;
   sc.n = config.n;
   sc.seed = seed;
-  LinkFactory base = system_s_links(config);
+  const bool lease_mode = config.lease_reads || config.lease_sabotage;
+  LinkFactory base;
+  if (config.lease_reads && !config.lease_sabotage) {
+    // The assassin below kills the leaseholder, which under system S is
+    // (eventually) the ♦-source itself. A second source keeps the liveness
+    // premise alive after the kill: leadership re-stabilizes on the spared
+    // one and pending ops still drain.
+    SystemSParams params;
+    params.sources = {static_cast<ProcessId>(config.n - 2),
+                      source_of(config)};
+    params.gst = 500 * kMillisecond;
+    base = make_system_s(params);
+  } else {
+    base = system_s_links(config);
+  }
   Simulator sim(sc, base);
   auto tracer = maybe_trace(sim, config);
   // Batching keeps thousands of ops per run affordable: the Θ(n) consensus
@@ -452,23 +466,88 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   KvReplicaConfig rc;
   rc.max_batch = 8;
   rc.batch_flush_delay = 2 * kMillisecond;
+  rc.lease_reads = lease_mode;
+  LogConsensusConfig lc;
+  lc.lease.enabled = lease_mode;
+  lc.lease.duration = config.lease_duration;
+  lc.lease.unsafe_skip_fence = config.lease_sabotage;
+  CeOmegaConfig oc = ce_config(config);
+  if (lease_mode) oc.lease_duration = config.lease_duration;
   const bool sharded = config.shards > 0;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     if (sharded) {
       ShardedReplicaConfig src;
       src.shards = config.shards;
       src.replica = rc;
-      sim.emplace_actor<ShardedKvReplica>(p, ce_config(config),
-                                          LogConsensusConfig{}, src);
+      sim.emplace_actor<ShardedKvReplica>(
+          p, ShardedKvReplica::Options{
+                 .omega = oc, .consensus = lc, .sharded = src});
     } else {
-      sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{},
-                                   rc);
+      sim.emplace_actor<KvReplica>(
+          p, KvReplica::Options{
+                 .omega = oc, .consensus = lc, .replica = rc});
     }
   }
-  NemesisConfig nc = nemesis_for(config, seed);
-  nc.crash_stop_budget = config.crash_stop_budget;
-  nc.protected_processes = {source_of(config)};
-  Nemesis nemesis(sim, base, nc);
+  // The sabotage script needs a controlled execution: no nemesis chaos, the
+  // scripted partition is the only fault. Lease-assassin runs hand the
+  // whole crash budget to the assassin (killing at a *meaningful* moment
+  // instead of a random one).
+  std::optional<Nemesis> nemesis;
+  if (!config.lease_sabotage) {
+    NemesisConfig nc = nemesis_for(config, seed);
+    nc.crash_stop_budget =
+        config.lease_reads ? 0 : config.crash_stop_budget;
+    nc.protected_processes = {source_of(config)};
+    nemesis.emplace(sim, base, nc);
+  }
+
+  auto holder_of = [&sim, &config, sharded]() {
+    for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+      if (!sim.alive(p)) continue;
+      const bool valid =
+          sharded ? sim.actor_as<ShardedKvReplica>(p).lease_valid_groups() > 0
+                  : sim.actor_as<KvReplica>(p).lease_valid();
+      if (valid) return p;
+    }
+    return kNoProcess;
+  };
+
+  // Lease-boundary assassin: poll at a quarter of the lease window; once
+  // armed, the first poll that observes a process holding a valid lease
+  // kills it on the spot. Arm times derive from the seed, so the whole
+  // schedule replays from the CLI.
+  auto lease_killed = std::make_shared<std::vector<ProcessId>>();
+  if (config.lease_reads && !config.lease_sabotage &&
+      config.crash_stop_budget > 0) {
+    auto kill_rng = std::make_shared<Rng>(seed * 0x9e3779b97f4a7c15ULL ^
+                                          0x6c65617365ULL);
+    auto arm_at = std::make_shared<TimePoint>(
+        2 * kSecond +
+        static_cast<TimePoint>(kill_rng->next_below(
+            static_cast<std::uint64_t>(config.quiesce))));
+    auto budget = std::make_shared<int>(config.crash_stop_budget);
+    const ProcessId spared = source_of(config);
+    sim.schedule_every(
+        2 * kSecond, std::max<Duration>(config.lease_duration / 4, 1),
+        [&sim, &config, holder_of, lease_killed, kill_rng, arm_at, budget,
+         spared]() {
+          if (*budget <= 0) return false;
+          if (sim.now() < *arm_at) return true;
+          const ProcessId holder = holder_of();
+          if (holder == kNoProcess || holder == spared) return true;
+          // Strict majority must survive every kill.
+          if (static_cast<int>(lease_killed->size() + 1) * 2 >= config.n) {
+            return false;
+          }
+          lease_killed->push_back(holder);
+          sim.crash_now(holder);
+          --*budget;
+          *arm_at = sim.now() + 1 * kSecond +
+                    static_cast<Duration>(kill_rng->next_below(
+                        static_cast<std::uint64_t>(config.quiesce / 2)));
+          return true;
+        });
+  }
 
   // Randomized concurrent workload, checked with checker v2 (per-key
   // partitioning makes thousands of ops tractable). Submissions stop
@@ -480,7 +559,8 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
       std::max(2 * kSecond,
                config.quiesce + (config.horizon - config.quiesce) / 2);
   auto plan = std::make_shared<std::vector<PlannedKvOp>>(
-      plan_kv_workload(config, seed, submit_end));
+      config.lease_sabotage ? std::vector<PlannedKvOp>{}
+                            : plan_kv_workload(config, seed, submit_end));
   auto history = std::make_shared<std::vector<HistoryOp>>();
   history->reserve(plan->size());
   for (std::size_t k = 0; k < plan->size(); ++k) {
@@ -512,6 +592,64 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
       }
     });
   }
+  // Lease sabotage script: elect and write, partition the leaseholder away
+  // from every replica (its self-belief — and thus its fenceless "lease" —
+  // survives, because accusations travel TO the accused and are now
+  // dropped), write through the successor, then read at the deposed leader.
+  // With the fence disabled the deposed leader answers locally from stale
+  // state; the linearizability checker must catch exactly that.
+  auto sab_leader = std::make_shared<ProcessId>(kNoProcess);
+  if (config.lease_sabotage) {
+    auto submit_at = [&sim, history, sharded](ProcessId p, KvOp op,
+                                              std::string key,
+                                              std::string value) {
+      HistoryOp rec;
+      rec.cmd.origin = p;
+      rec.cmd.seq = static_cast<std::uint64_t>(history->size()) + 1;
+      rec.cmd.op = op;
+      rec.cmd.key = key;
+      rec.cmd.value = value;
+      rec.invoked = sim.now();
+      const std::size_t slot = history->size();
+      history->push_back(rec);
+      auto done = [history, slot, &sim](const KvResult& result) {
+        (*history)[slot].responded = sim.now();
+        (*history)[slot].result = result;
+      };
+      if (sharded) {
+        sim.actor_as<ShardedKvReplica>(p).submit(
+            op, std::move(key), std::move(value), "", std::move(done));
+      } else {
+        sim.actor_as<KvReplica>(p).submit(op, std::move(key),
+                                          std::move(value), "",
+                                          std::move(done));
+      }
+    };
+    sim.schedule(3 * kSecond, [sab_leader, holder_of, submit_at]() {
+      *sab_leader = holder_of();
+      if (*sab_leader == kNoProcess) return;  // reported as a setup failure
+      submit_at(*sab_leader, KvOp::kPut, "k0", "old");
+    });
+    sim.schedule(5 * kSecond, [&sim, &config, sab_leader]() {
+      const ProcessId l = *sab_leader;
+      if (l == kNoProcess) return;
+      for (ProcessId q = 0; q < static_cast<ProcessId>(config.n); ++q) {
+        if (q == l) continue;
+        sim.network().set_link(l, q, std::make_unique<DeadLink>());
+        sim.network().set_link(q, l, std::make_unique<DeadLink>());
+      }
+    });
+    sim.schedule(11 * kSecond, [&config, sab_leader, submit_at]() {
+      if (*sab_leader == kNoProcess) return;
+      submit_at(static_cast<ProcessId>((*sab_leader + 1) % config.n),
+                KvOp::kPut, "k0", "new");
+    });
+    sim.schedule(17 * kSecond, [sab_leader, submit_at]() {
+      if (*sab_leader == kNoProcess) return;
+      submit_at(*sab_leader, KvOp::kGet, "k0", "");
+    });
+  }
+
   sim.start();
   sim.run_until(config.horizon);
   dump_trace(tracer, config);
@@ -524,11 +662,20 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
 
   CaseResult result;
   std::vector<std::string>& violations = result.violations;
-  check_kill_accounting(sim, nemesis, violations);
+  if (nemesis) check_kill_accounting(sim, *nemesis, violations);
+  if (config.lease_sabotage && *sab_leader == kNoProcess) {
+    violations.emplace_back(
+        "lease sabotage script never found a leaseholder to depose");
+  }
 
   // Liveness: an op submitted at a never-killed replica must complete once
-  // the network heals (same owed-a-decision rule as the consensus scenario).
-  const auto& killed = nemesis.killed();
+  // the network heals (same owed-a-decision rule as the consensus
+  // scenario). Assassin victims count as killed; the sabotage script's
+  // permanent partition intentionally violates the healing premise, so the
+  // obligation is waived there.
+  std::vector<ProcessId> killed =
+      nemesis ? nemesis->killed() : std::vector<ProcessId>{};
+  killed.insert(killed.end(), lease_killed->begin(), lease_killed->end());
   std::size_t owed_pending = 0;
   for (const HistoryOp& op : *history) {
     if (op.responded != kTimeNever) continue;
@@ -537,7 +684,7 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
       ++owed_pending;
     }
   }
-  if (owed_pending > 0) {
+  if (owed_pending > 0 && !config.lease_sabotage) {
     std::ostringstream what;
     what << owed_pending << " ops from never-killed submitters never "
          << "completed by the horizon";
@@ -551,7 +698,8 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   std::vector<std::optional<std::uint64_t>> digests(
       static_cast<std::size_t>(groups));
   std::vector<bool> diverged(static_cast<std::size_t>(groups), false);
-  for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
+  for (ProcessId p = 0;
+       !config.lease_sabotage && p < static_cast<ProcessId>(config.n); ++p) {
     if (!sim.alive(p)) continue;
     for (int g = 0; g < groups; ++g) {
       const std::uint64_t d =
@@ -616,8 +764,10 @@ CaseResult run_client_session(const CampaignConfig& config,
   rc.max_batch = 4;
   rc.batch_flush_delay = 2 * kMillisecond;
   for (ProcessId p = 0; p < static_cast<ProcessId>(cluster_n); ++p) {
-    sim.emplace_actor<KvReplica>(p, ce_config(config), LogConsensusConfig{},
-                                 rc);
+    sim.emplace_actor<KvReplica>(
+        p, KvReplica::Options{.omega = ce_config(config),
+                              .consensus = LogConsensusConfig{},
+                              .replica = rc});
   }
   ClusterClientConfig cc;
   cc.cluster_n = cluster_n;
@@ -788,6 +938,8 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
   if (config.scenario == Scenario::kKvLinearizable) {
     out << " --kv-ops=" << config.kv_ops << " --kv-keys=" << config.kv_keys;
     if (config.shards > 0) out << " --shards=" << config.shards;
+    if (config.lease_reads) out << " --lease-reads";
+    if (config.lease_sabotage) out << " --lease-sabotage";
   }
   if (config.sabotage) out << " --sabotage";
   out << " --verbose";

@@ -89,6 +89,24 @@ struct CampaignConfig {
   /// (its per-key partitioning aligns with the shard partition, so the
   /// check is unchanged).
   int shards = 0;
+  /// kv scenario: leader leases. Replicas run the lease protocol and serve
+  /// read-only Gets from local state while the lease holds; an assassin
+  /// schedule spends crash_stop_budget killing whoever holds a *valid*
+  /// lease at that instant (the adversarial moment for stale reads: the
+  /// successor can only take over after the followers' fences expire). The
+  /// run gets a second ♦-source so leadership re-stabilizes after the kill;
+  /// the last source is spared. Safety is still judged by the
+  /// linearizability checker — a correct fence yields zero rejections.
+  bool lease_reads = false;
+  /// Lease window for the kv lease modes.
+  Duration lease_duration = 200 * kMillisecond;
+  /// kv scenario: lease sabotage self-test. Disables the epoch fence
+  /// (LeaseConfig::unsafe_skip_fence) and runs a scripted execution —
+  /// elect, write, partition the leaseholder away, write through the new
+  /// leader, then read at the deposed leader — whose stale local read the
+  /// linearizability checker MUST flag (exactly one violation). This is
+  /// how the lease safety argument itself is tested end to end.
+  bool lease_sabotage = false;
   /// Per-partition search-node budget handed to the linearizability checker
   /// (kv scenario). Exceeding it is reported as budget exhaustion — its own
   /// verdict, not a violation — and still fails the campaign.

@@ -66,7 +66,9 @@ TEST(ClientSessionE2E, ExactlyOnceAcrossForcedLeaderCrash) {
   std::vector<KvReplica*> replicas;
   for (ProcessId p = 0; p < kClusterN; ++p) {
     replicas.push_back(&sim.emplace_actor<KvReplica>(
-        p, CeOmegaConfig{}, LogConsensusConfig{}, rc));
+        p, KvReplica::Options{.omega = CeOmegaConfig{},
+                              .consensus = LogConsensusConfig{},
+                              .replica = rc}));
   }
   ClusterClientConfig cc;
   cc.cluster_n = kClusterN;

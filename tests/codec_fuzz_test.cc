@@ -21,15 +21,15 @@ using Decoder = std::function<void(BytesView)>;
 
 std::vector<std::pair<std::string, Decoder>> decoders() {
   return {
-      {"PrepareMsg", [](BytesView v) { PrepareMsg::decode(v); }},
-      {"PromiseMsg", [](BytesView v) { PromiseMsg::decode(v); }},
-      {"AcceptMsg", [](BytesView v) { AcceptMsg::decode(v); }},
-      {"AcceptedMsg", [](BytesView v) { AcceptedMsg::decode(v); }},
-      {"NackMsg", [](BytesView v) { NackMsg::decode(v); }},
-      {"DecideMsg", [](BytesView v) { DecideMsg::decode(v); }},
-      {"DecideAckMsg", [](BytesView v) { DecideAckMsg::decode(v); }},
-      {"ForwardMsg", [](BytesView v) { ForwardMsg::decode(v); }},
-      {"Command", [](BytesView v) { Command::decode(v); }},
+      {"PrepareMsg", [](BytesView v) { (void)PrepareMsg::decode(v); }},
+      {"PromiseMsg", [](BytesView v) { (void)PromiseMsg::decode(v); }},
+      {"AcceptMsg", [](BytesView v) { (void)AcceptMsg::decode(v); }},
+      {"AcceptedMsg", [](BytesView v) { (void)AcceptedMsg::decode(v); }},
+      {"NackMsg", [](BytesView v) { (void)NackMsg::decode(v); }},
+      {"DecideMsg", [](BytesView v) { (void)DecideMsg::decode(v); }},
+      {"DecideAckMsg", [](BytesView v) { (void)DecideAckMsg::decode(v); }},
+      {"ForwardMsg", [](BytesView v) { (void)ForwardMsg::decode(v); }},
+      {"Command", [](BytesView v) { (void)Command::decode(v); }},
   };
 }
 
@@ -133,7 +133,7 @@ TEST(CodecFuzz, MutatedValidEncodingsNeverCrash) {
     Bytes mutated = base;
     auto pos = static_cast<std::size_t>(rng.next_below(mutated.size()));
     mutated[pos] = static_cast<std::byte>(rng.next_below(256));
-    expect_no_crash([](BytesView v) { Command::decode(v); }, mutated,
+    expect_no_crash([](BytesView v) { (void)Command::decode(v); }, mutated,
                     "Command");
   }
 }

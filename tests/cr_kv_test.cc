@@ -24,7 +24,8 @@ std::unique_ptr<Simulator> make_cr_kv_cluster(int n, std::uint64_t seed) {
     sim->set_actor_factory(p, []() {
       LogConsensusConfig lc;
       lc.durable = true;
-      return std::make_unique<CrKvReplica>(CrOmegaConfig{}, lc);
+      return std::make_unique<CrKvReplica>(CrKvReplica::Options{
+          .omega = CrOmegaConfig{}, .consensus = lc});
     });
   }
   return sim;

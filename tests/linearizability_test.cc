@@ -249,8 +249,9 @@ std::vector<HistoryOp> run_cluster_history(std::uint64_t seed, int num_ops,
                 make_system_s(params));
   std::vector<KvReplica*> replicas;
   for (ProcessId p = 0; p < kN; ++p) {
-    replicas.push_back(&sim.emplace_actor<KvReplica>(p, CeOmegaConfig{},
-                                                     LogConsensusConfig{}));
+    replicas.push_back(&sim.emplace_actor<KvReplica>(
+        p, KvReplica::Options{.omega = CeOmegaConfig{},
+                              .consensus = LogConsensusConfig{}}));
   }
 
   auto history = std::make_shared<std::vector<HistoryOp>>();

@@ -115,8 +115,9 @@ TEST(NemesisKv, ReplicatedStoreConvergesThroughChaos) {
   Simulator sim(config, base);
   std::vector<KvReplica*> replicas;
   for (ProcessId p = 0; p < 5; ++p) {
-    replicas.push_back(&sim.emplace_actor<KvReplica>(p, CeOmegaConfig{},
-                                                     LogConsensusConfig{}));
+    replicas.push_back(&sim.emplace_actor<KvReplica>(
+        p, KvReplica::Options{.omega = CeOmegaConfig{},
+                              .consensus = LogConsensusConfig{}}));
   }
   NemesisConfig nc;
   nc.seed = 99;

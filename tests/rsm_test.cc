@@ -111,7 +111,9 @@ struct Cluster {
       : sim(SimConfig{n, seed, 10 * kMillisecond}, links) {
     for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
       replicas.push_back(&sim.emplace_actor<KvReplica>(
-          p, CeOmegaConfig{}, LogConsensusConfig{}, replica_config));
+          p, KvReplica::Options{.omega = CeOmegaConfig{},
+                                .consensus = LogConsensusConfig{},
+                                .replica = replica_config}));
     }
   }
 };

@@ -126,8 +126,9 @@ TEST(ThreadCluster, ReplicatedKvEndToEnd) {
   ThreadCluster cluster({3, 4}, make_all_timely({100, 500}));
   std::vector<KvReplica*> replicas;
   for (ProcessId p = 0; p < 3; ++p) {
-    replicas.push_back(
-        &cluster.emplace_actor<KvReplica>(p, fast_omega(), fast_log()));
+    replicas.push_back(&cluster.emplace_actor<KvReplica>(
+        p, KvReplica::Options{.omega = fast_omega(),
+                              .consensus = fast_log()}));
   }
   cluster.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(100));

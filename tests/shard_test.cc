@@ -132,7 +132,9 @@ TEST(ShardedReplica, RejectsMalformedEnvelopes) {
   std::vector<ShardedKvReplica*> replicas;
   for (ProcessId p = 0; p < 5; ++p) {
     replicas.push_back(&sim.emplace_actor<ShardedKvReplica>(
-        p, CeOmegaConfig{}, LogConsensusConfig{}, src));
+        p, ShardedKvReplica::Options{.omega = CeOmegaConfig{},
+                                     .consensus = LogConsensusConfig{},
+                                     .sharded = src}));
   }
   sim.emplace_actor<EnvelopeInjector>(5);
   sim.start();
@@ -166,7 +168,9 @@ TEST(ShardedReplica, CoalescedClientBurstAppliesExactlyOnceOnEveryGroup) {
   std::vector<ShardedKvReplica*> replicas;
   for (ProcessId p = 0; p < 5; ++p) {
     replicas.push_back(&sim.emplace_actor<ShardedKvReplica>(
-        p, CeOmegaConfig{}, LogConsensusConfig{}, src));
+        p, ShardedKvReplica::Options{.omega = CeOmegaConfig{},
+                                     .consensus = LogConsensusConfig{},
+                                     .sharded = src}));
   }
   ClusterClientConfig cc;
   cc.cluster_n = 5;

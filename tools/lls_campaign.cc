@@ -46,6 +46,13 @@ namespace {
       "400)\n"
       "  --kv-keys=<int>       kv scenario: distinct keys (default 8)\n"
       "  --shards=<int>        kv scenario: consensus groups per replica\n"
+      "  --lease-reads         kv scenario: leader leases + local reads,\n"
+      "                        crash budget spent on the leaseholder at\n"
+      "                        lease-valid instants\n"
+      "  --lease-sabotage      kv scenario: fence disabled, scripted stale\n"
+      "                        read; campaign must then FAIL (exactly one\n"
+      "                        linearizability violation)\n"
+      "  --lease-duration-ms=D lease window (default 200)\n"
       "                        (default 0 = legacy unsharded stack)\n"
       "  --lin-max-nodes=<u64> linearizability search budget per partition\n"
       "  --hist=<path>         kv scenario: record the client history (.hist)\n"
@@ -99,6 +106,13 @@ int main(int argc, char** argv) {
       flags.u64("kv-keys", static_cast<std::uint64_t>(config.kv_keys)));
   config.shards = static_cast<int>(
       flags.i64("shards", static_cast<std::int64_t>(config.shards)));
+  config.lease_reads = flags.flag("lease-reads");
+  config.lease_sabotage = flags.flag("lease-sabotage");
+  config.lease_duration =
+      static_cast<Duration>(flags.u64(
+          "lease-duration-ms",
+          static_cast<std::uint64_t>(config.lease_duration / kMillisecond))) *
+      kMillisecond;
   config.lin_max_nodes = flags.u64("lin-max-nodes", config.lin_max_nodes);
   config.hist_path = flags.str("hist");
   config.trace_path = flags.str("trace");
@@ -149,6 +163,8 @@ int main(int argc, char** argv) {
     json.key("quiesce_ms").value(config.quiesce / kMillisecond);
     json.key("kills").value(config.crash_stop_budget);
     json.key("sabotage").value(config.sabotage);
+    json.key("lease_reads").value(config.lease_reads);
+    json.key("lease_sabotage").value(config.lease_sabotage);
     json.end_object();
     json.key("scenarios").begin_array();
     for (const auto& [scenario, result] : results) {

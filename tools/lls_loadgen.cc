@@ -71,6 +71,12 @@ void usage(const char* argv0) {
       "  --max-inflight=W           per-group proposer pipeline window\n"
       "                             (default 0 = unbounded)\n"
       "  --no-coalesce              one wire message per client attempt\n"
+      "  --lease-reads              leader leases: reads go through the\n"
+      "                             read-only fast path (local answers\n"
+      "                             under a quorum-supported lease)\n"
+      "  --lease-duration-ms=D      lease window (default 200)\n"
+      "  --lease-clock-margin-ms=M  clock slack subtracted from remote\n"
+      "                             support (default 0 sim / 5 udp)\n"
       "  --duration-ms=D --warmup-ms=W --drain-ms=X\n"
       "  --crash-leader-at-ms=T     kill the leader at virtual time T (sim)\n"
       "  --verify                   exactly-once audit (sim)\n"
@@ -138,6 +144,16 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
   opt->load.consensus_max_inflight = static_cast<std::size_t>(
       flags.u64("max-inflight", opt->load.consensus_max_inflight));
   opt->load.coalesce = !flags.flag("no-coalesce");
+  opt->load.lease_reads = flags.flag("lease-reads");
+  opt->load.lease_duration = static_cast<Duration>(flags.u64(
+                                 "lease-duration-ms",
+                                 static_cast<std::uint64_t>(
+                                     opt->load.lease_duration /
+                                     kMillisecond))) *
+                             kMillisecond;
+  opt->load.lease_clock_margin =
+      static_cast<Duration>(flags.u64("lease-clock-margin-ms", 0)) *
+      kMillisecond;
   opt->load.verify = flags.flag("verify");
   opt->load.artifacts_prefix = flags.str("artifacts");
   opt->load.hist_path = flags.str("hist");
@@ -189,6 +205,22 @@ void emit_run_json(Json& json, std::size_t batch, const LoadgenResult& r) {
   json.key("consensus_decisions").value(r.consensus_decisions);
   json.key("consensus_msgs_per_decision").value(r.consensus_msgs_per_decision);
   json.key("envelopes_rejected").value(r.envelopes_rejected);
+  auto op_json = [&](const char* name, const LoadgenResult::OpStats& st) {
+    json.key(name).begin_object();
+    json.key("acked").value(st.acked);
+    json.key("throughput_ops_s").value(st.throughput);
+    json.key("p50_ms").value(st.p50_ms);
+    json.key("p90_ms").value(st.p90_ms);
+    json.key("p99_ms").value(st.p99_ms);
+    json.key("mean_ms").value(st.mean_ms);
+    json.key("consensus_msgs_per_op").value(st.consensus_msgs_per_op);
+    json.end_object();
+  };
+  op_json("reads", r.reads);
+  op_json("writes", r.writes);
+  json.key("reads_local").value(r.reads_local);
+  json.key("reads_ordered").value(r.reads_ordered);
+  json.key("lease_read_ratio").value(r.lease_read_ratio);
   json.key("shard_imbalance").value(r.shard_imbalance);
   json.key("shards").begin_array();
   for (std::size_t g = 0; g < r.shard_stats.size(); ++g) {
@@ -214,15 +246,20 @@ void emit_run_json(Json& json, std::size_t batch, const LoadgenResult& r) {
 
 int run_sim(const CliOptions& opt) {
   std::printf(
-      "lls_loadgen (sim): n=%d clients=%d mode=%s shards=%d seed=%llu%s%s\n\n",
+      "lls_loadgen (sim): n=%d clients=%d mode=%s shards=%d seed=%llu%s%s%s\n\n",
       opt.load.cluster_n, opt.load.clients,
       opt.load.open_loop ? "open" : "closed", opt.load.shards,
       (unsigned long long)opt.load.seed,
       opt.load.crash_leader_at > 0 ? " +leader-crash" : "",
-      opt.load.verify ? " +verify" : "");
+      opt.load.verify ? " +verify" : "",
+      opt.load.lease_reads ? " +lease-reads" : "");
 
   Table table({"batch", "acked", "ops/s", "p50(ms)", "p99(ms)", "retries",
                "redirects", "cmsg/cmd", "verify"});
+  // Per-op-class split: two rows per batch. `local` is the fraction of
+  // admitted reads a leaseholder answered from local state.
+  Table op_table({"batch", "op", "acked", "ops/s", "p50(ms)", "p90(ms)",
+                  "p99(ms)", "cmsg/op", "local"});
   Json json;
   json.begin_object();
   json.key("tool").value("lls_loadgen");
@@ -239,6 +276,10 @@ int run_sim(const CliOptions& opt) {
   json.key("shards").value(opt.load.shards);
   json.key("max_inflight").value(opt.load.consensus_max_inflight);
   json.key("coalesce").value(opt.load.coalesce);
+  json.key("lease_reads").value(opt.load.lease_reads);
+  json.key("lease_duration_ms").value(opt.load.lease_duration / kMillisecond);
+  json.key("lease_clock_margin_ms")
+      .value(opt.load.lease_clock_margin / kMillisecond);
   json.end_object();
   json.key("runs").begin_array();
 
@@ -272,11 +313,26 @@ int run_sim(const CliOptions& opt) {
                     s.p99_ms);
       }
     }
+    auto op_row = [&](const char* op, const LoadgenResult::OpStats& st,
+                      const std::string& local) {
+      op_table.add_row({format("%zu", batch), op,
+                        format("%llu", (unsigned long long)st.acked),
+                        format("%.0f", st.throughput),
+                        format("%.2f", st.p50_ms), format("%.2f", st.p90_ms),
+                        format("%.2f", st.p99_ms),
+                        format("%.2f", st.consensus_msgs_per_op), local});
+    };
+    op_row("read", r.reads,
+           opt.load.lease_reads ? format("%.0f%%", 100.0 * r.lease_read_ratio)
+                                : "-");
+    op_row("write", r.writes, "-");
     emit_run_json(json, batch, r);
   }
   json.end_array();
   json.end_object();
   table.print();
+  std::printf("\nby op class:\n");
+  op_table.print();
 
   if (!opt.json_path.empty() && !write_json_file(opt.json_path, json)) {
     ok = false;
@@ -348,20 +404,31 @@ int run_udp(const CliOptions& opt) {
     rc.max_batch = opt.batches.front();
     LogConsensusConfig lc;
     lc.max_inflight = opt.load.consensus_max_inflight;
+    lc.lease.enabled = opt.load.lease_reads;
+    lc.lease.duration = opt.load.lease_duration;
+    // Real clocks drift: never run leases over UDP without slack. The
+    // fence/support windows only depend on drift *rates* over one lease
+    // window, so a few milliseconds dominates commodity oscillators.
+    lc.lease.clock_margin =
+        std::max<Duration>(opt.load.lease_clock_margin, 5 * kMillisecond);
     UdpNodeConfig nc;
     nc.id = p;
     nc.n = n;
     nc.base_port = opt.udp_base_port;
     nc.seed = opt.load.seed + p;
     if (p == 0) nc.stats_port = opt.stats_port;
+    CeOmegaConfig oc;
+    oc.lease_duration = opt.load.lease_reads ? opt.load.lease_duration : 0;
     std::unique_ptr<Actor> actor;
     if (opt.load.shards > 0) {
       ShardedReplicaConfig sc;
       sc.shards = opt.load.shards;
       sc.replica = rc;
-      actor = std::make_unique<ShardedKvReplica>(CeOmegaConfig{}, lc, sc);
+      actor = std::make_unique<ShardedKvReplica>(ShardedKvReplica::Options{
+          .omega = oc, .consensus = lc, .sharded = sc});
     } else {
-      actor = std::make_unique<KvReplica>(CeOmegaConfig{}, lc, rc);
+      actor = std::make_unique<KvReplica>(KvReplica::Options{
+          .omega = oc, .consensus = lc, .replica = rc});
     }
     nodes.push_back(std::make_unique<UdpNode>(nc, std::move(actor)));
   }
@@ -371,6 +438,7 @@ int run_udp(const CliOptions& opt) {
     cc.window = static_cast<std::size_t>(opt.load.closed_outstanding);
     cc.shards = opt.load.shards > 0 ? opt.load.shards : 1;
     cc.coalesce = opt.load.coalesce;
+    cc.lease_reads = opt.load.lease_reads;
     UdpNodeConfig nc;
     nc.id = static_cast<ProcessId>(cluster_n + c);
     nc.n = n;
@@ -396,6 +464,8 @@ int run_udp(const CliOptions& opt) {
     ClusterClient* client = nullptr;
     std::unique_ptr<Rng> rng;
     std::vector<double> latency_ms;
+    std::vector<double> read_ms;
+    std::vector<double> write_ms;
     std::shared_ptr<std::function<void()>> submit;
   };
   std::atomic<bool> stop{false};
@@ -426,14 +496,18 @@ int run_udp(const CliOptions& opt) {
                  hist_id](const ClientCompletion& done) {
         if (!done.timed_out) {
           if (hist_id) hist.respond(*hist_id, done.result);
-          st.latency_ms.push_back(
+          const double ms =
               static_cast<double>(done.completed - done.invoked) /
-              static_cast<double>(kMillisecond));
+              static_cast<double>(kMillisecond);
+          st.latency_ms.push_back(ms);
+          (done.cmd.op == KvOp::kGet ? st.read_ms : st.write_ms).push_back(ms);
         }
         if (!stop.load(std::memory_order_relaxed)) (*resubmit)();
       };
       const KvOp op = write ? KvOp::kPut : KvOp::kGet;
-      std::uint64_t seq = st.client->submit(op, key, value, "", std::move(cb));
+      std::uint64_t seq =
+          write ? st.client->submit(op, key, value, "", std::move(cb))
+                : st.client->get(key, std::move(cb));
       if (hist_id) {
         Command cmd;
         cmd.origin = static_cast<ProcessId>(cluster_n + c);
@@ -464,13 +538,28 @@ int run_udp(const CliOptions& opt) {
 
   // Threads are joined: pooling the per-client sample arrays is safe now.
   std::uint64_t acked = 0, timed_out = 0, retries = 0, redirects = 0;
-  Summary all_ms;
+  Summary all_ms, read_summary, write_summary;
   for (auto& st : drivers) {
     acked += st.client->acked();
     timed_out += st.client->timed_out();
     retries += st.client->retries();
     redirects += st.client->redirects();
     for (double sample : st.latency_ms) all_ms.record(sample);
+    for (double sample : st.read_ms) read_summary.record(sample);
+    for (double sample : st.write_ms) write_summary.record(sample);
+  }
+  std::uint64_t reads_local = 0, reads_ordered = 0;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cluster_n); ++p) {
+    Actor& a = nodes[static_cast<std::size_t>(p)]->actor();
+    if (opt.load.shards > 0) {
+      auto& r = static_cast<ShardedKvReplica&>(a);
+      reads_local += r.reads_local();
+      reads_ordered += r.reads_ordered();
+    } else {
+      auto& r = static_cast<KvReplica&>(a);
+      reads_local += r.reads_local();
+      reads_ordered += r.reads_ordered();
+    }
   }
   const double secs = static_cast<double>(duration_ms) / 1e3;
   std::printf("acked %llu  timed_out %llu  retries %llu  redirects %llu\n",
@@ -482,6 +571,25 @@ int run_udp(const CliOptions& opt) {
     std::printf("latency (%llu samples): p50 %.2f ms  p99 %.2f ms\n",
                 (unsigned long long)all_ms.count(), all_ms.percentile(50),
                 all_ms.percentile(99));
+  }
+  if (read_summary.count() > 0) {
+    std::printf("reads  (%llu): p50 %.2f ms  p99 %.2f ms\n",
+                (unsigned long long)read_summary.count(),
+                read_summary.percentile(50), read_summary.percentile(99));
+  }
+  if (write_summary.count() > 0) {
+    std::printf("writes (%llu): p50 %.2f ms  p99 %.2f ms\n",
+                (unsigned long long)write_summary.count(),
+                write_summary.percentile(50), write_summary.percentile(99));
+  }
+  if (opt.load.lease_reads) {
+    const std::uint64_t admitted = reads_local + reads_ordered;
+    std::printf("lease reads: local %llu / ordered %llu (%.0f%% local)\n",
+                (unsigned long long)reads_local,
+                (unsigned long long)reads_ordered,
+                admitted > 0 ? 100.0 * static_cast<double>(reads_local) /
+                                   static_cast<double>(admitted)
+                             : 0.0);
   }
   return acked > 0 ? 0 : 1;
 }
