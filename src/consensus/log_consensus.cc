@@ -157,6 +157,15 @@ void LogConsensus::drive(Runtime& rt) {
 }
 
 void LogConsensus::start_prepare(Runtime& rt) {
+  // Campaign fence: the fence discipline binds this process's own candidacy
+  // too. Self-promising while fenced to another holder would hand the one
+  // acceptor the quorum-intersection argument hinges on to a rival — this
+  // very process — letting it assemble a majority inside the holder's
+  // window (asymmetric partitions make this reachable; see DESIGN.md §14).
+  // Also covers the crash-recovery fence-all (holder = kNoProcess). No
+  // state changes before this point, and drive()'s retry loop re-attempts
+  // once the window lapses.
+  if (fenced_against(self_, rt.now())) return;
   Round bound = std::max({highest_seen_round_, acceptor_.promised(), my_round_});
   my_round_ = next_ballot(self_, n_, bound);
   preparing_ = true;

@@ -82,7 +82,13 @@ std::uint64_t KvCore::submit(KvOp op, std::string key, std::string value,
     // linearizable truth — answer synchronously, zero messages, zero
     // instances. The sequence number is still burned so callers correlate
     // as usual. Invalid lease -> the ordinary ordered path below.
-    if (consensus_.lease_valid()) {
+    // Under fifo_client_order the fast path must not jump queued same-
+    // session commands (a read overtaking the caller's own unapplied write
+    // would break per-client program order), so it only fires when nothing
+    // is queued or outstanding.
+    const bool fifo_blocked =
+        config_.fifo_client_order && (outstanding_ || !session_queue_.empty());
+    if (!fifo_blocked && consensus_.lease_valid()) {
       ++reads_local_;
       if (reads_local_ctr_ != nullptr) reads_local_ctr_->inc();
       std::uint64_t seq = next_seq_++;
@@ -208,8 +214,10 @@ std::optional<Command> KvCore::admit_one(Runtime& rt, ProcessId src,
       send_reply(src, seq, local_read(cmd.key));
       return std::nullopt;
     }
-    ++reads_ordered_;
-    if (reads_ordered_ctr_ != nullptr) reads_ordered_ctr_->inc();
+    // Lease miss: the read takes the ordered path — but it is counted only
+    // below, once this replica actually admits it for ordering. Counting
+    // here would tally redirected (and busy-bounced) reads at every replica
+    // the client tries, double-counting the fast-path-economy numbers.
   }
 
   if (omega_->leader() != self_) {
@@ -231,6 +239,10 @@ std::optional<Command> KvCore::admit_one(Runtime& rt, ProcessId src,
   }
   sess.admitted.insert(seq);
   ++admitted_inflight_;
+  if (cmd.op == KvOp::kGet && cmd.read_only) {
+    ++reads_ordered_;
+    if (reads_ordered_ctr_ != nullptr) reads_ordered_ctr_->inc();
+  }
   return cmd;
 }
 

@@ -71,6 +71,9 @@ struct KvReplicaConfig {
   /// back to the ordered path otherwise. Requires the consensus config's
   /// lease to be enabled to ever fire. Client-protocol reads are governed
   /// by the Command::read_only flag the client sets, not by this knob.
+  /// Composes with fifo_client_order: the fast path never overtakes queued
+  /// same-session commands — while any are outstanding the read falls back
+  /// to the ordered path, preserving per-client program order.
   bool lease_reads = false;
 };
 

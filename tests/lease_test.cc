@@ -16,6 +16,7 @@
 // flag — exactly once. The safety net is itself tested end to end.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,36 @@ TEST(LeaseUnit, GrantingFollowerFencesOutRivalProposers) {
   EXPECT_EQ(f.consensus.fence_holder(), 1u);
 }
 
+TEST(LeaseUnit, FencedProcessRefusesToCampaignEvenForItself) {
+  // The fence must bind the fenced process's OWN candidacy: p1 granted p0 a
+  // supporting promise (fencing itself to p0), then Omega flips to p1
+  // inside the window. If p1 could self-promise now, the one acceptor the
+  // quorum-intersection argument hinges on (itself) would defect to a
+  // rival, and {p1, p2} could commit while p0's lease still counts p1 as a
+  // live support. p1 must sit out the window — no self-promise, no PREPARE
+  // broadcast — and campaign only once the fence lapses.
+  Fixture f(/*self=*/1, /*n=*/3, /*leader=*/0);
+  f.deliver(0, msg_type::kPrepare, PrepareMsg{3, 0, /*ts=*/1000}.encode());
+  ASSERT_EQ(f.consensus.fence_holder(), 0u);
+  const Round promised = f.consensus.acceptor().promised();
+  f.omega.set(1);
+  f.tick();
+  EXPECT_FALSE(f.consensus.is_leader_ready());
+  EXPECT_EQ(f.rt.count_sent(0, msg_type::kPrepare), 0);
+  EXPECT_EQ(f.rt.count_sent(2, msg_type::kPrepare), 0);
+  // No self-promise happened either: the local acceptor still holds p0's
+  // round, so a PROMISE p0 is owed can still be granted.
+  EXPECT_EQ(f.consensus.acceptor().promised(), promised);
+  // Once the window lapses, the ordinary retry loop campaigns. (The tick
+  // sends PREPARE via start_prepare and again via the same tick's
+  // retransmit sweep, so count >= 1 is the invariant.)
+  f.rt.advance(kWindow + 1);
+  f.tick();
+  EXPECT_GE(f.rt.count_sent(0, msg_type::kPrepare), 1);
+  EXPECT_GE(f.rt.count_sent(2, msg_type::kPrepare), 1);
+  EXPECT_GT(f.consensus.acceptor().promised(), promised);
+}
+
 TEST(LeaseUnit, EpochFenceRevokesLeaseOnHigherRoundSighting) {
   Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
   f.become_ready_with_support(1);
@@ -201,6 +232,43 @@ TEST(LeaseUnit, LeaseRequiresOmegaTrustAndEnabledConfig) {
   ASSERT_TRUE(on.consensus.lease_valid());
   on.omega.set(1);
   EXPECT_FALSE(on.consensus.lease_valid());
+}
+
+// --- Unit: fast-path economy counters ----------------------------------------
+
+TEST(LeaseUnit, RedirectedReadOnlyCommandIsNotCountedAsOrdered) {
+  // A non-leader replica that bounces a read-only command with an invalid
+  // lease must not tally it as an ordered read: the client retries at the
+  // real leader, which counts it there — counting at every redirect hop
+  // would double-book the fast-path-economy numbers the benches assert on.
+  FixedOmega omega(/*leader=*/1);
+  KvCoreOptions opts;
+  opts.omega = &omega;
+  opts.consensus = leased_config();
+  opts.replica.cluster_n = 3;
+  KvCore core(opts);
+  FakeRuntime rt(/*id=*/0, /*n=*/4);  // process 3 is the client session
+  core.on_start(rt);
+
+  Command cmd;
+  cmd.origin = 3;
+  cmd.seq = 1;
+  cmd.op = KvOp::kGet;
+  cmd.key = "k";
+  cmd.read_only = true;
+  ClientRequestMsg req;
+  req.seq = 1;
+  req.command = cmd.encode();
+  core.on_message(rt, 3, msg_type::kClientRequest, req.encode());
+  EXPECT_EQ(rt.count_sent(3, msg_type::kClientRedirect), 1);
+  EXPECT_EQ(core.reads_ordered(), 0u);
+  EXPECT_EQ(core.reads_local(), 0u);
+  // The same retried command at a replica Omega calls leader (lease still
+  // invalid: not ready) is admitted for ordering and counted exactly once.
+  omega.set(0);
+  core.on_message(rt, 3, msg_type::kClientRequest, req.encode());
+  EXPECT_EQ(core.reads_ordered(), 1u);
+  EXPECT_EQ(core.reads_local(), 0u);
 }
 
 // --- Unit: crash-recovery fence-all ----------------------------------------
@@ -338,6 +406,118 @@ TEST(LeaseSim, AtMostOneHolderEvenAcrossHolderCrash) {
   // A successor took over (liveness) and it is a different process.
   EXPECT_NE(last_holder, kNoProcess);
   EXPECT_NE(last_holder, first_holder);
+}
+
+TEST(LeaseSim, AsymmetricPartitionNeverYieldsTwoHolders) {
+  // Regression for the campaign-fence bypass. Schedule (n=3, A=0 leader):
+  // A<->C dies at 2s, so C's fence on A lapses a window later while A keeps
+  // its lease on {A, B}; A<->B dies at 4s, and B's omega suspects A tens of
+  // milliseconds later — far inside B's fence window of A, which the write
+  // trickle renewed until ~4s + W. A B that self-promises there assembles
+  // {B, C} and holds a lease while A still counts B's echo as live support:
+  // two holders. The campaign fence must make B sit out its own window.
+  Simulator sim(SimConfig{3, 11, 10 * kMillisecond},
+                make_all_timely({500 * kMicrosecond, 2 * kMillisecond}));
+  LogConsensusConfig lc = leased_config();
+  CeOmegaConfig oc;
+  oc.lease_duration = kWindow;
+  // C's omega never suspects anyone inside the horizon: keeps C loyal to A
+  // (as a slow-to-suspect process would be) so only B campaigns — C's role
+  // is the unfenced acceptor a bypassing B would recruit.
+  CeOmegaConfig loyal_oc = oc;
+  loyal_oc.initial_timeout = 60 * kSecond;
+  std::vector<KvReplica*> replicas;
+  for (ProcessId p = 0; p < 3; ++p) {
+    replicas.push_back(&sim.emplace_actor<KvReplica>(
+        p, KvReplica::Options{.omega = p == 2 ? loyal_oc : oc,
+                              .consensus = lc,
+                              .replica = KvReplicaConfig{}}));
+  }
+  // Keep ACCEPT/ACCEPTED traffic flowing so fences and supports renew right
+  // up to the partition instant (leases have no heartbeats of their own).
+  int next_value = 0;
+  sim.schedule_every(100 * kMillisecond, 20 * kMillisecond, [&]() {
+    replicas[0]->submit(KvOp::kPut, "k", std::to_string(next_value++));
+    return true;
+  });
+  sim.schedule(2 * kSecond, [&]() {
+    sim.network().set_link(0, 2, std::make_unique<DeadLink>());
+    sim.network().set_link(2, 0, std::make_unique<DeadLink>());
+  });
+  sim.schedule(4 * kSecond, [&]() {
+    sim.network().set_link(0, 1, std::make_unique<DeadLink>());
+    sim.network().set_link(1, 0, std::make_unique<DeadLink>());
+  });
+  int max_holders = 0;
+  bool b_took_over = false;
+  sim.schedule_every(1 * kSecond, 2 * kMillisecond, [&]() {
+    int holders = 0;
+    for (ProcessId p = 0; p < 3; ++p) {
+      if (replicas[p]->lease_valid()) ++holders;
+    }
+    max_holders = std::max(max_holders, holders);
+    if (replicas[1]->lease_valid()) b_took_over = true;
+    return true;
+  });
+  sim.start();
+  sim.run_until(8 * kSecond);
+  EXPECT_LE(max_holders, 1);
+  // Liveness: the fence delays B's takeover by one window, not forever.
+  EXPECT_TRUE(b_took_over);
+}
+
+TEST(LeaseSim, FifoSessionReadNeverOvertakesOwnQueuedWrite) {
+  // lease_reads composed with fifo_client_order: the local fast path must
+  // not jump the session queue. A read submitted right after a write from
+  // the same session has to observe that write (per-client program order),
+  // so it falls back to the ordered path; with nothing queued, the fast
+  // path still fires.
+  Simulator sim(SimConfig{3, 5, 10 * kMillisecond},
+                make_all_timely({500 * kMicrosecond, 2 * kMillisecond}));
+  LogConsensusConfig lc = leased_config();
+  CeOmegaConfig oc;
+  oc.lease_duration = kWindow;
+  KvReplicaConfig rc;
+  rc.fifo_client_order = true;
+  rc.lease_reads = true;
+  std::vector<KvReplica*> replicas;
+  for (ProcessId p = 0; p < 3; ++p) {
+    replicas.push_back(&sim.emplace_actor<KvReplica>(
+        p, KvReplica::Options{.omega = oc, .consensus = lc, .replica = rc}));
+  }
+  // Background writes from another replica keep the lease supports renewed.
+  int next_value = 0;
+  sim.schedule_every(100 * kMillisecond, 20 * kMillisecond, [&]() {
+    replicas[1]->submit(KvOp::kPut, "heartbeat", std::to_string(next_value++));
+    return true;
+  });
+  std::string fast_read = "(unset)";
+  std::string ordered_read = "(unset)";
+  std::uint64_t locals_before = 0;
+  std::uint64_t locals_after = 0;
+  sim.schedule(3 * kSecond, [&]() {
+    replicas[0]->submit(KvOp::kPut, "fence", "old");
+  });
+  sim.schedule(4 * kSecond, [&]() {
+    ASSERT_TRUE(replicas[0]->lease_valid());
+    // Idle session: the fast path answers synchronously from local state.
+    locals_before = replicas[0]->reads_local();
+    replicas[0]->submit(KvOp::kGet, "fence", "", "",
+                        [&](const KvResult& r) { fast_read = r.value; });
+    locals_after = replicas[0]->reads_local();
+    // Same session, write still queued: the read must wait its turn.
+    replicas[0]->submit(KvOp::kPut, "fence", "new");
+    replicas[0]->submit(KvOp::kGet, "fence", "", "",
+                        [&](const KvResult& r) { ordered_read = r.value; });
+    EXPECT_EQ(fast_read, "old");           // answered synchronously
+    EXPECT_EQ(ordered_read, "(unset)");    // still queued behind the write
+  });
+  sim.start();
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(locals_after, locals_before + 1);
+  EXPECT_EQ(fast_read, "old");
+  EXPECT_EQ(ordered_read, "new");
+  EXPECT_GE(replicas[0]->reads_ordered(), 1u);
 }
 
 // --- Campaign: randomized adversary + the sabotage self-test ----------------
