@@ -21,18 +21,12 @@ namespace {
 
 /// Every link is silent during [2^k, 1.5·2^k) seconds for all k — gaps grow
 /// without bound, so no adaptive timeout is ever permanently sufficient.
+/// GrowingSilenceLink is the canonical model (shared with the zero-sources
+/// topology preset and its still-flapping checker).
 LinkFactory adversarial_no_source() {
   return [](ProcessId, ProcessId) -> std::unique_ptr<LinkModel> {
-    return std::make_unique<ScriptedLink>(
-        [](TimePoint t, MessageType, Rng& rng) {
-          double sec = static_cast<double>(t) / static_cast<double>(kSecond);
-          if (sec >= 1.0) {
-            double window = 1.0;
-            while (window * 2.0 <= sec) window *= 2.0;
-            if (sec < window * 1.5) return LinkDecision::dropped();
-          }
-          return LinkDecision::after(rng.next_range(500, 2 * kMillisecond));
-        });
+    return std::make_unique<GrowingSilenceLink>(
+        DelayRange{500, 2 * kMillisecond});
   };
 }
 

@@ -451,6 +451,18 @@ void LogConsensus::handle_prepare(Runtime& rt, ProcessId src,
   // holder's epoch check). The window is bounded by the lease duration, so
   // a competitor's retransmit loop gets through once it lapses.
   if (fenced_against(src, rt.now())) return;
+  // Compaction guard: a candidate whose log frontier is below our compaction
+  // watermark is missing decisions whose values this acceptor can no longer
+  // report (both the decided entry and the accepted pair are gone below
+  // log_base_). Promising anyway would let it treat those slots as holes and
+  // no-op-fill instances that were in fact decided — a quorum-invisible
+  // agreement violation. Refusing keeps the intersection argument intact:
+  // any quorum that does promise has every member's watermark <= msg.from,
+  // so everything decided or accepted at >= msg.from is still reportable.
+  // The candidate retries each tick and gets through once DECIDE
+  // retransmission catches it up (compaction policy must not outrun the
+  // slowest live replica — see KvCore::compact_to).
+  if (msg.from < log_base_) return;
   highest_seen_round_ = std::max(highest_seen_round_, msg.round);
   Round before = acceptor_.promised();
   if (!acceptor_.on_prepare(msg.round)) {

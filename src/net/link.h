@@ -185,6 +185,100 @@ class DeadLink final : public LinkModel {
   }
 };
 
+/// Half-open disturbance window on the virtual clock.
+struct TimeWindow {
+  TimePoint start = 0;
+  Duration len = 0;
+
+  [[nodiscard]] TimePoint end() const { return start + len; }
+  [[nodiscard]] bool contains(TimePoint t) const {
+    return len > 0 && t >= start && t < start + len;
+  }
+  bool operator==(const TimeWindow&) const = default;
+};
+
+/// The no-♦-source adversary as a first-class link model: silent during
+/// [w, 1.5w) for every w in {first, 2*first, 4*first, ...}, timely within
+/// `delay` elsewhere. The silence gaps grow without bound, so no adaptive
+/// timeout is ever permanently sufficient and Omega must keep flapping —
+/// the operational content of the paper's necessity direction (bounded
+/// loss + bounded delay would be de facto timeliness; genuine asynchrony
+/// needs unbounded quiet periods). Pure function of the send time, so
+/// re-instantiating the model (e.g. a Nemesis heal) changes nothing.
+class GrowingSilenceLink final : public LinkModel {
+ public:
+  explicit GrowingSilenceLink(DelayRange delay,
+                              TimePoint first_window = 1 * kSecond)
+      : delay_(delay), first_(first_window) {}
+
+  LinkDecision on_send(TimePoint send_time, MessageType, Rng& rng) override {
+    if (first_ > 0 && send_time >= first_) {
+      TimePoint w = first_;
+      while (w * 2 <= send_time) w *= 2;
+      if (send_time < w + w / 2) return LinkDecision::dropped();
+    }
+    return LinkDecision::after(delay_.sample(rng));
+  }
+
+  /// Start of the last silence window that begins strictly before `t`
+  /// (kTimeNever when none does). Checkers use this to demand that a
+  /// zero-source control was still flapping in the final such window.
+  [[nodiscard]] static TimePoint last_silence_start(TimePoint t,
+                                                    TimePoint first = 1 *
+                                                                      kSecond) {
+    if (first <= 0 || t <= first) return kTimeNever;
+    TimePoint w = first;
+    while (w * 2 < t) w *= 2;
+    return w;
+  }
+
+ private:
+  DelayRange delay_;
+  TimePoint first_;
+};
+
+/// Decorator for scheduled adversarial perturbations: inside a silence
+/// window every message is dropped; inside a chaos window the link degrades
+/// to lossy-asynchronous (drop with chaos_loss, survivors jittered by
+/// chaos_delay) regardless of the base model. Outside all windows the base
+/// model decides alone. The windows are part of the link *specification*,
+/// so executions stay pure functions of (topology, schedule, seed) — this
+/// is what makes adversarial schedules replayable artifacts.
+class WindowedChaosLink final : public LinkModel {
+ public:
+  struct Params {
+    std::vector<TimeWindow> silences;
+    std::vector<TimeWindow> chaos;
+    double chaos_loss = 0.8;
+    DelayRange chaos_delay{10 * kMillisecond, 250 * kMillisecond};
+
+    [[nodiscard]] bool empty() const {
+      return silences.empty() && chaos.empty();
+    }
+  };
+
+  WindowedChaosLink(std::unique_ptr<LinkModel> base, Params params)
+      : base_(std::move(base)), params_(std::move(params)) {}
+
+  LinkDecision on_send(TimePoint send_time, MessageType type,
+                       Rng& rng) override {
+    for (const TimeWindow& w : params_.silences) {
+      if (w.contains(send_time)) return LinkDecision::dropped();
+    }
+    for (const TimeWindow& w : params_.chaos) {
+      if (w.contains(send_time)) {
+        if (rng.chance(params_.chaos_loss)) return LinkDecision::dropped();
+        return LinkDecision::after(params_.chaos_delay.sample(rng));
+      }
+    }
+    return base_->on_send(send_time, type, rng);
+  }
+
+ private:
+  std::unique_ptr<LinkModel> base_;
+  Params params_;
+};
+
 /// Fully scripted link for adversarial schedules: the function sees the send
 /// time and message type and decides. Used by the ♦-source-necessity
 /// experiments to starve timeliness forever.

@@ -35,6 +35,15 @@ class RelayActor final : public Actor {
   /// Wraps `inner` (not owned; must outlive the relay).
   explicit RelayActor(Actor& inner) : inner_(inner) {}
 
+  /// Wraps and owns `inner` (topology profiles build whole relayed stacks
+  /// through the simulator's actor factory, which transfers ownership).
+  explicit RelayActor(std::unique_ptr<Actor> owned)
+      : owned_(std::move(owned)), inner_(*owned_) {}
+
+  /// The wrapped actor (campaign checks downcast through this).
+  [[nodiscard]] Actor& inner() { return inner_; }
+  [[nodiscard]] const Actor& inner() const { return inner_; }
+
   void on_start(Runtime& rt) override {
     self_ = rt.id();
     wrapper_ = std::make_unique<RelayRuntime>(*this, rt);
@@ -114,6 +123,7 @@ class RelayActor final : public Actor {
                  BytesView payload);
   void flood(Runtime& rt, const Envelope& envelope, ProcessId skip_hop);
 
+  std::unique_ptr<Actor> owned_;  // before inner_: may back the reference
   Actor& inner_;
   ProcessId self_ = kNoProcess;
   std::unique_ptr<RelayRuntime> wrapper_;

@@ -1,0 +1,344 @@
+#include "net/topology_profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lls {
+
+const char* link_class_name(LinkClass cls) {
+  switch (cls) {
+    case LinkClass::kTimely: return "timely";
+    case LinkClass::kEventuallyTimely: return "eventually-timely";
+    case LinkClass::kFairLossy: return "fair-lossy";
+    case LinkClass::kLossyAsync: return "lossy-async";
+    case LinkClass::kSilenceBursts: return "silence-bursts";
+    case LinkClass::kDead: return "dead";
+  }
+  return "?";
+}
+
+std::unique_ptr<LinkModel> LinkSpec::instantiate() const {
+  std::unique_ptr<LinkModel> base;
+  switch (cls) {
+    case LinkClass::kTimely:
+      base = std::make_unique<TimelyLink>(delay);
+      break;
+    case LinkClass::kEventuallyTimely:
+      base = std::make_unique<EventuallyTimelyLink>(gst, delay, pre_gst);
+      break;
+    case LinkClass::kFairLossy:
+      base = std::make_unique<FairLossyLink>(
+          FairLossyLink::Params{loss, deliver_every_kth, delay});
+      break;
+    case LinkClass::kLossyAsync:
+      base = std::make_unique<LossyAsyncLink>(loss, delay);
+      break;
+    case LinkClass::kSilenceBursts:
+      base = std::make_unique<GrowingSilenceLink>(delay, first_silence);
+      break;
+    case LinkClass::kDead:
+      base = std::make_unique<DeadLink>();
+      break;
+  }
+  if (faulty) base = std::make_unique<FaultyLink>(std::move(base), faults);
+  if (!windows.empty()) {
+    base = std::make_unique<WindowedChaosLink>(std::move(base), windows);
+  }
+  return base;
+}
+
+TopologyProfile TopologyProfile::make(std::string name, int n) {
+  TopologyProfile p;
+  p.name = std::move(name);
+  p.n = n;
+  p.links.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                 LinkSpec{});
+  return p;
+}
+
+LinkSpec& TopologyProfile::link(ProcessId src, ProcessId dst) {
+  return links[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(dst)];
+}
+
+const LinkSpec& TopologyProfile::link(ProcessId src, ProcessId dst) const {
+  return links[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(dst)];
+}
+
+bool TopologyProfile::is_source(ProcessId p) const {
+  return std::find(sources.begin(), sources.end(), p) != sources.end();
+}
+
+LinkFactory TopologyProfile::factory() const {
+  return live_factory(std::make_shared<const TopologyProfile>(*this));
+}
+
+LinkFactory TopologyProfile::live_factory(
+    std::shared_ptr<const TopologyProfile> shared) {
+  return [shared = std::move(shared)](ProcessId src, ProcessId dst) {
+    return shared->link(src, dst).instantiate();
+  };
+}
+
+std::string TopologyProfile::describe() const {
+  std::size_t by_class[6] = {};
+  for (ProcessId s = 0; s < static_cast<ProcessId>(n); ++s) {
+    for (ProcessId d = 0; d < static_cast<ProcessId>(n); ++d) {
+      if (s != d) ++by_class[static_cast<std::size_t>(link(s, d).cls)];
+    }
+  }
+  std::ostringstream out;
+  out << name << " (n=" << n << (use_relay ? ", relayed" : "")
+      << (expect_stabilize ? "" : ", must-not-stabilize") << "):";
+  for (int c = 0; c < 6; ++c) {
+    if (by_class[c] > 0) {
+      out << " " << link_class_name(static_cast<LinkClass>(c)) << "="
+          << by_class[c];
+    }
+  }
+  if (!sources.empty()) {
+    out << ", sources={";
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      out << (i ? "," : "") << "p" << sources[i];
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Per-destination GST stagger on a source's outgoing links: each link gets
+/// its own stabilization time, which is precisely what the global
+/// make_system_s could not express (the audited plumbing gap). The paper
+/// only needs SOME bound to exist per link, not a shared one.
+constexpr TimePoint kBaseGst = 500 * kMillisecond;
+constexpr Duration kGstStagger = 20 * kMillisecond;
+
+void make_source(TopologyProfile& profile, ProcessId src) {
+  for (ProcessId d = 0; d < static_cast<ProcessId>(profile.n); ++d) {
+    if (d == src) continue;
+    LinkSpec& spec = profile.link(src, d);
+    spec.cls = LinkClass::kEventuallyTimely;
+    spec.delay = {500 * kMicrosecond, 2 * kMillisecond};
+    spec.gst = kBaseGst + static_cast<Duration>(d) * kGstStagger;
+  }
+  profile.sources.push_back(src);
+}
+
+}  // namespace
+
+TopologyProfile make_one_diamond_source_profile(int n) {
+  TopologyProfile p = TopologyProfile::make("one-diamond-source", n);
+  // Default LinkSpec is already system-S fair loss (0.5, every-4th lane).
+  make_source(p, static_cast<ProcessId>(n - 1));
+  return p;
+}
+
+TopologyProfile make_k_diamond_sources_profile(int n) {
+  TopologyProfile p = TopologyProfile::make("k-diamond-sources", n);
+  const int k = std::max(2, n / 3);
+  for (int s = 0; s < k; ++s) {
+    make_source(p, static_cast<ProcessId>(n - 1 - s));
+  }
+  // Campaigns protect the LAST listed source; keep that the highest id so
+  // the legacy convention (n-1 is the protected source) carries over.
+  std::sort(p.sources.begin(), p.sources.end());
+  return p;
+}
+
+TopologyProfile make_zero_sources_profile(int n) {
+  TopologyProfile p = TopologyProfile::make("zero-sources", n);
+  p.expect_stabilize = false;
+  for (ProcessId s = 0; s < static_cast<ProcessId>(n); ++s) {
+    for (ProcessId d = 0; d < static_cast<ProcessId>(n); ++d) {
+      if (s == d) continue;
+      LinkSpec& spec = p.link(s, d);
+      spec.cls = LinkClass::kSilenceBursts;
+      spec.delay = {500 * kMicrosecond, 2 * kMillisecond};
+      spec.first_silence = 1 * kSecond;
+    }
+  }
+  return p;
+}
+
+TopologyProfile make_wan_3region_profile(int n, WanTiers tiers) {
+  TopologyProfile p = TopologyProfile::make("wan-3region", n);
+  p.region.resize(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) p.region[static_cast<std::size_t>(q)] = q % 3;
+  for (ProcessId s = 0; s < static_cast<ProcessId>(n); ++s) {
+    for (ProcessId d = 0; d < static_cast<ProcessId>(n); ++d) {
+      if (s == d) continue;
+      const int rs = p.region[s];
+      const int rd = p.region[d];
+      DelayRange tier = rs == rd ? tiers.intra_dc
+                        : (std::max(rs, rd) - std::min(rs, rd) == 1)
+                            ? tiers.cross_region
+                            : tiers.transcontinental;
+      LinkSpec& spec = p.link(s, d);
+      spec.cls = LinkClass::kEventuallyTimely;
+      spec.delay = tier;
+      spec.gst = kBaseGst;
+      // Pre-GST chaos scaled to the tier so WAN links misbehave at WAN
+      // magnitudes, not LAN ones.
+      spec.pre_gst = {0.3, {tier.min, tier.max * 2}};
+    }
+    p.sources.push_back(s);  // every process is a ♦-source here
+  }
+  return p;
+}
+
+TopologyProfile make_relay_partition_profile(int n) {
+  TopologyProfile p = TopologyProfile::make("relay-partition", n);
+  p.use_relay = true;
+  for (ProcessId s = 0; s < static_cast<ProcessId>(n); ++s) {
+    for (ProcessId d = 0; d < static_cast<ProcessId>(n); ++d) {
+      if (s == d) continue;
+      p.link(s, d).cls = LinkClass::kDead;
+    }
+  }
+  // Bidirectional ring: the only direct connectivity. Any single crash
+  // leaves a connected line, so crash budgets stay meaningful. Paths (not
+  // links) are eventually timely — the relay flood supplies the rest.
+  for (ProcessId s = 0; s < static_cast<ProcessId>(n); ++s) {
+    for (ProcessId d :
+         {static_cast<ProcessId>((s + 1) % static_cast<ProcessId>(n)),
+          static_cast<ProcessId>((s + static_cast<ProcessId>(n) - 1) %
+                                 static_cast<ProcessId>(n))}) {
+      LinkSpec& spec = p.link(s, d);
+      spec.cls = LinkClass::kEventuallyTimely;
+      spec.delay = {500 * kMicrosecond, 2 * kMillisecond};
+      spec.gst = kBaseGst;
+    }
+  }
+  p.sources.push_back(static_cast<ProcessId>(n - 1));
+  return p;
+}
+
+const std::vector<std::string>& topology_preset_names() {
+  static const std::vector<std::string> kNames = {
+      "one-diamond-source", "k-diamond-sources", "zero-sources",
+      "wan-3region",        "relay-partition",
+  };
+  return kNames;
+}
+
+std::optional<TopologyProfile> topology_preset(const std::string& name,
+                                               int n) {
+  if (n < 3) return std::nullopt;
+  if (name == "one-diamond-source") return make_one_diamond_source_profile(n);
+  if (name == "k-diamond-sources") return make_k_diamond_sources_profile(n);
+  if (name == "zero-sources") return make_zero_sources_profile(n);
+  if (name == "wan-3region") return make_wan_3region_profile(n);
+  if (name == "relay-partition") return make_relay_partition_profile(n);
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// LinkSchedule
+// ---------------------------------------------------------------------------
+
+Duration LinkSchedule::power() const {
+  Duration total = 0;
+  for (const Entry& e : entries) {
+    total += e.gst_offset;
+    if (e.burst.len > 0) total += e.burst.end();
+    if (e.chaos.len > 0) total += e.chaos.end();
+  }
+  return total;
+}
+
+std::string LinkSchedule::encode() const {
+  std::vector<Entry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    return std::make_pair(a.src, a.dst) < std::make_pair(b.src, b.dst);
+  });
+  std::ostringstream out;
+  out << "lls-schedule v1\n";
+  out << "topology " << topology << "\n";
+  out << "n " << n << "\n";
+  out << "seed " << seed << "\n";
+  for (const Entry& e : sorted) {
+    out << "link " << e.src << " " << e.dst << " gst-offset-us "
+        << e.gst_offset << " burst-us " << e.burst.start << " " << e.burst.len
+        << " chaos-us " << e.chaos.start << " " << e.chaos.len << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<LinkSchedule> LinkSchedule::decode(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "lls-schedule v1") return std::nullopt;
+  LinkSchedule s;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "topology") {
+      ls >> s.topology;
+    } else if (tag == "n") {
+      ls >> s.n;
+    } else if (tag == "seed") {
+      ls >> s.seed;
+    } else if (tag == "link") {
+      Entry e;
+      std::string f1, f2, f3;
+      ls >> e.src >> e.dst >> f1 >> e.gst_offset >> f2 >> e.burst.start >>
+          e.burst.len >> f3 >> e.chaos.start >> e.chaos.len;
+      if (!ls || f1 != "gst-offset-us" || f2 != "burst-us" ||
+          f3 != "chaos-us") {
+        return std::nullopt;
+      }
+      s.entries.push_back(e);
+    } else if (tag == "end") {
+      ended = true;
+      break;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!ended || s.n < 3) return std::nullopt;
+  return s;
+}
+
+bool LinkSchedule::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << encode();
+  return static_cast<bool>(out);
+}
+
+std::optional<LinkSchedule> LinkSchedule::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode(buf.str());
+}
+
+TopologyProfile apply_schedule(TopologyProfile profile,
+                               const LinkSchedule& schedule) {
+  for (const LinkSchedule::Entry& e : schedule.entries) {
+    if (e.src >= static_cast<ProcessId>(profile.n) ||
+        e.dst >= static_cast<ProcessId>(profile.n) || e.src == e.dst) {
+      throw std::invalid_argument("schedule entry outside the profile");
+    }
+    LinkSpec& spec = profile.link(e.src, e.dst);
+    spec.gst += e.gst_offset;
+    if (e.burst.len > 0) spec.windows.silences.push_back(e.burst);
+    if (e.chaos.len > 0) spec.windows.chaos.push_back(e.chaos);
+  }
+  if (!schedule.entries.empty()) profile.name += "+schedule";
+  return profile;
+}
+
+}  // namespace lls

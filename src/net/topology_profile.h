@@ -1,0 +1,193 @@
+// Declarative topology & timeliness profiles (scenario engine, DESIGN.md §15).
+//
+// A TopologyProfile assigns every *directed* link its own LinkSpec — link
+// class (timely / eventually timely / fair lossy / lossy async / growing
+// silences / dead), geo/WAN delay tier, per-link GST and loss parameters,
+// an optional transport-fault overlay, and adversarial silence/chaos
+// windows. This replaces the global-parameter builders in net/topology.h
+// for scenario work: make_system_s applies ONE gst/loss setting to every
+// source link, so per-link settings simply could not be expressed there
+// (the plumbing gap audited by PR 9); here each (src, dst) pair owns its
+// parameters end to end, and Nemesis heals re-instantiate from the same
+// per-link specs.
+//
+// Named presets cover the paper's claim surface:
+//   * one-diamond-source — exactly one correct ♦-source, per-destination
+//     staggered GSTs (exercises per-link plumbing), fair loss elsewhere;
+//   * k-diamond-sources  — several sources (max(2, n/3));
+//   * zero-sources       — GrowingSilenceLink everywhere; the control MUST
+//     NOT stabilize (the paper's necessity direction);
+//   * wan-3region        — three geo regions with intra-DC / cross-region /
+//     transcontinental delay tiers, all links eventually timely;
+//   * relay-partition    — only a bidirectional ring of direct links is
+//     alive; everything else is dead and traffic is routed over the
+//     net/relay flood path (eventually timely *paths*).
+//
+// LinkSchedule is the adversarial-scheduler artifact: per-link GST offsets,
+// loss bursts and timeliness downgrades, with a text codec so a found
+// worst case replays bit-for-bit from a file (sim/adversary.h runs the
+// search). A perturbation's cost is its *end time* — the later a link is
+// still disturbed, the more of the adversary's power budget it burns — so
+// equal-budget schedules are comparable and random baselines are fair.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/link.h"
+
+namespace lls {
+
+enum class LinkClass : std::uint8_t {
+  kTimely,            ///< TimelyLink: always delivers within the delay range
+  kEventuallyTimely,  ///< EventuallyTimelyLink: chaos before a per-link GST
+  kFairLossy,         ///< FairLossyLink: per-link loss + deterministic lane
+  kLossyAsync,        ///< LossyAsyncLink: arbitrary loss and delay, forever
+  kSilenceBursts,     ///< GrowingSilenceLink: unboundedly growing silences
+  kDead,              ///< DeadLink: hard partition
+};
+
+[[nodiscard]] const char* link_class_name(LinkClass cls);
+
+/// Everything one directed link needs to build its LinkModel. Unused fields
+/// for a class are ignored (e.g. gst for kFairLossy).
+struct LinkSpec {
+  LinkClass cls = LinkClass::kFairLossy;
+  /// Steady-state delay (the timely range for kTimely/kEventuallyTimely,
+  /// the delivery delay for the lossy classes).
+  DelayRange delay{500 * kMicrosecond, 2 * kMillisecond};
+  /// Per-link global stabilization time (kEventuallyTimely only).
+  TimePoint gst = 0;
+  /// Pre-GST behaviour (kEventuallyTimely only).
+  EventuallyTimelyLink::PreGst pre_gst{0.5,
+                                       {500 * kMicrosecond, 20 * kMillisecond}};
+  /// Loss probability (kFairLossy / kLossyAsync).
+  double loss = 0.5;
+  /// Deterministic fairness lane (kFairLossy; 0 disables).
+  std::uint32_t deliver_every_kth = 4;
+  /// First silence window (kSilenceBursts).
+  TimePoint first_silence = 1 * kSecond;
+  /// Optional transport-fault overlay (duplication/corruption/reordering).
+  bool faulty = false;
+  FaultyLinkParams faults;
+  /// Adversarial silence/chaos windows (empty = none). Applied outermost,
+  /// so a schedule's burst silences even an otherwise timely link.
+  WindowedChaosLink::Params windows;
+
+  /// Builds the link model this spec describes.
+  [[nodiscard]] std::unique_ptr<LinkModel> instantiate() const;
+};
+
+/// WAN delay tiers used by the geo presets.
+struct WanTiers {
+  DelayRange intra_dc{200 * kMicrosecond, 1 * kMillisecond};
+  DelayRange cross_region{10 * kMillisecond, 30 * kMillisecond};
+  DelayRange transcontinental{60 * kMillisecond, 120 * kMillisecond};
+};
+
+struct TopologyProfile {
+  std::string name;
+  int n = 0;
+  /// Route traffic over the net/relay flood path (actors must be wrapped in
+  /// RelayActor; raw-message communication efficiency does not apply).
+  bool use_relay = false;
+  /// Whether Omega is expected to stabilize on this topology. False only
+  /// for the zero-sources necessity control, whose campaign check inverts.
+  bool expect_stabilize = true;
+  /// The ♦-sources (campaigns protect the last one from crash-stop kills).
+  std::vector<ProcessId> sources;
+  /// Per-process geo region (wan presets; empty elsewhere).
+  std::vector<int> region;
+  /// n*n row-major spec matrix; the diagonal is unused.
+  std::vector<LinkSpec> links;
+
+  /// Builds an empty profile with n*n default specs.
+  static TopologyProfile make(std::string name, int n);
+
+  [[nodiscard]] LinkSpec& link(ProcessId src, ProcessId dst);
+  [[nodiscard]] const LinkSpec& link(ProcessId src, ProcessId dst) const;
+  [[nodiscard]] bool is_source(ProcessId p) const;
+
+  /// A LinkFactory over an immutable snapshot of this profile: the factory
+  /// keeps its own copy, so later edits to the profile (topology churn) do
+  /// not retroactively change what heals re-instantiate.
+  [[nodiscard]] LinkFactory factory() const;
+
+  /// A LinkFactory reading `shared` at call time: topology churn swaps the
+  /// pointed-to profile and every subsequent (re)instantiation — including
+  /// Nemesis heals — builds from the *current* topology.
+  [[nodiscard]] static LinkFactory live_factory(
+      std::shared_ptr<const TopologyProfile> shared);
+
+  /// One line per link class count, for logs.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Preset names accepted by topology_preset(), in a stable order.
+[[nodiscard]] const std::vector<std::string>& topology_preset_names();
+
+/// Builds a named preset for an n-process cluster; nullopt on unknown name.
+[[nodiscard]] std::optional<TopologyProfile> topology_preset(
+    const std::string& name, int n);
+
+// --- individual preset builders (exposed for tests/tools that tweak them) --
+TopologyProfile make_one_diamond_source_profile(int n);
+TopologyProfile make_k_diamond_sources_profile(int n);
+TopologyProfile make_zero_sources_profile(int n);
+TopologyProfile make_wan_3region_profile(int n, WanTiers tiers = {});
+TopologyProfile make_relay_partition_profile(int n);
+
+// ---------------------------------------------------------------------------
+// Adversarial link schedules (the replayable search artifact).
+// ---------------------------------------------------------------------------
+
+struct LinkSchedule {
+  /// One perturbed link. A zero gst_offset / zero-length window means "no
+  /// perturbation of that kind" for this link.
+  struct Entry {
+    ProcessId src = 0;
+    ProcessId dst = 0;
+    /// Added to the link's GST (eventually-timely links only; wasted power
+    /// on other classes — the search learns to avoid that).
+    Duration gst_offset = 0;
+    /// Hard loss burst: every message in the window is dropped.
+    TimeWindow burst;
+    /// Timeliness downgrade: the link behaves lossy-asynchronous here.
+    TimeWindow chaos;
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  std::string topology;  ///< preset this schedule perturbs
+  int n = 0;
+  std::uint64_t seed = 0;  ///< search seed that produced it
+  std::vector<Entry> entries;
+
+  /// Total adversarial power: the sum of every perturbation's end time
+  /// (gst offsets count as windows starting at 0). Comparable across
+  /// schedules; the search and its random baseline get equal budgets.
+  [[nodiscard]] Duration power() const;
+
+  /// Deterministic text form (entries sorted by (src, dst)); decode() of
+  /// encode() round-trips exactly — the golden replay test pins this.
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<LinkSchedule> decode(
+      const std::string& text);
+
+  bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<LinkSchedule> load(
+      const std::string& path);
+
+  bool operator==(const LinkSchedule&) const = default;
+};
+
+/// Applies a schedule's perturbations on top of a profile: gst offsets add
+/// to the per-link GST, bursts become silence windows, chaos windows become
+/// lossy-async downgrades.
+[[nodiscard]] TopologyProfile apply_schedule(TopologyProfile profile,
+                                             const LinkSchedule& schedule);
+
+}  // namespace lls

@@ -89,6 +89,10 @@ class Histogram {
     counts_.assign(kBuckets, 0);
   }
 
+  /// Exact population equality (used by the campaign determinism checks:
+  /// identical seeds must produce identical histograms).
+  bool operator==(const Histogram&) const = default;
+
   /// Visits every non-empty bucket as (upper_bound, count), ascending —
   /// the shape Prometheus' cumulative `le` buckets are rendered from.
   /// Non-positive samples are reported under the smallest upper bound.

@@ -33,7 +33,8 @@ class ElectionSpanTracker {
         hist_(plane.registry().histogram("election_stabilization_ms")),
         leader_(static_cast<std::size_t>(n), kNoProcess),
         alive_(static_cast<std::size_t>(n), true),
-        span_start_(start) {
+        span_start_(start),
+        last_transition_(start) {
     publish_boundary(EventType::kSpanBegin, start, 0);
     sub_ = bus_.subscribe(mask_of(EventType::kLeaderChange) |
                               mask_of(EventType::kCrash) |
@@ -45,6 +46,10 @@ class ElectionSpanTracker {
   [[nodiscard]] bool span_open() const { return open_; }
   /// Duration of the most recently closed span.
   [[nodiscard]] Duration last_span() const { return last_span_; }
+  /// When the current span opened or the last span closed — i.e. the last
+  /// time stability flipped. A non-stabilization check uses this to tell
+  /// "still flapping late" from "quiet since early on".
+  [[nodiscard]] TimePoint last_transition() const { return last_transition_; }
 
  private:
   void on_event(const Event& e) {
@@ -74,11 +79,13 @@ class ElectionSpanTracker {
       ++spans_closed_;
       last_span_ = span;
       open_ = false;
+      last_transition_ = e.t;
       publish_boundary(EventType::kSpanEnd, e.t,
                        static_cast<std::uint64_t>(span));
     } else if (!open_ && !stable) {
       open_ = true;
       span_start_ = e.t;
+      last_transition_ = e.t;
       publish_boundary(EventType::kSpanBegin, e.t, 0);
     }
   }
@@ -116,6 +123,7 @@ class ElectionSpanTracker {
   std::vector<bool> alive_;
   bool open_ = true;
   TimePoint span_start_;
+  TimePoint last_transition_ = 0;
   Duration last_span_ = 0;
   std::uint64_t spans_closed_ = 0;
   Subscription sub_;

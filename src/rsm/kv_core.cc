@@ -1,6 +1,10 @@
 #include "rsm/kv_core.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "common/storage.h"
 
 namespace lls {
 
@@ -15,7 +19,8 @@ Bytes encode_single_command(const Command& cmd) {
 KvCore::KvCore(const KvCoreOptions& options)
     : config_(options.replica),
       omega_(options.omega),
-      consensus_(options.consensus, options.omega) {
+      consensus_(options.consensus, options.omega),
+      durable_(options.consensus.durable) {
   if (options.consensus.shard >= 0) {
     group_tag_ = static_cast<std::uint16_t>(options.consensus.shard + 1);
     shard_ = static_cast<ShardId>(options.consensus.shard);
@@ -42,6 +47,10 @@ void KvCore::on_start(Runtime& rt) {
           on_decided(e.a, e.payload);
         }
       });
+  // Restore the store snapshot (if any) BEFORE the consensus engine starts:
+  // a durable engine re-publishes its surviving decided suffix from within
+  // on_start, and snapshot_skip_ must already cover the compacted prefix.
+  if (durable_) restore_snapshot(rt);
   consensus_.on_start(rt);
 }
 
@@ -300,10 +309,85 @@ void KvCore::send_reply(ProcessId client, std::uint64_t seq,
   rt_->send(client, msg_type::kClientReply, encoded);
 }
 
-void KvCore::on_decided(Instance, BytesView value) {
-  if (value.empty()) return;  // consensus no-op filler
+void KvCore::on_decided(Instance i, BytesView value) {
+  if (i + 1 > applied_upto_) applied_upto_ = i + 1;
+  if (i < snapshot_skip_) return;  // already folded into the snapshot
+  if (value.empty()) return;       // consensus no-op filler
   CommandBatch batch = CommandBatch::decode(value);
   for (const Command& cmd : batch.commands) apply_command(cmd);
+}
+
+Instance KvCore::compact_applied() { return compact_to(applied_upto_); }
+
+Instance KvCore::compact_to(Instance upto) {
+  upto = std::min(upto, applied_upto_);
+  if (upto == 0) return consensus_.compacted_upto();
+  // Snapshot first: once the log prefix is gone, the snapshot is the only
+  // durable copy of its effects. Snapshot the full applied watermark even
+  // though compact() may clamp lower — replayed decisions below the
+  // snapshot are skipped, never double-applied.
+  if (durable_ && rt_ != nullptr) persist_snapshot(*rt_);
+  if (durable_) snapshot_skip_ = applied_upto_;
+  return consensus_.compact(upto);
+}
+
+std::string KvCore::snapshot_key() const {
+  return "kv_core/snapshot/" + std::to_string(group_tag_);
+}
+
+void KvCore::persist_snapshot(Runtime& rt) const {
+  StableStorage* storage = rt.storage();
+  if (storage == nullptr) {
+    throw std::logic_error("durable KvCore snapshot requires Runtime::storage()");
+  }
+  BufWriter w(256);
+  w.put(applied_upto_);
+  w.put(store_.applied());
+  w.put(static_cast<std::uint32_t>(store_.data().size()));
+  for (const auto& [key, value] : store_.data()) {  // map order: deterministic
+    w.put_string(key);
+    w.put_string(value);
+  }
+  // The dedup sets are part of the state machine: without them, a command
+  // decided below the snapshot AND re-decided above it (leader-change
+  // at-least-once) would re-apply after recovery. Sorted for determinism.
+  std::vector<ProcessId> origins;
+  origins.reserve(applied_.size());
+  for (const auto& [origin, seqs] : applied_) origins.push_back(origin);
+  std::sort(origins.begin(), origins.end());
+  w.put(static_cast<std::uint32_t>(origins.size()));
+  for (ProcessId origin : origins) {
+    const auto& seqs = applied_.at(origin);
+    std::vector<std::uint64_t> sorted(seqs.begin(), seqs.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.put(origin);
+    w.put_vec(sorted);
+  }
+  storage->write(snapshot_key(), w.view());
+}
+
+void KvCore::restore_snapshot(Runtime& rt) {
+  StableStorage* storage = rt.storage();
+  if (storage == nullptr) return;  // volatile runtime: nothing to restore
+  auto blob = storage->read(snapshot_key());
+  if (!blob.has_value()) return;  // never compacted durably
+  BufReader r(*blob);
+  snapshot_skip_ = r.get<Instance>();
+  applied_upto_ = snapshot_skip_;
+  const auto store_applied = r.get<std::uint64_t>();
+  auto entries = r.get<std::uint32_t>();
+  std::map<std::string, std::string> data;
+  while (entries-- > 0) {
+    std::string key = r.get_string();
+    data[std::move(key)] = r.get_string();
+  }
+  store_.restore(std::move(data), store_applied);
+  auto origins = r.get<std::uint32_t>();
+  while (origins-- > 0) {
+    auto origin = r.get<ProcessId>();
+    auto seqs = r.get_vec<std::uint64_t>();
+    applied_[origin].insert(seqs.begin(), seqs.end());
+  }
 }
 
 void KvCore::apply_command(const Command& cmd) {

@@ -137,6 +137,25 @@ class KvCore final : public Actor {
   LogConsensus& consensus() { return consensus_; }
   [[nodiscard]] const LogConsensus& consensus() const { return consensus_; }
 
+  // Compaction ---------------------------------------------------------------
+  /// Compacts the consensus log below everything this core has applied,
+  /// snapshotting the KV state to stable storage first when the group is
+  /// durable. Without the snapshot, a durable replica recovering after
+  /// compaction would rebuild its store only from the surviving log suffix
+  /// and silently lose the compacted prefix (the PR 9 audit bug).
+  Instance compact_applied();
+  /// Like compact_applied, but bounded by an externally coordinated
+  /// watermark (typically min(applied_upto) across the cluster). Compacting
+  /// past the slowest live replica's applied prefix destroys the only copies
+  /// of decisions that replica still needs — it could then never catch up,
+  /// and LogConsensus's prepare-side compaction guard would refuse it
+  /// leadership forever. Drivers that compact concurrently with churn or
+  /// crash-recovery must use this coordinated form.
+  Instance compact_to(Instance upto);
+  /// Instances this core has fully applied (1 + the highest decided
+  /// instance seen; instance numbering is dense below it).
+  [[nodiscard]] Instance applied_upto() const { return applied_upto_; }
+
   // Client-service introspection --------------------------------------------
   /// True when (origin, seq) has been applied to this core's store.
   [[nodiscard]] bool has_applied(ProcessId origin, std::uint64_t seq) const {
@@ -177,6 +196,9 @@ class KvCore final : public Actor {
 
   void on_decided(Instance i, BytesView value);
   void apply_command(const Command& cmd);
+  void persist_snapshot(Runtime& rt) const;
+  void restore_snapshot(Runtime& rt);
+  [[nodiscard]] std::string snapshot_key() const;
   void pump_session_queue();
   void flush_batch();
   void enqueue_for_consensus(Command cmd);
@@ -215,7 +237,14 @@ class KvCore final : public Actor {
 
   ProcessId self_ = kNoProcess;
   int cluster_n_ = 0;
+  bool durable_ = false;  ///< mirror of the consensus config's durable flag
   KvStore store_;
+  /// 1 + highest decided instance applied (or skipped-as-snapshotted).
+  Instance applied_upto_ = 0;
+  /// Decisions below this are covered by the restored snapshot: their
+  /// replays on recovery must not re-apply (the dedup sets that would have
+  /// suppressed them were folded into the snapshot).
+  Instance snapshot_skip_ = 0;
   std::uint64_t next_seq_ = 0;
   bool seq_initialized_ = false;
   std::uint64_t duplicates_ = 0;

@@ -26,6 +26,12 @@ class KvStore {
   /// Order-insensitive state digest, for cross-replica convergence checks.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Replaces the whole state from a snapshot (crash-recovery restore).
+  void restore(std::map<std::string, std::string> data, std::uint64_t applied) {
+    data_ = std::move(data);
+    applied_ = applied;
+  }
+
  private:
   std::map<std::string, std::string> data_;
   std::uint64_t applied_ = 0;

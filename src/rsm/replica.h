@@ -95,6 +95,13 @@ class BasicKvReplica final : public Actor {
   [[nodiscard]] std::size_t batch_buffered() const {
     return core_.batch_buffered();
   }
+  /// Compacts the consensus log below the applied watermark, snapshotting
+  /// the store first when durable (see KvCore::compact_applied).
+  Instance compact_applied() { return core_.compact_applied(); }
+  /// Coordinated compaction bounded by a cluster-wide watermark (see
+  /// KvCore::compact_to).
+  Instance compact_to(Instance upto) { return core_.compact_to(upto); }
+  [[nodiscard]] Instance applied_upto() const { return core_.applied_upto(); }
   OmegaT& omega() { return omega_; }
   LogConsensus& consensus() { return core_.consensus(); }
   [[nodiscard]] const OmegaT& omega() const { return omega_; }

@@ -1,0 +1,248 @@
+#include "sim/adversary.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "omega/experiment.h"
+#include "sim/campaign.h"
+
+namespace lls {
+
+namespace {
+
+enum Kind : int { kGstOffset = 0, kBurst = 1, kChaos = 2 };
+constexpr int kKinds = 3;
+
+struct SlotKey {
+  ProcessId src = 0;
+  ProcessId dst = 0;
+  int kind = kGstOffset;
+
+  bool operator<(const SlotKey& o) const {
+    return std::tie(src, dst, kind) < std::tie(o.src, o.dst, o.kind);
+  }
+};
+
+struct SlotVal {
+  Duration cost = 0;  ///< this slot's share of the power budget (= end time)
+  double u = 0;       ///< window geometry: start = u * end
+};
+
+/// The search genotype: how the power budget is distributed over
+/// (link, perturbation-kind) slots. std::map keeps iteration (and thus the
+/// derived schedule) deterministic.
+using Genotype = std::map<SlotKey, SlotVal>;
+
+SlotKey random_slot_key(const AdversaryConfig& cfg, Rng& rng) {
+  SlotKey k;
+  k.src = static_cast<ProcessId>(rng.next_below(static_cast<std::uint64_t>(cfg.n)));
+  k.dst = static_cast<ProcessId>(
+      rng.next_below(static_cast<std::uint64_t>(cfg.n - 1)));
+  if (k.dst >= k.src) ++k.dst;
+  k.kind = static_cast<int>(rng.next_below(kKinds));
+  return k;
+}
+
+/// Adds `amount` of cost to slot `key`, clamped so no slot's end time can
+/// pass latest_end. Returns how much was actually absorbed.
+Duration add_cost(const AdversaryConfig& cfg, Genotype& g, SlotKey key,
+                  Duration amount, Rng& rng) {
+  auto [it, fresh] = g.try_emplace(key);
+  if (fresh) it->second.u = rng.next_double();
+  const Duration room = cfg.latest_end - it->second.cost;
+  const Duration taken = std::min(amount, std::max<Duration>(room, 0));
+  it->second.cost += taken;
+  return taken;
+}
+
+/// Stick-breaking random allocation of the whole power budget: ~chunks
+/// pieces with mildly uneven weights, scattered uniformly over every
+/// (link, kind) slot. This is the baseline's generator AND the climb's
+/// starting point, so the two arms differ only in the search itself.
+Genotype random_genotype(const AdversaryConfig& cfg, Rng& rng) {
+  const int chunks = std::max(1, cfg.chunks);
+  std::vector<double> weights(static_cast<std::size_t>(chunks));
+  double total = 0;
+  for (double& w : weights) {
+    w = 0.25 + rng.next_double();
+    total += w;
+  }
+  Genotype g;
+  for (double w : weights) {
+    const auto share = static_cast<Duration>(
+        static_cast<double>(cfg.power) * (w / total));
+    add_cost(cfg, g, random_slot_key(cfg, rng), share, rng);
+  }
+  return g;
+}
+
+Genotype::iterator random_slot(Genotype& g, Rng& rng) {
+  auto it = g.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.next_below(g.size())));
+  return it;
+}
+
+void mutate(const AdversaryConfig& cfg, Genotype& g, Rng& rng) {
+  if (g.empty()) {
+    add_cost(cfg, g, random_slot_key(cfg, rng), cfg.power / 4, rng);
+    return;
+  }
+  switch (rng.next_below(3)) {
+    case 0: {
+      // Transfer a fraction of one slot's cost to another (possibly new)
+      // slot — the concentration move.
+      auto from = random_slot(g, rng);
+      const double frac = 0.25 + 0.75 * rng.next_double();
+      auto amount = static_cast<Duration>(
+          static_cast<double>(from->second.cost) * frac);
+      const SlotKey to = random_slot_key(cfg, rng);
+      if (!(from->first < to) && !(to < from->first)) return;  // self: no-op
+      from->second.cost -= amount;  // safe: map insert keeps iterators valid
+      const Duration absorbed = add_cost(cfg, g, to, amount, rng);
+      from->second.cost += amount - absorbed;  // clamped remainder stays put
+      if (from->second.cost <= 0) g.erase(from);
+      break;
+    }
+    case 1: {
+      // Retarget a whole slot.
+      auto from = random_slot(g, rng);
+      const SlotKey to = random_slot_key(cfg, rng);
+      if (!(from->first < to) && !(to < from->first)) return;
+      const Duration amount = from->second.cost;
+      from->second.cost = 0;
+      const Duration absorbed = add_cost(cfg, g, to, amount, rng);
+      from->second.cost = amount - absorbed;
+      if (from->second.cost <= 0) g.erase(from);
+      break;
+    }
+    default: {
+      // Re-draw a window's geometry (where inside [0, end] it sits).
+      random_slot(g, rng)->second.u = rng.next_double();
+      break;
+    }
+  }
+}
+
+LinkSchedule to_schedule(const AdversaryConfig& cfg, const Genotype& g) {
+  LinkSchedule s;
+  s.topology = cfg.topology;
+  s.n = cfg.n;
+  s.seed = cfg.seed;
+  std::map<std::pair<ProcessId, ProcessId>, LinkSchedule::Entry> by_link;
+  for (const auto& [key, val] : g) {
+    if (val.cost <= 0) continue;
+    LinkSchedule::Entry& e = by_link[{key.src, key.dst}];
+    e.src = key.src;
+    e.dst = key.dst;
+    const Duration end = std::min(val.cost, cfg.latest_end);
+    const auto start = static_cast<TimePoint>(
+        static_cast<double>(end) * val.u);
+    switch (key.kind) {
+      case kGstOffset:
+        e.gst_offset += end;
+        break;
+      case kBurst:
+        e.burst = {start, end - start};
+        break;
+      default:
+        e.chaos = {start, end - start};
+        break;
+    }
+  }
+  s.entries.reserve(by_link.size());
+  for (auto& [link, entry] : by_link) s.entries.push_back(std::move(entry));
+  return s;
+}
+
+}  // namespace
+
+Duration evaluate_schedule(const AdversaryConfig& config,
+                           const LinkSchedule& schedule) {
+  auto profile = topology_preset(config.topology, config.n);
+  if (!profile.has_value()) {
+    throw std::invalid_argument("unknown topology preset: " + config.topology);
+  }
+  OmegaExperiment exp;
+  exp.n = config.n;
+  exp.seed = config.seed;
+  exp.links = apply_schedule(std::move(*profile), schedule).factory();
+  exp.horizon = config.horizon;
+  const OmegaResult r = run_omega_experiment(exp);
+  return r.stabilized ? r.stabilization_time : config.horizon;
+}
+
+AdversaryResult run_adversary_search(const AdversaryConfig& config,
+                                     std::FILE* log) {
+  AdversaryResult out;
+  Rng root(config.seed * 0x9e3779b97f4a7c15ULL ^ 0x6164766572ULL);
+  Rng search_rng = root.fork();
+  Rng baseline_rng = root.fork();
+
+  LinkSchedule empty;
+  empty.topology = config.topology;
+  empty.n = config.n;
+  empty.seed = config.seed;
+  out.unperturbed_span = evaluate_schedule(config, empty);
+
+  // Arm 1: the hill climb.
+  Genotype current = random_genotype(config, search_rng);
+  LinkSchedule current_sched = to_schedule(config, current);
+  Duration current_span = evaluate_schedule(config, current_sched);
+  out.trajectory.push_back(current_span);
+  out.evals = 1;
+  while (out.evals < config.evals) {
+    Genotype mutant = current;
+    mutate(config, mutant, search_rng);
+    LinkSchedule mutant_sched = to_schedule(config, mutant);
+    const Duration mutant_span = evaluate_schedule(config, mutant_sched);
+    ++out.evals;
+    if (mutant_span >= current_span) {  // >=: drift across plateaus
+      if (log != nullptr && mutant_span > current_span) {
+        std::fprintf(log, "  [adversary] eval %d: span %.1f ms -> %.1f ms\n",
+                     out.evals,
+                     static_cast<double>(current_span) /
+                         static_cast<double>(kMillisecond),
+                     static_cast<double>(mutant_span) /
+                         static_cast<double>(kMillisecond));
+      }
+      current = std::move(mutant);
+      current_sched = std::move(mutant_sched);
+      current_span = mutant_span;
+    }
+    out.trajectory.push_back(current_span);
+  }
+  out.best = std::move(current_sched);
+  out.best_span = current_span;
+
+  // Arm 2: equal-budget independent random schedules.
+  for (int i = 0; i < config.evals; ++i) {
+    const Duration span = evaluate_schedule(
+        config, to_schedule(config, random_genotype(config, baseline_rng)));
+    out.random_best_span = std::max(out.random_best_span, span);
+  }
+  return out;
+}
+
+CaseResult verify_schedule_invariants(const AdversaryConfig& config,
+                                      const LinkSchedule& schedule) {
+  CampaignConfig cc;
+  cc.scenario = Scenario::kKvLinearizable;
+  cc.n = config.n;
+  cc.topology = config.topology;
+  cc.schedule = std::make_shared<const LinkSchedule>(schedule);
+  // The schedule may disturb links until latest_end; give the cluster a
+  // healed stretch afterwards so liveness is a fair demand.
+  cc.quiesce = config.latest_end;
+  cc.horizon = std::max(config.horizon, config.latest_end + 30 * kSecond);
+  cc.crash_stop_budget = 0;
+  cc.kv_ops = 300;
+  return run_campaign_case(cc, config.seed);
+}
+
+}  // namespace lls

@@ -1,0 +1,92 @@
+// Adversarial link scheduler: seeded mutate-and-replay search for the link
+// schedule that maximizes Omega's stabilization time on a topology preset.
+//
+// Executions are pure functions of (topology, schedule, seed), so a
+// candidate schedule can be *evaluated* by simply running the experiment
+// and *replayed* bit-for-bit from its saved artifact. The search is a hill
+// climb over a power-budgeted genotype:
+//
+//   * the adversary owns a fixed power budget (sum over perturbations of
+//     their END time — disturbing a link late costs more than early, and a
+//     GST offset counts as a window starting at 0);
+//   * a genotype is a set of slots keyed (src, dst, kind) with kind in
+//     {gst-offset, loss-burst, chaos-downgrade}, each holding a cost share
+//     and a window-geometry parameter;
+//   * mutations transfer cost between slots (the concentration move: mass
+//     migrates onto the links that actually gate stabilization), retarget
+//     a slot to another link, or re-draw a window's geometry;
+//   * a mutant is kept iff its stabilization span is >= the incumbent's
+//     (plateau drift keeps the search moving across neutral networks).
+//
+// The mandated fairness baseline: an EQUAL number of evaluations spent on
+// independent random schedules drawn from the same power budget
+// (stick-breaking init), reported alongside so the acceptance gate
+// "search >= 1.5x random" is a like-for-like comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology_profile.h"
+
+namespace lls {
+
+struct CampaignConfig;
+struct CaseResult;
+
+struct AdversaryConfig {
+  std::string topology = "one-diamond-source";
+  int n = 5;
+  /// Seed of the experiment the schedules perturb AND of the search itself
+  /// (search and baseline draw from decorrelated forks of it).
+  std::uint64_t seed = 1;
+  /// Total simulation evaluations granted to the hill climb; the random
+  /// baseline gets exactly the same number.
+  int evals = 40;
+  /// Adversarial power budget (see LinkSchedule::power()).
+  Duration power = 20 * kSecond;
+  /// No perturbation may extend past this point on the virtual clock —
+  /// checks at the campaign horizon must see a healed network.
+  TimePoint latest_end = 30 * kSecond;
+  /// Experiment horizon; a run that never stabilizes scores this.
+  TimePoint horizon = 60 * kSecond;
+  /// Stick-breaking chunks for random schedule generation.
+  int chunks = 12;
+};
+
+struct AdversaryResult {
+  LinkSchedule best;               ///< the replayable worst-case artifact
+  Duration best_span = 0;          ///< stabilization span of `best`
+  Duration random_best_span = 0;   ///< max span over the random baseline
+  Duration unperturbed_span = 0;   ///< span with no schedule at all
+  std::vector<Duration> trajectory;  ///< incumbent span after each eval
+  int evals = 0;                   ///< evaluations actually spent (per arm)
+
+  /// Search quality vs the equal-budget random baseline (the >= 1.5x gate).
+  [[nodiscard]] double gain() const {
+    return random_best_span > 0 ? static_cast<double>(best_span) /
+                                      static_cast<double>(random_best_span)
+                                : 0.0;
+  }
+};
+
+/// Stabilization span of `schedule` applied to its topology preset: the
+/// omega experiment's stabilization time, or the horizon when it never
+/// stabilizes. Deterministic in (config, schedule).
+Duration evaluate_schedule(const AdversaryConfig& config,
+                           const LinkSchedule& schedule);
+
+/// Runs the hill climb and its equal-budget random baseline. When `log` is
+/// non-null, prints one line per incumbent improvement.
+AdversaryResult run_adversary_search(const AdversaryConfig& config,
+                                     std::FILE* log = nullptr);
+
+/// Runs the full kv invariant suite (agreement, exactly-once,
+/// linearizability, convergence) on the preset with `schedule` applied —
+/// the "invariants still hold at the adversarial optimum" check.
+CaseResult verify_schedule_invariants(const AdversaryConfig& config,
+                                      const LinkSchedule& schedule);
+
+}  // namespace lls

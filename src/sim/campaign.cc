@@ -1,6 +1,7 @@
 #include "sim/campaign.h"
 
 #include <algorithm>
+#include <limits>
 #include <cinttypes>
 #include <functional>
 #include <map>
@@ -13,10 +14,12 @@
 #include "common/rng.h"
 #include "consensus/experiment.h"
 #include "consensus/node.h"
+#include "net/relay.h"
 #include "net/topology.h"
 #include "omega/all2all_omega.h"
 #include "omega/ce_omega.h"
 #include "omega/cr_omega.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "rsm/history.h"
 #include "rsm/linearizability.h"
@@ -177,37 +180,162 @@ void check_kill_accounting(const Simulator& sim, const Nemesis& nemesis,
   }
 }
 
-std::vector<std::string> run_ce_omega(const CampaignConfig& config,
-                                      std::uint64_t seed) {
+/// Wraps a violations-only outcome (scenarios that predate CaseResult's
+/// observability fields).
+CaseResult only_violations(std::vector<std::string> violations) {
+  CaseResult result;
+  result.violations = std::move(violations);
+  return result;
+}
+
+/// Everything a topology-preset run derives from CampaignConfig::topology:
+/// the profile (schedule already applied), its LinkFactory, the processes to
+/// protect from kills, and the expected stabilization verdict.
+struct TopologySetup {
+  TopologyProfile profile;
+  LinkFactory base;
+  std::vector<ProcessId> protect;
+  bool expect_stabilize = true;
+  bool use_relay = false;
+};
+
+/// Resolves config.topology (+ optional adversarial schedule). Returns
+/// nullopt both when no topology was requested (no violation added) and when
+/// the request is invalid (violation added) — callers distinguish via
+/// config.topology.empty().
+std::optional<TopologySetup> topology_setup(
+    const CampaignConfig& config, std::vector<std::string>& violations) {
+  if (config.topology.empty()) return std::nullopt;
+  auto profile = topology_preset(config.topology, config.n);
+  if (!profile) {
+    violations.push_back("unknown topology preset: " + config.topology +
+                         " (n=" + std::to_string(config.n) + ")");
+    return std::nullopt;
+  }
+  if (config.schedule != nullptr) {
+    if (config.schedule->topology != config.topology ||
+        config.schedule->n != config.n) {
+      violations.emplace_back(
+          "link schedule does not match the run: schedule is for " +
+          config.schedule->topology + "/n=" +
+          std::to_string(config.schedule->n));
+      return std::nullopt;
+    }
+    try {
+      *profile = apply_schedule(std::move(*profile), *config.schedule);
+    } catch (const std::exception& e) {
+      violations.emplace_back(std::string("invalid link schedule: ") +
+                              e.what());
+      return std::nullopt;
+    }
+  }
+  TopologySetup setup;
+  setup.expect_stabilize = profile->expect_stabilize;
+  setup.use_relay = profile->use_relay;
+  if (!profile->sources.empty()) setup.protect = {profile->sources.back()};
+  setup.base = profile->factory();
+  setup.profile = std::move(*profile);
+  return setup;
+}
+
+/// Fetches p's protocol actor, unwrapping the relay envelope when the
+/// topology routes over the flood path.
+template <typename T>
+T& proto_actor(Simulator& sim, ProcessId p, bool relayed) {
+  if (relayed) return dynamic_cast<T&>(sim.actor_as<RelayActor>(p).inner());
+  return sim.actor_as<T>(p);
+}
+
+/// Pulls the run's obs-plane histograms into the case result: election
+/// stabilization spans plus consensus decide latencies (including the
+/// per-shard "_shard<g>" series, merged into one population).
+void collect_histograms(const Simulator& sim, CaseResult& result) {
+  for (const auto& [name, hist] : sim.plane().registry().histograms()) {
+    if (name == "election_stabilization_ms") {
+      result.stabilization_span_ms.merge(hist);
+    } else if (name.rfind("consensus_decide_latency_ms", 0) == 0) {
+      result.decide_latency_ms.merge(hist);
+    }
+  }
+}
+
+/// The zero-sources verdict. GrowingSilenceLink delivers timely *between*
+/// silence windows, so the election may transiently look settled at the
+/// horizon; "never stabilizes" operationally means the cluster was still
+/// being disrupted by the last silence window that opened before the
+/// horizon: either a span is open, or stability was lost and re-gained at
+/// least twice with the latest flip inside that last window.
+bool still_flapping(const obs::ElectionSpanTracker& tracker,
+                    TimePoint horizon) {
+  if (tracker.span_open()) return true;
+  const TimePoint last = GrowingSilenceLink::last_silence_start(horizon);
+  return tracker.spans_closed() >= 2 && last != kTimeNever &&
+         tracker.last_transition() >= last;
+}
+
+CaseResult run_ce_omega(const CampaignConfig& config, std::uint64_t seed) {
+  CaseResult result;
+  std::vector<std::string>& violations = result.violations;
+  auto topo = topology_setup(config, violations);
+  if (!config.topology.empty() && !topo) return result;
   SimConfig sc;
   sc.n = config.n;
   sc.seed = seed;
-  LinkFactory base = system_s_links(config);
+  LinkFactory base = topo ? topo->base : system_s_links(config);
   Simulator sim(sc, base);
   auto tracer = maybe_trace(sim, config);
+  obs::ElectionSpanTracker tracker(sim.plane(), config.n);
+  const bool relayed = topo && topo->use_relay;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
-    sim.emplace_actor<CeOmega>(p, ce_config(config));
+    if (relayed) {
+      sim.emplace_actor<RelayActor>(
+          p, std::make_unique<CeOmega>(ce_config(config)));
+    } else {
+      sim.emplace_actor<CeOmega>(p, ce_config(config));
+    }
   }
   NemesisConfig nc = nemesis_for(config, seed);
   nc.crash_stop_budget = config.crash_stop_budget;
-  nc.protected_processes = {source_of(config)};
+  nc.protected_processes =
+      topo ? topo->protect : std::vector<ProcessId>{source_of(config)};
   Nemesis nemesis(sim, base, nc);
   sim.start();
   sim.run_until(config.horizon);
   dump_trace(tracer, config);
 
-  std::vector<std::string> violations;
   check_kill_accounting(sim, nemesis, violations);
-  auto leader = check_unique_leader(
-      sim,
-      [&](ProcessId p) { return sim.actor_as<const CeOmega>(p).leader(); },
-      violations);
-  if (leader) check_efficiency(sim, config, *leader, violations);
-  return violations;
+  if (!topo || topo->expect_stabilize) {
+    result.stabilized = !tracker.span_open();
+    auto leader = check_unique_leader(
+        sim,
+        [&](ProcessId p) {
+          return proto_actor<const CeOmega>(sim, p, relayed).leader();
+        },
+        violations);
+    // Raw-message efficiency does not apply over the relay flood path (the
+    // relaxation trades it for eventually timely *paths*).
+    if (leader && !relayed) {
+      check_efficiency(sim, config, *leader, violations);
+    }
+  } else {
+    // The paper's necessity direction: with zero ♦-sources the election
+    // MUST keep flapping. A settled election here is the violation.
+    result.stabilized = !still_flapping(tracker, config.horizon);
+    if (result.stabilized) {
+      violations.emplace_back(
+          "zero-sources control stabilized: election settled although no "
+          "process has eventually timely outgoing links");
+    }
+  }
+  collect_histograms(sim, result);
+  return result;
 }
 
 std::vector<std::string> run_all2all(const CampaignConfig& config,
                                      std::uint64_t seed) {
+  if (!config.topology.empty()) {
+    return {"topology presets are not supported by the all2all scenario"};
+  }
   SimConfig sc;
   sc.n = config.n;
   sc.seed = seed;
@@ -246,6 +374,9 @@ std::vector<std::string> run_all2all(const CampaignConfig& config,
 
 std::vector<std::string> run_cr_omega(const CampaignConfig& config,
                                       std::uint64_t seed) {
+  if (!config.topology.empty()) {
+    return {"topology presets are not supported by the cr scenario"};
+  }
   SimConfig sc;
   sc.n = config.n;
   sc.seed = seed;
@@ -286,20 +417,37 @@ std::vector<std::string> run_cr_omega(const CampaignConfig& config,
   return violations;
 }
 
-std::vector<std::string> run_consensus(const CampaignConfig& config,
-                                       std::uint64_t seed) {
+CaseResult run_consensus(const CampaignConfig& config, std::uint64_t seed) {
+  CaseResult result;
+  std::vector<std::string>& violations = result.violations;
+  auto topo = topology_setup(config, violations);
+  if (!config.topology.empty() && !topo) return result;
+  if (topo && !topo->expect_stabilize) {
+    violations.emplace_back(
+        "the zero-sources control needs no consensus stack; use the ce "
+        "scenario");
+    return result;
+  }
   SimConfig sc;
   sc.n = config.n;
   sc.seed = seed;
-  LinkFactory base = system_s_links(config);
+  LinkFactory base = topo ? topo->base : system_s_links(config);
   Simulator sim(sc, base);
   auto tracer = maybe_trace(sim, config);
+  obs::ElectionSpanTracker tracker(sim.plane(), config.n);
+  const bool relayed = topo && topo->use_relay;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
-    sim.emplace_actor<CeNode>(p, ce_config(config), LogConsensusConfig{});
+    if (relayed) {
+      sim.emplace_actor<RelayActor>(
+          p, std::make_unique<CeNode>(ce_config(config), LogConsensusConfig{}));
+    } else {
+      sim.emplace_actor<CeNode>(p, ce_config(config), LogConsensusConfig{});
+    }
   }
   NemesisConfig nc = nemesis_for(config, seed);
   nc.crash_stop_budget = config.crash_stop_budget;
-  nc.protected_processes = {source_of(config)};
+  nc.protected_processes =
+      topo ? topo->protect : std::vector<ProcessId>{source_of(config)};
   Nemesis nemesis(sim, base, nc);
 
   // Values proposed mid-chaos, round-robin across processes. A proposal is
@@ -311,19 +459,19 @@ std::vector<std::string> run_consensus(const CampaignConfig& config,
   for (std::uint64_t k = 0; k < kValues; ++k) {
     submitter[k] = static_cast<ProcessId>(k % config.n);
     sim.schedule(1 * kSecond + k * 500 * kMillisecond, [&sim, &submitted_alive,
-                                                        k]() {
+                                                        relayed, k]() {
       ProcessId p = static_cast<ProcessId>(
           k % static_cast<std::uint64_t>(sim.n()));
       if (!sim.alive(p)) return;
       submitted_alive[k] = true;
-      sim.actor_as<CeNode>(p).consensus().propose(make_value(k + 1));
+      proto_actor<CeNode>(sim, p, relayed).consensus().propose(
+          make_value(k + 1));
     });
   }
   sim.start();
   sim.run_until(config.horizon);
   dump_trace(tracer, config);
 
-  std::vector<std::string> violations;
   check_kill_accounting(sim, nemesis, violations);
 
   const auto& killed = nemesis.killed();
@@ -336,15 +484,16 @@ std::vector<std::string> run_consensus(const CampaignConfig& config,
   Instance max_len = 0;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     if (!sim.alive(p)) continue;
-    max_len = std::max(max_len,
-                       sim.actor_as<CeNode>(p).consensus().first_unknown());
+    max_len = std::max(
+        max_len,
+        proto_actor<CeNode>(sim, p, relayed).consensus().first_unknown());
   }
   std::set<std::uint64_t> decided_ids;
   for (Instance i = 0; i < max_len; ++i) {
     std::optional<Bytes> expected;
     for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
       if (!sim.alive(p)) continue;
-      auto v = sim.actor_as<CeNode>(p).consensus().decision(i);
+      auto v = proto_actor<CeNode>(sim, p, relayed).consensus().decision(i);
       if (!v) continue;
       if (!expected) {
         expected = v;
@@ -361,8 +510,9 @@ std::vector<std::string> run_consensus(const CampaignConfig& config,
   Instance min_len = max_len;
   for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
     if (!sim.alive(p)) continue;
-    min_len = std::min(min_len,
-                       sim.actor_as<CeNode>(p).consensus().first_unknown());
+    min_len = std::min(
+        min_len,
+        proto_actor<CeNode>(sim, p, relayed).consensus().first_unknown());
   }
   for (std::uint64_t k = 0; k < kValues; ++k) {
     if (!submitted_alive[k] || was_killed(submitter[k])) continue;
@@ -379,7 +529,9 @@ std::vector<std::string> run_consensus(const CampaignConfig& config,
          << " vs " << max_len << " at horizon";
     violations.push_back(what.str());
   }
-  return violations;
+  result.stabilized = !tracker.span_open();
+  collect_histograms(sim, result);
+  return result;
 }
 
 /// One pre-planned client operation of the randomized kv workload.
@@ -441,12 +593,26 @@ std::vector<PlannedKvOp> plan_kv_workload(const CampaignConfig& config,
 }
 
 CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
+  CaseResult early;
+  auto topo = topology_setup(config, early.violations);
+  if (!config.topology.empty() && !topo) return early;
+  if (topo && !topo->expect_stabilize) {
+    early.violations.emplace_back(
+        "the zero-sources control needs no kv stack; use the ce scenario");
+    return early;
+  }
   SimConfig sc;
   sc.n = config.n;
   sc.seed = seed;
   const bool lease_mode = config.lease_reads || config.lease_sabotage;
+  const bool relayed = topo && topo->use_relay;
   LinkFactory base;
-  if (config.lease_reads && !config.lease_sabotage) {
+  if (topo) {
+    // The profile is authoritative: a lease+assassin run on a preset relies
+    // on the spared ♦-source being the preset's protected source instead of
+    // the legacy second-source grafting below.
+    base = topo->base;
+  } else if (config.lease_reads && !config.lease_sabotage) {
     // The assassin below kills the leaseholder, which under system S is
     // (eventually) the ♦-source itself. A second source keeps the liveness
     // premise alive after the kill: leadership re-stabilizes on the spared
@@ -461,6 +627,7 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   }
   Simulator sim(sc, base);
   auto tracer = maybe_trace(sim, config);
+  obs::ElectionSpanTracker tracker(sim.plane(), config.n);
   // Batching keeps thousands of ops per run affordable: the Θ(n) consensus
   // cost is amortized over each batch.
   KvReplicaConfig rc;
@@ -479,13 +646,21 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
       ShardedReplicaConfig src;
       src.shards = config.shards;
       src.replica = rc;
-      sim.emplace_actor<ShardedKvReplica>(
-          p, ShardedKvReplica::Options{
-                 .omega = oc, .consensus = lc, .sharded = src});
+      ShardedKvReplica::Options opts{
+          .omega = oc, .consensus = lc, .sharded = src};
+      if (relayed) {
+        sim.emplace_actor<RelayActor>(
+            p, std::make_unique<ShardedKvReplica>(opts));
+      } else {
+        sim.emplace_actor<ShardedKvReplica>(p, opts);
+      }
     } else {
-      sim.emplace_actor<KvReplica>(
-          p, KvReplica::Options{
-                 .omega = oc, .consensus = lc, .replica = rc});
+      KvReplica::Options opts{.omega = oc, .consensus = lc, .replica = rc};
+      if (relayed) {
+        sim.emplace_actor<RelayActor>(p, std::make_unique<KvReplica>(opts));
+      } else {
+        sim.emplace_actor<KvReplica>(p, opts);
+      }
     }
   }
   // The sabotage script needs a controlled execution: no nemesis chaos, the
@@ -497,16 +672,19 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
     NemesisConfig nc = nemesis_for(config, seed);
     nc.crash_stop_budget =
         config.lease_reads ? 0 : config.crash_stop_budget;
-    nc.protected_processes = {source_of(config)};
+    nc.protected_processes =
+        topo ? topo->protect : std::vector<ProcessId>{source_of(config)};
     nemesis.emplace(sim, base, nc);
   }
 
-  auto holder_of = [&sim, &config, sharded]() {
+  auto holder_of = [&sim, &config, sharded, relayed]() {
     for (ProcessId p = 0; p < static_cast<ProcessId>(config.n); ++p) {
       if (!sim.alive(p)) continue;
       const bool valid =
-          sharded ? sim.actor_as<ShardedKvReplica>(p).lease_valid_groups() > 0
-                  : sim.actor_as<KvReplica>(p).lease_valid();
+          sharded
+              ? proto_actor<ShardedKvReplica>(sim, p, relayed)
+                        .lease_valid_groups() > 0
+              : proto_actor<KvReplica>(sim, p, relayed).lease_valid();
       if (valid) return p;
     }
     return kNoProcess;
@@ -526,7 +704,9 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
         static_cast<TimePoint>(kill_rng->next_below(
             static_cast<std::uint64_t>(config.quiesce))));
     auto budget = std::make_shared<int>(config.crash_stop_budget);
-    const ProcessId spared = source_of(config);
+    const ProcessId spared =
+        topo && !topo->protect.empty() ? topo->protect.back()
+                                       : source_of(config);
     sim.schedule_every(
         2 * kSecond, std::max<Duration>(config.lease_duration / 4, 1),
         [&sim, &config, holder_of, lease_killed, kill_rng, arm_at, budget,
@@ -564,7 +744,7 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   auto history = std::make_shared<std::vector<HistoryOp>>();
   history->reserve(plan->size());
   for (std::size_t k = 0; k < plan->size(); ++k) {
-    sim.schedule((*plan)[k].at, [&sim, plan, history, k, sharded]() {
+    sim.schedule((*plan)[k].at, [&sim, plan, history, k, sharded, relayed]() {
       const PlannedKvOp& spec = (*plan)[k];
       if (!sim.alive(spec.submitter)) return;  // op never issued
       HistoryOp op;
@@ -582,11 +762,11 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
         (*history)[slot].result = result;
       };
       if (sharded) {
-        sim.actor_as<ShardedKvReplica>(spec.submitter)
+        proto_actor<ShardedKvReplica>(sim, spec.submitter, relayed)
             .submit(spec.op, spec.key, spec.value, spec.expected,
                     std::move(done));
       } else {
-        sim.actor_as<KvReplica>(spec.submitter)
+        proto_actor<KvReplica>(sim, spec.submitter, relayed)
             .submit(spec.op, spec.key, spec.value, spec.expected,
                     std::move(done));
       }
@@ -600,9 +780,9 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
   // state; the linearizability checker must catch exactly that.
   auto sab_leader = std::make_shared<ProcessId>(kNoProcess);
   if (config.lease_sabotage) {
-    auto submit_at = [&sim, history, sharded](ProcessId p, KvOp op,
-                                              std::string key,
-                                              std::string value) {
+    auto submit_at = [&sim, history, sharded, relayed](ProcessId p, KvOp op,
+                                                       std::string key,
+                                                       std::string value) {
       HistoryOp rec;
       rec.cmd.origin = p;
       rec.cmd.seq = static_cast<std::uint64_t>(history->size()) + 1;
@@ -617,12 +797,13 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
         (*history)[slot].result = result;
       };
       if (sharded) {
-        sim.actor_as<ShardedKvReplica>(p).submit(
-            op, std::move(key), std::move(value), "", std::move(done));
+        proto_actor<ShardedKvReplica>(sim, p, relayed)
+            .submit(op, std::move(key), std::move(value), "",
+                    std::move(done));
       } else {
-        sim.actor_as<KvReplica>(p).submit(op, std::move(key),
-                                          std::move(value), "",
-                                          std::move(done));
+        proto_actor<KvReplica>(sim, p, relayed)
+            .submit(op, std::move(key), std::move(value), "",
+                    std::move(done));
       }
     };
     sim.schedule(3 * kSecond, [sab_leader, holder_of, submit_at]() {
@@ -703,8 +884,11 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
     if (!sim.alive(p)) continue;
     for (int g = 0; g < groups; ++g) {
       const std::uint64_t d =
-          sharded ? sim.actor_as<ShardedKvReplica>(p).group(g).store().digest()
-                  : sim.actor_as<KvReplica>(p).store().digest();
+          sharded ? proto_actor<ShardedKvReplica>(sim, p, relayed)
+                        .group(g)
+                        .store()
+                        .digest()
+                  : proto_actor<KvReplica>(sim, p, relayed).store().digest();
       auto& ref = digests[static_cast<std::size_t>(g)];
       if (!ref) {
         ref = d;
@@ -735,6 +919,8 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
       result.lin_budget_exceeded = true;
       break;
   }
+  result.stabilized = !tracker.span_open();
+  collect_histograms(sim, result);
   return result;
 }
 
@@ -747,6 +933,10 @@ CaseResult run_kv(const CampaignConfig& config, std::uint64_t seed) {
 /// acked token present everywhere, and every client drained (liveness).
 CaseResult run_client_session(const CampaignConfig& config,
                               std::uint64_t seed) {
+  if (!config.topology.empty()) {
+    return only_violations(
+        {"topology presets are not supported by the client scenario"});
+  }
   constexpr int kClients = 3;
   const int cluster_n = config.n;
   SimConfig sc;
@@ -913,19 +1103,19 @@ CaseResult run_campaign_case(const CampaignConfig& config,
                              std::uint64_t seed) {
   switch (config.scenario) {
     case Scenario::kCeOmega:
-      return CaseResult{run_ce_omega(config, seed)};
+      return run_ce_omega(config, seed);
     case Scenario::kAll2AllOmega:
-      return CaseResult{run_all2all(config, seed)};
+      return only_violations(run_all2all(config, seed));
     case Scenario::kCrOmegaStable:
-      return CaseResult{run_cr_omega(config, seed)};
+      return only_violations(run_cr_omega(config, seed));
     case Scenario::kConsensus:
-      return CaseResult{run_consensus(config, seed)};
+      return run_consensus(config, seed);
     case Scenario::kKvLinearizable:
       return run_kv(config, seed);
     case Scenario::kClientSession:
       return run_client_session(config, seed);
   }
-  return CaseResult{{"unknown scenario"}};
+  return only_violations({"unknown scenario"});
 }
 
 std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
@@ -941,6 +1131,10 @@ std::string replay_command(const CampaignConfig& config, std::uint64_t seed) {
     if (config.lease_reads) out << " --lease-reads";
     if (config.lease_sabotage) out << " --lease-sabotage";
   }
+  if (!config.topology.empty()) out << " --topology=" << config.topology;
+  if (!config.schedule_path.empty()) {
+    out << " --schedule=" << config.schedule_path;
+  }
   if (config.sabotage) out << " --sabotage";
   out << " --verbose";
   return out.str();
@@ -953,6 +1147,9 @@ CampaignResult run_campaign(const CampaignConfig& config, std::FILE* log) {
     CaseResult case_result = run_campaign_case(config, seed);
     const std::vector<std::string>& violations = case_result.violations;
     ++result.runs;
+    if (!case_result.stabilized) ++result.non_stabilized_runs;
+    result.stabilization_span_ms.merge(case_result.stabilization_span_ms);
+    result.decide_latency_ms.merge(case_result.decide_latency_ms);
     if (case_result.lin_budget_exceeded) {
       ++result.budget_exceeded_runs;
       if (log != nullptr) {
@@ -1012,6 +1209,306 @@ CampaignResult run_campaign(const CampaignConfig& config, std::FILE* log) {
     std::fprintf(log, "[%s] %d runs, %zu violations, %d budget-exceeded\n",
                  scenario_name(config.scenario), result.runs,
                  result.violations.size(), result.budget_exceeded_runs);
+  }
+  return result;
+}
+
+namespace {
+
+/// The soak's churn rotation. Every profile is all-(eventually-)timely: the
+/// crash-recovery Omega elects the process with the fewest recoveries —
+/// which under restarts can be ANY process — so every process must
+/// eventually be able to lead.
+std::vector<TopologyProfile> soak_profiles(int n) {
+  std::vector<TopologyProfile> out;
+  TopologyProfile lan = TopologyProfile::make("lan-flat", n);
+  for (ProcessId s = 0; s < static_cast<ProcessId>(n); ++s) {
+    for (ProcessId d = 0; d < static_cast<ProcessId>(n); ++d) {
+      if (s == d) continue;
+      LinkSpec& spec = lan.link(s, d);
+      spec.cls = LinkClass::kTimely;
+      spec.delay = {200 * kMicrosecond, 1 * kMillisecond};
+    }
+  }
+  out.push_back(std::move(lan));
+  out.push_back(make_wan_3region_profile(n));
+  WanTiers slow;
+  slow.intra_dc = {400 * kMicrosecond, 2 * kMillisecond};
+  slow.cross_region = {20 * kMillisecond, 60 * kMillisecond};
+  slow.transcontinental = {120 * kMillisecond, 240 * kMillisecond};
+  TopologyProfile wan_slow = make_wan_3region_profile(n, slow);
+  wan_slow.name = "wan-3region-slow";
+  out.push_back(std::move(wan_slow));
+  return out;
+}
+
+}  // namespace
+
+SoakResult run_soak(const SoakConfig& config, std::FILE* log) {
+  SoakResult result;
+  std::vector<std::string>& violations = result.violations;
+  const int n = config.n;
+
+  SimConfig sc;
+  sc.n = n;
+  sc.seed = config.seed;
+  // Topology churn through a live factory: heals and recoveries always
+  // re-instantiate from the *current* profile, and a churn swap rebuilds
+  // every directed link in place.
+  auto profiles =
+      std::make_shared<std::vector<TopologyProfile>>(soak_profiles(n));
+  auto current = std::make_shared<std::size_t>(0);
+  LinkFactory base = [profiles, current](ProcessId src, ProcessId dst) {
+    return (*profiles)[*current].link(src, dst).instantiate();
+  };
+  Simulator sim(sc, base);
+  obs::ElectionSpanTracker tracker(sim.plane(), n);
+
+  // Crash/recover telemetry off the bus: recoveries are counted, and crash
+  // times waive the completion obligation of ops whose callback died with
+  // the submitter's volatile state.
+  struct Telemetry {
+    std::vector<std::vector<TimePoint>> crashes;
+    int restarts = 0;
+  };
+  auto telem = std::make_shared<Telemetry>();
+  telem->crashes.resize(static_cast<std::size_t>(n));
+  obs::Subscription sub = sim.plane().bus().subscribe(
+      obs::mask_of(obs::EventType::kCrash) |
+          obs::mask_of(obs::EventType::kRecover),
+      [telem, n](const obs::Event& e) {
+        if (e.process == kNoProcess ||
+            e.process >= static_cast<ProcessId>(n)) {
+          return;
+        }
+        if (e.type == obs::EventType::kCrash) {
+          telem->crashes[static_cast<std::size_t>(e.process)].push_back(e.t);
+        } else {
+          ++telem->restarts;
+        }
+      });
+
+  // Durable crash-recovery replicas: every restart replays the stable log
+  // and the compaction snapshot — the recovery path the soak hammers.
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    sim.set_actor_factory(p, []() {
+      LogConsensusConfig lc;
+      lc.durable = true;
+      KvReplicaConfig rc;
+      rc.max_batch = 8;
+      rc.batch_flush_delay = 2 * kMillisecond;
+      return std::make_unique<CrKvReplica>(CrKvReplica::Options{
+          .omega = CrOmegaConfig{}, .consensus = lc, .replica = rc});
+    });
+  }
+
+  // Back-to-back nemesis eras, each with crash-recovery restarts, healing
+  // by 60% of the era so the cluster re-stabilizes before the next one.
+  std::vector<std::unique_ptr<Nemesis>> eras;
+  for (TimePoint t0 = 0; t0 + config.era <= config.duration;
+       t0 += config.era) {
+    NemesisConfig nc;
+    nc.seed = config.seed * 0x9e3779b97f4a7c15ULL +
+              static_cast<std::uint64_t>(result.eras);
+    nc.start = t0 + 1 * kSecond;
+    nc.quiesce = t0 + config.era * 3 / 5;
+    nc.crash_restart = true;
+    nc.crash_stop_budget = 0;
+    eras.push_back(std::make_unique<Nemesis>(sim, base, nc));
+    ++result.eras;
+  }
+
+  // Topology churn: swap the live profile and rebuild every directed link.
+  sim.schedule_every(
+      config.churn_period, config.churn_period,
+      [&sim, profiles, current, &result, log, &config]() {
+        *current = (*current + 1) % profiles->size();
+        ++result.churns;
+        for (ProcessId s = 0; s < static_cast<ProcessId>(sim.n()); ++s) {
+          for (ProcessId d = 0; d < static_cast<ProcessId>(sim.n()); ++d) {
+            if (s == d) continue;
+            sim.network().set_link(
+                s, d, (*profiles)[*current].link(s, d).instantiate());
+          }
+        }
+        if (log != nullptr && config.verbose) {
+          std::fprintf(log, "[soak] t=%.0fs churn -> %s\n",
+                       static_cast<double>(sim.now()) /
+                           static_cast<double>(kSecond),
+                       (*profiles)[*current].name.c_str());
+        }
+        return true;
+      });
+
+  // Periodic snapshot + log compaction, only while the whole cluster is up
+  // (compaction discards history a down laggard would still need).
+  // Coordinated watermark: compact every replica to the MINIMUM applied
+  // prefix across the cluster, never each replica's own. Churn drops DECIDE
+  // retransmissions, so replicas drift apart; per-replica compaction would
+  // destroy the only copies of decisions a laggard still needs, and the
+  // prepare-side compaction guard would then (rightly) refuse it leadership
+  // until a catch-up that can no longer happen.
+  sim.schedule_every(config.compact_period, config.compact_period,
+                     [&sim, &result]() {
+                       Instance floor =
+                           std::numeric_limits<Instance>::max();
+                       for (ProcessId p = 0;
+                            p < static_cast<ProcessId>(sim.n()); ++p) {
+                         if (!sim.alive(p)) return true;
+                         floor = std::min(
+                             floor,
+                             sim.actor_as<CrKvReplica>(p).applied_upto());
+                       }
+                       if (floor == 0) return true;
+                       for (ProcessId p = 0;
+                            p < static_cast<ProcessId>(sim.n()); ++p) {
+                         sim.actor_as<CrKvReplica>(p).compact_to(floor);
+                       }
+                       ++result.compactions;
+                       return true;
+                     });
+
+  // Trickle workload: one op per period at a random replica, recorded for
+  // the final linearizability check. Values are unique per op.
+  const TimePoint submit_end = config.duration > config.drain
+                                   ? config.duration - config.drain
+                                   : config.duration / 2;
+  auto wl_rng = std::make_shared<Rng>(config.seed * 0x9e3779b97f4a7c15ULL ^
+                                      0x736f616bULL);
+  auto history = std::make_shared<std::vector<HistoryOp>>();
+  auto op_counter = std::make_shared<std::uint64_t>(0);
+  const Duration period = std::max<Duration>(
+      kSecond / static_cast<Duration>(std::max(config.ops_per_sec, 1)), 1);
+  sim.schedule_every(
+      1 * kSecond, period,
+      [&sim, wl_rng, history, op_counter, &result, &config, submit_end]() {
+        if (sim.now() >= submit_end) return false;
+        const auto p = static_cast<ProcessId>(
+            wl_rng->next_below(static_cast<std::uint64_t>(sim.n())));
+        const std::string key =
+            "k" + std::to_string(wl_rng->next_below(
+                      static_cast<std::uint64_t>(std::max(config.kv_keys, 1))));
+        const std::uint64_t id = ++*op_counter;
+        const std::string value = "s" + std::to_string(id);
+        KvOp op = KvOp::kGet;
+        std::string expected;
+        const std::uint64_t roll = wl_rng->next_below(100);
+        if (roll < 35) {
+          op = KvOp::kGet;
+        } else if (roll < 55) {
+          op = KvOp::kPut;
+        } else if (roll < 75) {
+          op = KvOp::kAppend;
+        } else if (roll < 90) {
+          op = KvOp::kCas;
+          expected = wl_rng->chance(0.5)
+                         ? std::string()
+                         : "s" + std::to_string(wl_rng->next_below(id) + 1);
+        } else {
+          op = KvOp::kDel;
+        }
+        if (!sim.alive(p)) return true;  // op never issued
+        ++result.ops_submitted;
+        HistoryOp rec;
+        rec.cmd.origin = p;
+        rec.cmd.seq = id;
+        rec.cmd.op = op;
+        rec.cmd.key = key;
+        rec.cmd.value = value;
+        rec.cmd.expected = expected;
+        rec.invoked = sim.now();
+        const std::size_t slot = history->size();
+        history->push_back(rec);
+        auto done = [history, slot, &sim, &result](const KvResult& r) {
+          (*history)[slot].responded = sim.now();
+          (*history)[slot].result = r;
+          ++result.ops_completed;
+        };
+        sim.actor_as<CrKvReplica>(p).submit(op, key, value, expected,
+                                            std::move(done));
+        return true;
+      });
+
+  sim.start();
+  sim.run_until(config.duration);
+
+  // Every era healed its own faults; nobody may still be down.
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    if (!sim.alive(p)) {
+      violations.push_back("process p" + std::to_string(p) +
+                           " still down at the end of the soak");
+    }
+  }
+
+  // Liveness: an op whose submitter never crashed after invocation must
+  // have completed (a crash loses the volatile callback, so those are
+  // waived — the op itself may or may not have been applied, which is
+  // exactly the pending semantics the checker assumes).
+  std::size_t owed_pending = 0;
+  for (const HistoryOp& op : *history) {
+    if (op.responded != kTimeNever) continue;
+    const auto& crashes = telem->crashes[static_cast<std::size_t>(
+        op.cmd.origin)];
+    const bool waived = std::any_of(
+        crashes.begin(), crashes.end(),
+        [&op](TimePoint t) { return t >= op.invoked; });
+    if (!waived) ++owed_pending;
+  }
+  if (owed_pending > 0) {
+    violations.push_back(std::to_string(owed_pending) +
+                         " ops from never-crashed submitters never "
+                         "completed by the end of the soak");
+  }
+
+  // Convergence: all replicas hold byte-identical stores.
+  std::optional<std::uint64_t> digest;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    if (!sim.alive(p)) continue;
+    const std::uint64_t d = sim.actor_as<CrKvReplica>(p).store().digest();
+    if (!digest) {
+      digest = d;
+    } else if (*digest != d) {
+      violations.emplace_back(
+          "replicas diverged: store digests differ at the end of the soak");
+      break;
+    }
+  }
+
+  LinOptions lo;
+  lo.max_nodes = config.lin_max_nodes;
+  LinReport report = LinearizabilityChecker::check_report(*history, lo);
+  switch (report.verdict) {
+    case LinVerdict::kLinearizable:
+      break;
+    case LinVerdict::kNotLinearizable: {
+      std::ostringstream what;
+      what << "soak history is not linearizable: partition \""
+           << report.failed_partition << "\", minimal core of "
+           << report.core.size() << " ops (of " << history->size() << ")";
+      violations.push_back(what.str());
+      break;
+    }
+    case LinVerdict::kBudgetExceeded:
+      result.lin_budget_exceeded = true;
+      break;
+  }
+
+  result.restarts = telem->restarts;
+  for (const auto& [name, hist] : sim.plane().registry().histograms()) {
+    if (name == "election_stabilization_ms") {
+      result.stabilization_span_ms.merge(hist);
+    } else if (name.rfind("consensus_decide_latency_ms", 0) == 0) {
+      result.decide_latency_ms.merge(hist);
+    }
+  }
+  if (log != nullptr) {
+    std::fprintf(log,
+                 "[soak] %d eras, %d churns, %d restarts, %" PRIu64
+                 "/%" PRIu64 " ops completed, %" PRIu64
+                 " compactions, %zu violations\n",
+                 result.eras, result.churns, result.restarts,
+                 result.ops_completed, result.ops_submitted,
+                 result.compactions, result.violations.size());
   }
   return result;
 }

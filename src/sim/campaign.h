@@ -23,10 +23,13 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "net/topology_profile.h"
+#include "obs/histogram.h"
 
 namespace lls {
 
@@ -114,6 +117,18 @@ struct CampaignConfig {
   /// When non-empty, the kv scenario writes the recorded client history to
   /// this `.hist` path (last run wins; pair with seeds=1).
   std::string hist_path;
+  /// Topology preset name (net/topology_profile.h). Empty = the legacy flat
+  /// system-S cluster. Supported by the ce, consensus and kv scenarios:
+  /// links, ♦-sources, crash protection and (for relay presets) routing all
+  /// come from the profile. The zero-sources preset inverts the ce check —
+  /// the control run MUST keep flapping. Other scenarios reject it.
+  std::string topology;
+  /// Adversarial link schedule applied on top of the preset (requires
+  /// `topology` naming the schedule's preset). Shared: a sweep re-applies
+  /// one decoded artifact to every seed.
+  std::shared_ptr<const LinkSchedule> schedule;
+  /// Where `schedule` was loaded from, for replay-command synthesis.
+  std::string schedule_path;
 };
 
 struct Violation {
@@ -129,6 +144,14 @@ struct CampaignResult {
   /// violation (nothing was proven wrong) but not a pass either — the
   /// campaign fails, with its own field so --json keeps the two apart.
   int budget_exceeded_runs = 0;
+  /// Runs whose election never settled by the horizon (raw observation, not
+  /// a verdict: on a passing zero-sources sweep this EQUALS `runs`, on a
+  /// passing one-diamond-source sweep it is 0 — CI asserts both).
+  int non_stabilized_runs = 0;
+  /// Merged per-topology observables across the sweep (obs plane): election
+  /// stabilization spans and consensus decide latencies.
+  obs::Histogram stabilization_span_ms;
+  obs::Histogram decide_latency_ms;
   [[nodiscard]] bool ok() const {
     return violations.empty() && budget_exceeded_runs == 0;
   }
@@ -140,6 +163,11 @@ struct CampaignResult {
 struct CaseResult {
   std::vector<std::string> violations;
   bool lin_budget_exceeded = false;
+  /// Whether the election was settled at the horizon (see
+  /// CampaignResult::non_stabilized_runs for the sweep-level roll-up).
+  bool stabilized = true;
+  obs::Histogram stabilization_span_ms;
+  obs::Histogram decide_latency_ms;
   bool operator==(const CaseResult&) const = default;
 };
 
@@ -156,5 +184,56 @@ CampaignResult run_campaign(const CampaignConfig& config,
 /// The lls_campaign invocation that replays one seed of this configuration.
 [[nodiscard]] std::string replay_command(const CampaignConfig& config,
                                          std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Soak mode: hours of simulated time on one seed, with durable compaction,
+// crash-recovery restarts and topology churn all running concurrently.
+// ---------------------------------------------------------------------------
+
+struct SoakConfig {
+  int n = 5;
+  std::uint64_t seed = 1;
+  /// Total simulated time (hours-scale for the CLI; the bounded test
+  /// variant runs a few virtual minutes).
+  Duration duration = 600 * kSecond;
+  /// Nemesis runs in back-to-back eras of this length; each era's faults
+  /// (including crash-recovery restarts) heal by 60% of the era, leaving a
+  /// stabilization stretch before the next one.
+  Duration era = 30 * kSecond;
+  /// The cluster's topology rotates through WAN/LAN profiles at this period
+  /// (all-eventually-timely profiles only: the crash-recovery Omega may
+  /// elect any process, so every process must eventually be a source).
+  Duration churn_period = 75 * kSecond;
+  /// Every replica snapshots + compacts its log at this period (only while
+  /// the whole cluster is up — compaction discards history laggards need).
+  Duration compact_period = 20 * kSecond;
+  /// Trickle workload rate; submissions stop `drain` before the horizon.
+  int ops_per_sec = 4;
+  int kv_keys = 8;
+  Duration drain = 25 * kSecond;
+  std::size_t lin_max_nodes = 4'000'000;
+  bool verbose = false;
+};
+
+struct SoakResult {
+  std::vector<std::string> violations;
+  bool lin_budget_exceeded = false;
+  int eras = 0;
+  int churns = 0;
+  /// Crash-recovery restarts that actually fired.
+  int restarts = 0;
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t compactions = 0;
+  obs::Histogram stabilization_span_ms;
+  obs::Histogram decide_latency_ms;
+  [[nodiscard]] bool ok() const {
+    return violations.empty() && !lin_budget_exceeded;
+  }
+};
+
+/// Runs the soak on a durable CrKvReplica cluster. Deterministic in
+/// (config, seed), like everything else here.
+SoakResult run_soak(const SoakConfig& config, std::FILE* log = nullptr);
 
 }  // namespace lls

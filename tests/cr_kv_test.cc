@@ -69,6 +69,60 @@ TEST(CrKv, SingleReplicaRecoveryRebuildsStateFromDurableLog) {
   EXPECT_EQ(it->second, "alice");
 }
 
+TEST(CrKv, RecoveryAfterCompactionRestoresTheSnapshotPrefix) {
+  // Regression (PR 9 audit): without the KvCore snapshot, a durable replica
+  // recovering AFTER log compaction rebuilt its store from the surviving
+  // log suffix only — the compacted prefix ("k0".."k7" here) silently
+  // vanished and could never be re-fetched (the other replicas compacted
+  // those decisions away too).
+  auto sim_owner = make_cr_kv_cluster(3, 4);
+  Simulator& sim = *sim_owner;
+  sim.schedule(1 * kSecond, [&]() {
+    for (int i = 0; i < 8; ++i) {
+      sim.actor_as<CrKvReplica>(0).submit(KvOp::kPut, "k" + std::to_string(i),
+                                          "v" + std::to_string(i));
+    }
+  });
+  sim.schedule(10 * kSecond, [&]() {
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_GT(sim.actor_as<CrKvReplica>(p).compact_applied(), 0u);
+    }
+  });
+  sim.crash_at(2, 12 * kSecond);
+  sim.recover_at(2, 15 * kSecond);
+  sim.start();
+  sim.run_until(30 * kSecond);
+
+  auto& recovered = sim.actor_as<CrKvReplica>(2);
+  EXPECT_GT(recovered.consensus().compacted_upto(), 0u);
+  EXPECT_EQ(recovered.store().digest(),
+            sim.actor_as<CrKvReplica>(0).store().digest());
+  auto it = recovered.store().data().find("k0");
+  ASSERT_NE(it, recovered.store().data().end());
+  EXPECT_EQ(it->second, "v0");
+}
+
+TEST(CrKv, CoordinatedCompactionClampsToTheGivenWatermark) {
+  auto sim_owner = make_cr_kv_cluster(3, 5);
+  Simulator& sim = *sim_owner;
+  sim.schedule(1 * kSecond, [&]() {
+    for (int i = 0; i < 6; ++i) {
+      sim.actor_as<CrKvReplica>(0).submit(KvOp::kPut, "k" + std::to_string(i),
+                                          "v");
+    }
+  });
+  sim.schedule(10 * kSecond, [&]() {
+    auto& r = sim.actor_as<CrKvReplica>(1);
+    ASSERT_GT(r.applied_upto(), 2u);
+    // compact_to never outruns the cluster watermark it is handed...
+    EXPECT_EQ(r.compact_to(2), 2u);
+    // ...nor this replica's own applied prefix.
+    EXPECT_LE(r.compact_to(r.applied_upto() + 100), r.applied_upto());
+  });
+  sim.start();
+  sim.run_until(12 * kSecond);
+}
+
 TEST(CrKv, FullClusterPowerLossPreservesTheStore) {
   auto sim_owner = make_cr_kv_cluster(3, 3);
   Simulator& sim = *sim_owner;

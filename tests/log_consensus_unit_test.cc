@@ -310,6 +310,30 @@ TEST(LogConsensusUnit, ConflictingDecideThrowsAgreementTripwire) {
       std::logic_error);
 }
 
+TEST(LogConsensusUnit, CompactedAcceptorRefusesLaggardPrepare) {
+  // Regression for an agreement violation found by the topology soak
+  // (churn + compaction): an acceptor that compacted past a candidate's
+  // log frontier can no longer report the decided values the candidate is
+  // missing — neither the decided entry nor the accepted pair survives
+  // below log_base_. Promising anyway lets the candidate treat those slots
+  // as holes and no-op-fill instances that were in fact decided. The
+  // acceptor must stay silent until the candidate has caught up.
+  Fixture f(/*self=*/2, /*n=*/3, /*leader=*/0);
+  f.deliver(0, msg_type::kDecide, DecideMsg{0, val(1)}.encode());
+  f.deliver(0, msg_type::kDecide, DecideMsg{1, val(2)}.encode());
+  f.deliver(0, msg_type::kDecide, DecideMsg{2, val(3)}.encode());
+  ASSERT_EQ(f.consensus.compact(3), 3u);
+
+  f.rt.clear_sent();
+  f.deliver(1, msg_type::kPrepare, PrepareMsg{1, /*from=*/1}.encode());
+  EXPECT_EQ(f.last_sent(1, msg_type::kPromise), nullptr);
+  EXPECT_EQ(f.last_sent(1, msg_type::kNack), nullptr);
+
+  // A caught-up candidate (frontier at the watermark) is served normally.
+  f.deliver(1, msg_type::kPrepare, PrepareMsg{1, /*from=*/3}.encode());
+  EXPECT_NE(f.last_sent(1, msg_type::kPromise), nullptr);
+}
+
 TEST(LogConsensusUnit, LeaderChangeAbandonsProposerRole) {
   Fixture f(/*self=*/0, /*n=*/3, /*leader=*/0);
   f.tick();

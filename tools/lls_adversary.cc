@@ -1,0 +1,209 @@
+// lls_adversary — adversarial link scheduler (sim/adversary.h driver).
+//
+// Hill-climbs a power-budgeted per-link perturbation schedule (GST offsets,
+// loss bursts, timeliness downgrades) to maximize Omega's stabilization
+// time on a topology preset, reports the equal-budget random baseline for
+// the >= 1.5x search-quality gate, saves the worst case as a replayable
+// artifact, and (with --verify) re-runs the full kv invariant suite with
+// the found schedule applied — safety must hold even at the adversarial
+// optimum.
+//
+//   lls_adversary --topology=one-diamond-source --evals=40
+//       --schedule-out=worst.sched --verify --min-gain=1.5
+//   lls_adversary --replay=worst.sched          # bit-for-bit re-evaluation
+//
+// Exit status: 0 on success, 1 when --min-gain is not met or --verify finds
+// a violation, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "bench_util.h"
+#include "flags.h"
+#include "net/topology_profile.h"
+#include "sim/adversary.h"
+#include "sim/campaign.h"
+
+using namespace lls;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fputs(
+      "usage: lls_adversary [options]\n"
+      "\n"
+      "  --topology=<preset>   preset to attack (default one-diamond-source)\n"
+      "  --n=<int>             processes (default 5)\n"
+      "  --seed=<u64>          experiment + search seed (default 1)\n"
+      "  --evals=<int>         simulation evaluations per arm (default 40)\n"
+      "  --power-ms=<int>      adversarial power budget (default 20000)\n"
+      "  --latest-ms=<int>     no perturbation past this point (default "
+      "30000)\n"
+      "  --horizon-ms=<int>    experiment horizon (default 60000)\n"
+      "  --schedule-out=<path> save the worst schedule as a replay artifact\n"
+      "  --replay=<path>       skip the search; re-evaluate a saved schedule\n"
+      "  --verify              run the kv invariant suite with the schedule\n"
+      "                        applied (safety at the adversarial optimum)\n"
+      "  --min-gain=<float>    fail unless search/random >= this (0 = off)\n"
+      "  --out=<path>          machine-readable summary (--json alias)\n",
+      stderr);
+  std::exit(2);
+}
+
+double ms(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  if (flags.help()) usage();
+
+  AdversaryConfig config;
+  config.topology = flags.str("topology", config.topology);
+  config.n = static_cast<int>(
+      flags.u64("n", static_cast<std::uint64_t>(config.n)));
+  config.seed = flags.u64("seed", config.seed);
+  config.evals = static_cast<int>(
+      flags.u64("evals", static_cast<std::uint64_t>(config.evals)));
+  config.power =
+      static_cast<Duration>(flags.u64(
+          "power-ms", static_cast<std::uint64_t>(config.power /
+                                                 kMillisecond))) *
+      kMillisecond;
+  config.latest_end =
+      static_cast<Duration>(flags.u64(
+          "latest-ms", static_cast<std::uint64_t>(config.latest_end /
+                                                  kMillisecond))) *
+      kMillisecond;
+  config.horizon =
+      static_cast<Duration>(flags.u64(
+          "horizon-ms", static_cast<std::uint64_t>(config.horizon /
+                                                   kMillisecond))) *
+      kMillisecond;
+  const std::string schedule_out = flags.str("schedule-out");
+  const std::string replay_path = flags.str("replay");
+  const bool verify = flags.flag("verify");
+  const double min_gain = flags.f64("min-gain", 0.0);
+  const std::string json_path = flags.out();
+  if (!flags.ok()) {
+    flags.report(stderr);
+    usage();
+  }
+  if (config.n < 3) usage("--n must be >= 3");
+  if (config.evals < 2) usage("--evals must be >= 2");
+  if (!topology_preset(config.topology, config.n)) {
+    usage(("unknown topology preset: " + config.topology).c_str());
+  }
+
+  bool passed = true;
+  bench::Json json;
+  json.begin_object();
+  json.key("tool").value("lls_adversary");
+  json.key("config").begin_object();
+  json.key("topology").value(config.topology);
+  json.key("n").value(config.n);
+  json.key("seed").value(config.seed);
+  json.key("evals").value(config.evals);
+  json.key("power_ms").value(config.power / kMillisecond);
+  json.key("latest_ms").value(config.latest_end / kMillisecond);
+  json.key("horizon_ms").value(config.horizon / kMillisecond);
+  json.end_object();
+
+  LinkSchedule schedule;
+  if (!replay_path.empty()) {
+    // Replay mode: executions are pure functions of (topology, schedule,
+    // seed), so re-evaluating the artifact reproduces the recorded span.
+    auto loaded = LinkSchedule::load(replay_path);
+    if (!loaded) {
+      usage(("cannot load link schedule: " + replay_path).c_str());
+    }
+    schedule = *loaded;
+    config.topology = schedule.topology;
+    config.n = schedule.n;
+    config.seed = schedule.seed;
+    Duration span;
+    try {
+      span = evaluate_schedule(config, schedule);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "replay failed: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[adversary] replay %s: topology=%s n=%d seed=%llu "
+                 "span=%.1f ms power=%.1f ms\n",
+                 replay_path.c_str(), config.topology.c_str(), config.n,
+                 static_cast<unsigned long long>(config.seed), ms(span),
+                 ms(schedule.power()));
+    json.key("mode").value("replay");
+    json.key("replay_path").value(replay_path);
+    json.key("span_ms").value(ms(span));
+    json.key("schedule_power_ms").value(ms(schedule.power()));
+  } else {
+    AdversaryResult result = run_adversary_search(config, stderr);
+    schedule = result.best;
+    std::fprintf(stderr,
+                 "[adversary] %s n=%d seed=%llu: unperturbed %.1f ms, "
+                 "search best %.1f ms, random best %.1f ms, gain %.2fx "
+                 "(%d evals/arm)\n",
+                 config.topology.c_str(), config.n,
+                 static_cast<unsigned long long>(config.seed),
+                 ms(result.unperturbed_span), ms(result.best_span),
+                 ms(result.random_best_span), result.gain(), result.evals);
+    json.key("mode").value("search");
+    json.key("unperturbed_span_ms").value(ms(result.unperturbed_span));
+    json.key("best_span_ms").value(ms(result.best_span));
+    json.key("random_best_span_ms").value(ms(result.random_best_span));
+    json.key("gain").value(result.gain());
+    json.key("schedule_power_ms").value(ms(schedule.power()));
+    json.key("schedule_links").value(
+        static_cast<std::uint64_t>(schedule.entries.size()));
+    if (min_gain > 0 && result.gain() < min_gain) {
+      std::fprintf(stderr,
+                   "[adversary] FAIL: gain %.2fx below the required %.2fx\n",
+                   result.gain(), min_gain);
+      passed = false;
+    }
+    if (!schedule_out.empty()) {
+      if (!schedule.save(schedule_out)) {
+        std::fprintf(stderr, "cannot write %s\n", schedule_out.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "[adversary] worst schedule saved to %s\n",
+                   schedule_out.c_str());
+      json.key("schedule_out").value(schedule_out);
+    }
+  }
+
+  if (verify) {
+    CaseResult verdict = verify_schedule_invariants(config, schedule);
+    std::fprintf(stderr,
+                 "[adversary] invariant suite at the optimum: %zu "
+                 "violations%s\n",
+                 verdict.violations.size(),
+                 verdict.lin_budget_exceeded ? " (lin budget exceeded)" : "");
+    for (const std::string& what : verdict.violations) {
+      std::fprintf(stderr, "[adversary] VIOLATION: %s\n", what.c_str());
+    }
+    json.key("verify").begin_object();
+    json.key("violations").begin_array();
+    for (const std::string& what : verdict.violations) json.value(what);
+    json.end_array();
+    json.key("lin_budget_exceeded").value(verdict.lin_budget_exceeded);
+    json.key("stabilized").value(verdict.stabilized);
+    json.end_object();
+    if (!verdict.violations.empty() || verdict.lin_budget_exceeded) {
+      passed = false;
+    }
+  }
+
+  json.key("exit_code").value(passed ? 0 : 1);
+  json.end_object();
+  if (!json_path.empty() && !bench::write_json_file(json_path, json)) {
+    return 1;
+  }
+  return passed ? 0 : 1;
+}
