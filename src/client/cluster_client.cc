@@ -95,8 +95,11 @@ void ClusterClient::send_attempt(Runtime& rt, InFlight& f) {
   ClientRequestMsg req;
   req.seq = f.cmd.seq;
   req.ack_upto = session_.ack_upto();
-  req.command = f.encoded;
-  rt.send(shard_target_[f.shard], msg_type::kClientRequest, req.encode());
+  // Borrow the cached encoding (stable across retries) and frame it in a
+  // pooled buffer: a retry allocates nothing.
+  req.command = WireBlob::ref(f.encoded);
+  rt.send(shard_target_[f.shard], msg_type::kClientRequest,
+          wire::encode_pooled(rt.pool(), req).view());
   note_attempt(rt, f);
   arm_tick(rt);
 }
@@ -118,8 +121,9 @@ void ClusterClient::flush_sends(Runtime& rt) {
       ClientRequestMsg req;
       req.seq = f.cmd.seq;
       req.ack_upto = session_.ack_upto();
-      req.command = f.encoded;
-      rt.send(dst, msg_type::kClientRequest, req.encode());
+      req.command = WireBlob::ref(f.encoded);
+      rt.send(dst, msg_type::kClientRequest,
+              wire::encode_pooled(rt.pool(), req).view());
       note_attempt(rt, f);
       continue;
     }
@@ -127,10 +131,11 @@ void ClusterClient::flush_sends(Runtime& rt) {
     batch.ack_upto = session_.ack_upto();
     batch.items.reserve(requests.size());
     for (InFlight* f : requests) {
-      batch.items.push_back({f->cmd.seq, f->encoded});
+      batch.items.push_back({f->cmd.seq, WireBlob::ref(f->encoded)});
       note_attempt(rt, *f);
     }
-    rt.send(dst, msg_type::kClientRequestBatch, batch.encode());
+    rt.send(dst, msg_type::kClientRequestBatch,
+            wire::encode_pooled(rt.pool(), batch).view());
     ++batches_sent_;
     batched_requests_ += requests.size();
   }

@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/storage.h"
@@ -68,8 +69,20 @@ class Runtime {
     return *fallback_plane_;
   }
 
+  /// Frame-buffer pool for the zero-copy data plane (wire::encode_pooled).
+  /// Scoped to the runtime's single-threaded loop; the simulator shares one
+  /// pool across simulated processes (one thread drives them all), real
+  /// runtimes own one per process. The default is a lazily-created private
+  /// pool so bare test runtimes work unchanged; wrapper runtimes must
+  /// forward to their base so encode buffers recycle through one free list.
+  [[nodiscard]] virtual BufferPool& pool() {
+    if (!fallback_pool_) fallback_pool_ = std::make_unique<BufferPool>();
+    return *fallback_pool_;
+  }
+
  private:
   std::unique_ptr<obs::Plane> fallback_plane_;
+  std::unique_ptr<BufferPool> fallback_pool_;
 };
 
 /// Runtime view for a protocol cluster embedded in a larger process fabric:
@@ -98,6 +111,7 @@ class ClusterViewRuntime final : public Runtime {
   Rng& rng() override { return base_->rng(); }
   [[nodiscard]] StableStorage* storage() override { return base_->storage(); }
   [[nodiscard]] obs::Plane& obs() override { return base_->obs(); }
+  [[nodiscard]] BufferPool& pool() override { return base_->pool(); }
 
  private:
   Runtime* base_ = nullptr;

@@ -1,0 +1,113 @@
+// BufferPool: recycles frame buffers across encode→send and recv→decode.
+//
+// Each runtime owns one pool (actors reach it through Runtime::pool()).
+// The hot path is wire::encode_pooled → Runtime::send → release: in steady
+// state every frame is served from the free list and no heap allocation
+// happens per message. The pool is deliberately not thread-safe — each
+// runtime's loop is single-threaded, which is exactly the scope a pool
+// instance serves.
+//
+// Sizing (see DESIGN.md §16): the free list is LIFO so the most recently
+// released buffer — still cache-hot, already grown to working-set size —
+// is reused first. `max_buffers` caps idle inventory; `max_buffer_capacity`
+// keeps one jumbo frame (e.g. a recovery snapshot) from pinning megabytes
+// forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace lls {
+
+class BufferPool {
+ public:
+  struct Config {
+    std::size_t max_buffers = 64;
+    std::size_t max_buffer_capacity = 256 * 1024;
+  };
+
+  BufferPool() = default;
+  explicit BufferPool(Config config) : config_(config) {}
+
+  /// A buffer resized to `size` (contents unspecified beyond `size` being
+  /// addressable). Reuses the most recently released buffer when cached.
+  [[nodiscard]] Bytes acquire(std::size_t size) {
+    if (free_.empty()) {
+      ++misses_;
+      return Bytes(size);
+    }
+    ++hits_;
+    Bytes b = std::move(free_.back());
+    free_.pop_back();
+    b.resize(size);  // no reallocation when capacity already suffices
+    return b;
+  }
+
+  /// Returns a buffer to the free list (or frees it past the caps).
+  void release(Bytes&& buffer) {
+    if (free_.size() >= config_.max_buffers ||
+        buffer.capacity() > config_.max_buffer_capacity) {
+      ++discards_;
+      Bytes drop = std::move(buffer);  // frees here
+      return;
+    }
+    free_.push_back(std::move(buffer));
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t discards() const { return discards_; }
+  [[nodiscard]] std::size_t idle() const { return free_.size(); }
+
+ private:
+  Config config_;
+  std::vector<Bytes> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t discards_ = 0;
+};
+
+/// Move-only RAII handle: the buffer returns to its pool on destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(BufferPool& pool, Bytes buffer)
+      : pool_(&pool), buffer_(std::move(buffer)) {}
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        buffer_(std::move(other.buffer_)) {}
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = std::exchange(other.pool_, nullptr);
+      buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer() { reset(); }
+
+  void reset() {
+    if (pool_ != nullptr) {
+      pool_->release(std::move(buffer_));
+      pool_ = nullptr;
+      buffer_.clear();
+    }
+  }
+
+  [[nodiscard]] BytesView view() const { return buffer_; }
+  [[nodiscard]] Bytes& bytes() { return buffer_; }
+  [[nodiscard]] const Bytes& bytes() const { return buffer_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Bytes buffer_;
+};
+
+}  // namespace lls

@@ -4,8 +4,17 @@
 // format mismatch is a programming error: BufReader throws SerializationError
 // on underflow rather than returning error codes, keeping protocol decode
 // paths linear and readable.
+//
+// Two writers share the same byte layout:
+//   * BufWriter appends to an owned, growing vector — for cold paths and
+//     encoders whose size is unknown up front.
+//   * FlatWriter cursors over a preallocated, exactly-sized slab (sized by
+//     wire::Measurer) — the hot path: one sized allocation (or a pooled
+//     buffer), then fixed-width memcpy-style stores.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -35,6 +44,37 @@ struct wire_int<T, false> {
 };
 template <typename T>
 using wire_unsigned_t = std::make_unsigned_t<typename wire_int<T>::type>;
+
+/// Stores `value` little-endian at `dst` (sizeof(wire_unsigned_t<T>) bytes).
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+inline void store_le(std::byte* dst, T value) {
+  using U = wire_unsigned_t<T>;
+  auto u = static_cast<U>(value);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(dst, &u, sizeof(U));
+  } else {
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      dst[i] = static_cast<std::byte>((u >> (8 * i)) & 0xff);
+    }
+  }
+}
+
+/// Loads a little-endian T from `src`.
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+[[nodiscard]] inline T load_le(const std::byte* src) {
+  using U = wire_unsigned_t<T>;
+  U u = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(&u, src, sizeof(U));
+  } else {
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      u |= static_cast<U>(std::to_integer<std::uint8_t>(src[i])) << (8 * i);
+    }
+  }
+  return static_cast<T>(u);
+}
 }  // namespace detail
 
 /// Appends little-endian encodings to an owned byte vector.
@@ -47,10 +87,9 @@ class BufWriter {
     requires std::is_integral_v<T> || std::is_enum_v<T>
   void put(T value) {
     using U = detail::wire_unsigned_t<T>;
-    auto u = static_cast<U>(value);
-    for (std::size_t i = 0; i < sizeof(U); ++i) {
-      buf_.push_back(static_cast<std::byte>((u >> (8 * i)) & 0xff));
-    }
+    std::size_t at = buf_.size();
+    buf_.resize(at + sizeof(U));
+    detail::store_le(buf_.data() + at, value);
   }
 
   void put_bytes(BytesView bytes) {
@@ -60,7 +99,11 @@ class BufWriter {
 
   void put_string(std::string_view s) {
     put(static_cast<std::uint32_t>(s.size()));
-    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+    if (!s.empty()) {
+      std::size_t at = buf_.size();
+      buf_.resize(at + s.size());
+      std::memcpy(buf_.data() + at, s.data(), s.size());
+    }
   }
 
   template <typename T>
@@ -78,6 +121,55 @@ class BufWriter {
   Bytes buf_;
 };
 
+/// Writes little-endian encodings into a preallocated slab. The caller
+/// sizes the slab exactly (wire::measure); overrun is a programming error
+/// caught by debug asserts, and wire::encode_to additionally asserts the
+/// field walk filled the slab to the byte.
+class FlatWriter {
+ public:
+  explicit FlatWriter(std::span<std::byte> slab)
+      : data_(slab.data()), size_(slab.size()) {}
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_enum_v<T>
+  void put(T value) {
+    using U = detail::wire_unsigned_t<T>;
+    assert(pos_ + sizeof(U) <= size_);
+    detail::store_le(data_ + pos_, value);
+    pos_ += sizeof(U);
+  }
+
+  void put_raw(BytesView bytes) {
+    assert(pos_ + bytes.size() <= size_);
+    if (!bytes.empty()) {
+      std::memcpy(data_ + pos_, bytes.data(), bytes.size());
+      pos_ += bytes.size();
+    }
+  }
+
+  void put_bytes(BytesView bytes) {
+    put(static_cast<std::uint32_t>(bytes.size()));
+    put_raw(bytes);
+  }
+
+  void put_string(std::string_view s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    assert(pos_ + s.size() <= size_);
+    if (!s.empty()) {
+      std::memcpy(data_ + pos_, s.data(), s.size());
+      pos_ += s.size();
+    }
+  }
+
+  [[nodiscard]] std::size_t written() const { return pos_; }
+  [[nodiscard]] std::size_t capacity() const { return size_; }
+
+ private:
+  std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
 /// Reads little-endian encodings from a non-owned view.
 class BufReader {
  public:
@@ -88,13 +180,9 @@ class BufReader {
   T get() {
     using U = detail::wire_unsigned_t<T>;
     require(sizeof(U));
-    U u = 0;
-    for (std::size_t i = 0; i < sizeof(U); ++i) {
-      u |= static_cast<U>(std::to_integer<std::uint8_t>(view_[pos_ + i]))
-           << (8 * i);
-    }
+    T out = detail::load_le<T>(view_.data() + pos_);
     pos_ += sizeof(U);
-    return static_cast<T>(u);
+    return out;
   }
 
   Bytes get_bytes() {
@@ -106,14 +194,23 @@ class BufReader {
     return out;
   }
 
+  /// Zero-copy variant of get_bytes: borrows the length-prefixed span from
+  /// the underlying buffer. The view is only valid while that buffer lives
+  /// — wrap it in WireBlob::ref so debug builds track the lifetime.
+  BytesView get_view() {
+    auto len = get<std::uint32_t>();
+    require(len);
+    BytesView out = view_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
   std::string get_string() {
     auto len = get<std::uint32_t>();
     require(len);
     std::string out;
-    out.reserve(len);
-    for (std::size_t i = 0; i < len; ++i) {
-      out.push_back(static_cast<char>(std::to_integer<std::uint8_t>(view_[pos_ + i])));
-    }
+    out.resize(len);
+    if (len > 0) std::memcpy(out.data(), view_.data() + pos_, len);
     pos_ += len;
     return out;
   }

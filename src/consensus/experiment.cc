@@ -5,9 +5,10 @@
 namespace lls {
 
 Bytes make_value(std::uint64_t id) {
-  BufWriter w(8);
+  Bytes out(sizeof(id));
+  FlatWriter w(out);
   w.put(id);
-  return w.take();
+  return out;
 }
 
 std::uint64_t value_id(const Bytes& value) {

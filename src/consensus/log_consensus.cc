@@ -32,8 +32,13 @@ void LogConsensus::persist(Runtime& rt) const {
   if (storage == nullptr) {
     throw std::logic_error("durable LogConsensus requires Runtime::storage()");
   }
-  BufWriter w(256);
   Bytes acceptor_blob = acceptor_.encode();
+  std::size_t size = 4 + acceptor_blob.size() + sizeof(Instance) + 4;
+  for (const auto& slot : log_) {
+    size += 1 + (slot.has_value() ? 4 + slot->size() : 0);
+  }
+  Bytes out(size);
+  FlatWriter w(out);
   w.put_bytes(acceptor_blob);
   w.put(log_base_);
   w.put(static_cast<std::uint32_t>(log_.size()));
@@ -41,7 +46,7 @@ void LogConsensus::persist(Runtime& rt) const {
     w.put(static_cast<std::uint8_t>(slot.has_value() ? 1 : 0));
     if (slot.has_value()) w.put_bytes(*slot);
   }
-  storage->write(kDurableKey, w.view());
+  storage->write(kDurableKey, out);
 }
 
 void LogConsensus::restore(Runtime& rt) {
@@ -116,7 +121,9 @@ void LogConsensus::propose(Bytes value) {
   } else {
     ProcessId l = omega_->leader();
     if (l != kNoProcess && l != self_) {
-      rt_->send(l, msg_type::kForward, ForwardMsg{pending_.back()}.encode());
+      ForwardMsg fwd{WireBlob::ref(pending_.back())};
+      rt_->send(l, msg_type::kForward,
+                wire::encode_pooled(rt_->pool(), fwd).view());
     }
   }
 }
@@ -151,7 +158,9 @@ void LogConsensus::drive(Runtime& rt) {
   ProcessId l = omega_->leader();
   if (l != kNoProcess && l != self_) {
     for (const Bytes& v : pending_) {
-      rt.send(l, msg_type::kForward, ForwardMsg{v}.encode());
+      ForwardMsg fwd{WireBlob::ref(v)};
+      rt.send(l, msg_type::kForward,
+              wire::encode_pooled(rt.pool(), fwd).view());
     }
   }
 }
@@ -183,9 +192,10 @@ void LogConsensus::start_prepare(Runtime& rt) {
     become_ready(rt);
     return;
   }
-  Bytes payload = PrepareMsg{my_round_, prepare_from_, rt.now()}.encode();
+  auto payload = wire::encode_pooled(
+      rt.pool(), PrepareMsg{my_round_, prepare_from_, rt.now()});
   for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
-    if (q != self_) rt.send(q, msg_type::kPrepare, payload);
+    if (q != self_) rt.send(q, msg_type::kPrepare, payload.view());
   }
 }
 
@@ -269,16 +279,20 @@ void LogConsensus::assign_pending(Runtime& rt) {
 
 void LogConsensus::send_accept(Runtime& rt, ProcessId dst, Instance i) {
   const InFlight& inf = inflight_.at(i);
-  AcceptMsg msg{my_round_, i, commit_upto(), inf.value, rt.now()};
-  rt.send(dst, msg_type::kAccept, msg.encode());
+  // Borrow the in-flight value and encode into a pooled frame: the steady
+  // state Phase-2 send allocates nothing.
+  AcceptMsg msg{my_round_, i, commit_upto(), WireBlob::ref(inf.value),
+                rt.now()};
+  rt.send(dst, msg_type::kAccept, wire::encode_pooled(rt.pool(), msg).view());
 }
 
 void LogConsensus::retransmit(Runtime& rt) {
   if (preparing_) {
-    Bytes payload = PrepareMsg{my_round_, prepare_from_, rt.now()}.encode();
+    auto payload = wire::encode_pooled(
+        rt.pool(), PrepareMsg{my_round_, prepare_from_, rt.now()});
     for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
       if (q != self_ && !promises_.contains(q)) {
-        rt.send(q, msg_type::kPrepare, payload);
+        rt.send(q, msg_type::kPrepare, payload.view());
       }
     }
   }
@@ -289,8 +303,11 @@ void LogConsensus::retransmit(Runtime& rt) {
       }
     }
     for (const auto& [i, unacked] : decide_unacked_) {
-      Bytes payload = DecideMsg{i, *decided_value(i)}.encode();
-      for (ProcessId q : unacked) rt.send(q, msg_type::kDecide, payload);
+      auto payload = wire::encode_pooled(
+          rt.pool(), DecideMsg{i, WireBlob::ref(*decided_value(i))});
+      for (ProcessId q : unacked) {
+        rt.send(q, msg_type::kDecide, payload.view());
+      }
     }
   }
 }
@@ -327,12 +344,12 @@ void LogConsensus::abdicate() {
   leader_ready_ = false;
 }
 
-void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
+void LogConsensus::learn(Runtime& rt, Instance i, BytesView value) {
   if (i < log_base_) return;  // compacted: decided long ago
   Instance rel = i - log_base_;
   if (rel >= log_.size()) log_.resize(rel + 1);
   if (log_[rel].has_value()) {
-    if (*log_[rel] != value) {
+    if (!bytes_equal(*log_[rel], value)) {
       // Agreement tripwire: two different values decided for one instance
       // would falsify Paxos safety; fail loudly.
       throw std::logic_error("consensus agreement violated at instance " +
@@ -343,14 +360,15 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     // learn (see the decided-slot guard in assign_pending) — that value
     // still needs placement.
     if (auto it = inflight_.find(i); it != inflight_.end()) {
-      if (!it->second.value.empty() && it->second.value != value) {
+      if (!it->second.value.empty() &&
+          !bytes_equal(it->second.value, value)) {
         pending_.push_back(std::move(it->second.value));
       }
       inflight_.erase(it);
     }
     return;
   }
-  log_[rel] = value;
+  log_[rel] = Bytes(value.begin(), value.end());
   if (auto it = inflight_.find(i); it != inflight_.end()) {
     // The instance decided against a different value: another leader won
     // the slot while ours was in flight (e.g. this proposer was partitioned
@@ -358,7 +376,7 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
     // placement — re-queue it for a fresh instance. It may end up decided
     // twice if the competing path also carried it; that is the documented
     // at-least-once contract, deduplicated by the replica layer.
-    if (!it->second.value.empty() && it->second.value != value) {
+    if (!it->second.value.empty() && !bytes_equal(it->second.value, value)) {
       pending_.push_back(std::move(it->second.value));
     }
     inflight_.erase(it);
@@ -387,7 +405,7 @@ void LogConsensus::learn(Runtime& rt, Instance i, const Bytes& value) {
   // The decided log is the completion signal for pending submissions.
   if (!value.empty()) {
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (*it == value) {
+      if (bytes_equal(*it, value)) {
         pending_.erase(it);
         break;
       }
@@ -467,7 +485,9 @@ void LogConsensus::handle_prepare(Runtime& rt, ProcessId src,
   Round before = acceptor_.promised();
   if (!acceptor_.on_prepare(msg.round)) {
     rt.send(src, msg_type::kNack,
-            NackMsg{msg.round, acceptor_.promised()}.encode());
+            wire::encode_pooled(rt.pool(),
+                                NackMsg{msg.round, acceptor_.promised()})
+                .view());
     return;
   }
   // The promise is durable state: persist before replying, as a real
@@ -476,20 +496,25 @@ void LogConsensus::handle_prepare(Runtime& rt, ProcessId src,
   if (msg.round > my_round_ && (preparing_ || leader_ready_)) abdicate();
   grant_fence(src, msg.round, rt.now());
 
+  // The reply borrows acceptor/log state (stable until this callback
+  // returns) and encodes into a pooled frame — no per-entry copies even
+  // when the promise carries a long decided suffix.
   PromiseMsg reply;
   reply.round = msg.round;
   reply.echo_ts = msg.ts;
   for (const auto& [i, pair] : acceptor_.all_accepted()) {
     if (i < msg.from || is_decided(i)) continue;
-    reply.entries.push_back(PromiseEntry{i, pair.round, false, pair.value});
+    reply.entries.push_back(
+        PromiseEntry{i, pair.round, false, WireBlob::ref(pair.value)});
   }
   for (Instance i = std::max(msg.from, log_base_); i < log_size(); ++i) {
     const Bytes* v = decided_value(i);
     if (v != nullptr) {
-      reply.entries.push_back(PromiseEntry{i, kNoRound, true, *v});
+      reply.entries.push_back(PromiseEntry{i, kNoRound, true, WireBlob::ref(*v)});
     }
   }
-  rt.send(src, msg_type::kPromise, reply.encode());
+  rt.send(src, msg_type::kPromise,
+          wire::encode_pooled(rt.pool(), reply).view());
 }
 
 void LogConsensus::handle_promise(Runtime& rt, ProcessId src,
@@ -498,13 +523,14 @@ void LogConsensus::handle_promise(Runtime& rt, ProcessId src,
   record_support(src, msg.echo_ts);
   for (const auto& e : msg.entries) {
     if (e.decided) {
-      learn(rt, e.instance, e.value);
+      learn(rt, e.instance, e.value.view());
       continue;
     }
     auto it = promise_merge_.find(e.instance);
     if (it == promise_merge_.end() || e.accepted_round > it->second.round) {
+      // promise_merge_ outlives this delivery: materialize the borrow.
       promise_merge_[e.instance] =
-          Acceptor::AcceptedPair{e.accepted_round, e.value};
+          Acceptor::AcceptedPair{e.accepted_round, e.value.to_owned()};
     }
   }
   promises_.insert(src);
@@ -517,16 +543,20 @@ void LogConsensus::handle_accept(Runtime& rt, ProcessId src,
   // toward everyone but the fence holder.
   if (fenced_against(src, rt.now())) return;
   highest_seen_round_ = std::max(highest_seen_round_, msg.round);
-  if (!acceptor_.on_accept(msg.round, msg.instance, msg.value)) {
+  if (!acceptor_.on_accept(msg.round, msg.instance, msg.value.view())) {
     rt.send(src, msg_type::kNack,
-            NackMsg{msg.round, acceptor_.promised()}.encode());
+            wire::encode_pooled(rt.pool(),
+                                NackMsg{msg.round, acceptor_.promised()})
+                .view());
     return;
   }
   if (config_.durable) persist(rt);  // accepted pair is durable state
   if (msg.round > my_round_ && (preparing_ || leader_ready_)) abdicate();
   grant_fence(src, msg.round, rt.now());
   rt.send(src, msg_type::kAccepted,
-          AcceptedMsg{msg.round, msg.instance, msg.ts}.encode());
+          wire::encode_pooled(rt.pool(),
+                              AcceptedMsg{msg.round, msg.instance, msg.ts})
+              .view());
 
   // Pipelined commit: everything below commit_upto was decided by the
   // leader of this round; our accepted value at this same round for such an
@@ -553,11 +583,12 @@ void LogConsensus::handle_accepted(Runtime& rt, ProcessId src,
   inflight_.erase(it);
   learn(rt, msg.instance, value);
   auto& unacked = decide_unacked_[msg.instance];
-  Bytes payload = DecideMsg{msg.instance, value}.encode();
+  auto payload = wire::encode_pooled(
+      rt.pool(), DecideMsg{msg.instance, WireBlob::ref(value)});
   for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
     if (q == self_) continue;
     unacked.insert(q);
-    rt.send(q, msg_type::kDecide, payload);
+    rt.send(q, msg_type::kDecide, payload.view());
   }
 }
 
@@ -572,8 +603,9 @@ void LogConsensus::handle_nack(const NackMsg& msg) {
 
 void LogConsensus::handle_decide(Runtime& rt, ProcessId src,
                                  const DecideMsg& msg) {
-  learn(rt, msg.instance, msg.value);
-  rt.send(src, msg_type::kDecideAck, DecideAckMsg{msg.instance}.encode());
+  learn(rt, msg.instance, msg.value.view());
+  rt.send(src, msg_type::kDecideAck,
+          wire::encode_pooled(rt.pool(), DecideAckMsg{msg.instance}).view());
 }
 
 void LogConsensus::handle_decide_ack(ProcessId src, const DecideAckMsg& msg) {
@@ -692,7 +724,7 @@ void LogConsensus::handle_forward(ProcessId, const ForwardMsg& msg) {
   // (Values compacted away cannot be matched any more; the origin's retry
   // loop stops as soon as it observes the decision, which by the compaction
   // contract it already has.)
-  pending_.push_back(msg.value);
+  pending_.push_back(msg.value.to_owned());
   // Eager dispatch: a ready leader starts Phase 2 for the new value now.
   if (rt_ != nullptr && leader_ready_ && i_am_omega_leader()) {
     assign_pending(*rt_);

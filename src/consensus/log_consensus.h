@@ -177,7 +177,9 @@ class LogConsensus final : public ConsensusActor {
   // Learner-side. The decided log is stored with a compaction offset:
   // absolute instance i lives at log_[i - log_base_]; everything below
   // log_base_ is decided-and-discarded.
-  void learn(Runtime& rt, Instance i, const Bytes& value);
+  /// `value` may borrow a receive buffer; learn copies exactly once, at
+  /// the point the decided log retains it.
+  void learn(Runtime& rt, Instance i, BytesView value);
   [[nodiscard]] bool is_decided(Instance i) const {
     if (i < log_base_) return true;
     Instance rel = i - log_base_;

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/serialization.h"
 #include "consensus/consensus.h"
 #include "net/wire.h"
@@ -48,11 +49,16 @@ struct PrepareMsg {
   LLS_WIRE_FIELDS(PrepareMsg, round, from, ts)
 };
 
+// Value-carrying fields are WireBlob: encoding borrows the sender's buffer
+// (no copy into the message struct), and decoding borrows the receive
+// buffer (no copy out). Handlers that retain a decoded value past the
+// delivery callback must call .to_owned(); see common/blob.h.
+
 struct PromiseEntry {
   Instance instance = 0;
   Round accepted_round = kNoRound;
   bool decided = false;
-  Bytes value;
+  WireBlob value;
 
   LLS_WIRE_FIELDS(PromiseEntry, instance, accepted_round, decided, value)
 };
@@ -72,7 +78,7 @@ struct AcceptMsg {
   /// Everything below this instance is decided at the leader — lets
   /// followers commit pipelined instances without waiting for DECIDE.
   Instance commit_upto = 0;
-  Bytes value;
+  WireBlob value;
   /// Proposer clock at send; echoed by AcceptedMsg for lease accounting.
   TimePoint ts = 0;
 
@@ -97,7 +103,7 @@ struct NackMsg {
 
 struct DecideMsg {
   Instance instance = 0;
-  Bytes value;
+  WireBlob value;
 
   LLS_WIRE_FIELDS(DecideMsg, instance, value)
 };
@@ -109,7 +115,7 @@ struct DecideAckMsg {
 };
 
 struct ForwardMsg {
-  Bytes value;
+  WireBlob value;
 
   LLS_WIRE_FIELDS(ForwardMsg, value)
 };
@@ -137,10 +143,12 @@ class Acceptor {
   }
 
   /// Handles an accept; returns true when granted (round >= promise).
-  bool on_accept(Round round, Instance instance, const Bytes& value) {
+  /// The value view may borrow a receive buffer — the acceptor copies it
+  /// into owned state here, at the single point where retention happens.
+  bool on_accept(Round round, Instance instance, BytesView value) {
     if (round < promised_) return false;
     promised_ = round;
-    accepted_[instance] = AcceptedPair{round, value};
+    accepted_[instance] = AcceptedPair{round, Bytes(value.begin(), value.end())};
     return true;
   }
 
@@ -163,7 +171,12 @@ class Acceptor {
   /// Crash-recovery support: serialize/restore the durable part of the
   /// acceptor (its promise and accepted pairs).
   [[nodiscard]] Bytes encode() const {
-    BufWriter w(16 + accepted_.size() * 32);
+    std::size_t size = sizeof(Round) + 4;
+    for (const auto& [i, pair] : accepted_) {
+      size += sizeof(Instance) + sizeof(Round) + 4 + pair.value.size();
+    }
+    Bytes out(size);
+    FlatWriter w(out);
     w.put(promised_);
     w.put(static_cast<std::uint32_t>(accepted_.size()));
     for (const auto& [i, pair] : accepted_) {
@@ -171,7 +184,7 @@ class Acceptor {
       w.put(pair.round);
       w.put_bytes(pair.value);
     }
-    return w.take();
+    return out;
   }
 
   static Acceptor decode(BytesView payload) {

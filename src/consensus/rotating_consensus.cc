@@ -7,12 +7,13 @@ namespace lls {
 // --- codecs ----------------------------------------------------------------
 
 Bytes RotatingConsensus::EstimateMsg::encode() const {
-  BufWriter w(32 + value.size());
+  Bytes out(sizeof(instance) + sizeof(round) + sizeof(ts) + 4 + value.size());
+  FlatWriter w(out);
   w.put(instance);
   w.put(round);
   w.put(ts);
   w.put_bytes(value);
-  return w.take();
+  return out;
 }
 
 RotatingConsensus::EstimateMsg RotatingConsensus::EstimateMsg::decode(
@@ -27,11 +28,12 @@ RotatingConsensus::EstimateMsg RotatingConsensus::EstimateMsg::decode(
 }
 
 Bytes RotatingConsensus::ProposalMsg::encode() const {
-  BufWriter w(24 + value.size());
+  Bytes out(sizeof(instance) + sizeof(round) + 4 + value.size());
+  FlatWriter w(out);
   w.put(instance);
   w.put(round);
   w.put_bytes(value);
-  return w.take();
+  return out;
 }
 
 RotatingConsensus::ProposalMsg RotatingConsensus::ProposalMsg::decode(
@@ -45,10 +47,11 @@ RotatingConsensus::ProposalMsg RotatingConsensus::ProposalMsg::decode(
 }
 
 Bytes RotatingConsensus::AckMsg::encode() const {
-  BufWriter w(16);
+  Bytes out(sizeof(instance) + sizeof(round));
+  FlatWriter w(out);
   w.put(instance);
   w.put(round);
-  return w.take();
+  return out;
 }
 
 RotatingConsensus::AckMsg RotatingConsensus::AckMsg::decode(BytesView payload) {
@@ -60,10 +63,11 @@ RotatingConsensus::AckMsg RotatingConsensus::AckMsg::decode(BytesView payload) {
 }
 
 Bytes RotatingConsensus::DecideMsg::encode() const {
-  BufWriter w(16 + value.size());
+  Bytes out(sizeof(instance) + 4 + value.size());
+  FlatWriter w(out);
   w.put(instance);
   w.put_bytes(value);
-  return w.take();
+  return out;
 }
 
 RotatingConsensus::DecideMsg RotatingConsensus::DecideMsg::decode(

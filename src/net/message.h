@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/bytes.h"
 #include "common/serialization.h"
 #include "common/types.h"
@@ -73,7 +74,10 @@ struct ClientRequestMsg {
   /// All of this client's sequence numbers <= ack_upto have completed; the
   /// replica may drop its cached results for them (retry can never ask).
   std::uint64_t ack_upto = 0;
-  Bytes command;
+  /// WireBlob: the client borrows its cached encoded command when sending
+  /// (no copy per attempt) and the replica decodes a borrow into the
+  /// receive buffer (no copy per delivery). See common/blob.h.
+  WireBlob command;
 
   LLS_WIRE_FIELDS(ClientRequestMsg, seq, ack_upto, command)
 };
@@ -113,7 +117,7 @@ struct ClientRequestBatchMsg {
   std::uint64_t ack_upto = 0;
   struct Item {
     std::uint64_t seq = 0;
-    Bytes command;
+    WireBlob command;
 
     LLS_WIRE_FIELDS(Item, seq, command)
   };

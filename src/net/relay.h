@@ -70,13 +70,16 @@ class RelayActor final : public Actor {
     Bytes payload;
 
     [[nodiscard]] Bytes encode() const {
-      BufWriter w(24 + payload.size());
+      // Exact-size flat encode: header fields + u32 length + payload.
+      Bytes out(sizeof(origin) + sizeof(seq) + sizeof(dst) +
+                sizeof(inner_type) + 4 + payload.size());
+      FlatWriter w(out);
       w.put(origin);
       w.put(seq);
       w.put(dst);
       w.put(inner_type);
       w.put_bytes(payload);
-      return w.take();
+      return out;
     }
 
     static Envelope decode(BytesView view) {

@@ -7,10 +7,12 @@
 namespace lls {
 
 Bytes CeOmega::AliveMsg::encode() const {
-  BufWriter w(16);
+  // Fixed-layout message: one exact-size allocation, flat stores.
+  Bytes out(sizeof(counter) + sizeof(phase));
+  FlatWriter w(out);
   w.put(counter);
   w.put(phase);
-  return w.take();
+  return out;
 }
 
 CeOmega::AliveMsg CeOmega::AliveMsg::decode(BytesView payload) {
@@ -22,10 +24,11 @@ CeOmega::AliveMsg CeOmega::AliveMsg::decode(BytesView payload) {
 }
 
 Bytes CeOmega::AccuseMsg::encode() const {
-  BufWriter w(12);
+  Bytes out(sizeof(accused) + sizeof(phase));
+  FlatWriter w(out);
   w.put(accused);
   w.put(phase);
-  return w.take();
+  return out;
 }
 
 CeOmega::AccuseMsg CeOmega::AccuseMsg::decode(BytesView payload) {

@@ -11,9 +11,10 @@ constexpr const char* kIncarnationKey = "cr_omega/incarnation";
 constexpr const char* kLeaderKey = "cr_omega/leader";
 
 Bytes encode_u64(std::uint64_t x) {
-  BufWriter w(8);
+  Bytes out(sizeof(x));
+  FlatWriter w(out);
   w.put(x);
-  return w.take();
+  return out;
 }
 
 std::uint64_t decode_u64(BytesView v) {
@@ -22,9 +23,12 @@ std::uint64_t decode_u64(BytesView v) {
 }
 
 Bytes encode_leader_msg(const std::vector<std::uint64_t>& recovered) {
-  BufWriter w(8 + recovered.size() * 8);
-  w.put_vec(recovered);
-  return w.take();
+  // Exact size: u32 count + 8 bytes per element (matches get_vec's layout).
+  Bytes out(4 + recovered.size() * 8);
+  FlatWriter w(out);
+  w.put(static_cast<std::uint32_t>(recovered.size()));
+  for (std::uint64_t x : recovered) w.put(x);
+  return out;
 }
 
 std::vector<std::uint64_t> decode_leader_msg(BytesView v) {

@@ -176,7 +176,7 @@ void KvCore::pump_session_queue() {
 std::optional<Command> KvCore::admit_one(Runtime& rt, ProcessId src,
                                          std::uint64_t seq,
                                          std::uint64_t ack_upto,
-                                         const Bytes& command_blob) {
+                                         BytesView command_blob) {
   Command cmd = Command::decode(command_blob);
   if (cmd.origin != src || cmd.seq != seq || seq == 0) {
     return std::nullopt;  // malformed or impersonating another session: drop
@@ -232,7 +232,9 @@ std::optional<Command> KvCore::admit_one(Runtime& rt, ProcessId src,
   if (omega_->leader() != self_) {
     ++redirects_sent_;
     rt.send(src, msg_type::kClientRedirect,
-            ClientRedirectMsg{omega_->leader(), shard_}.encode());
+            wire::encode_pooled(rt.pool(),
+                                ClientRedirectMsg{omega_->leader(), shard_})
+                .view());
     return std::nullopt;
   }
   if (sess.admitted.count(seq) != 0) {
@@ -243,7 +245,8 @@ std::optional<Command> KvCore::admit_one(Runtime& rt, ProcessId src,
     ClientBusyMsg busy;
     busy.seq = seq;
     busy.queue = static_cast<std::uint32_t>(admitted_inflight_);
-    rt.send(src, msg_type::kClientBusy, busy.encode());
+    rt.send(src, msg_type::kClientBusy,
+            wire::encode_pooled(rt.pool(), busy).view());
     return std::nullopt;
   }
   sess.admitted.insert(seq);
@@ -259,7 +262,7 @@ void KvCore::handle_client_request(Runtime& rt, ProcessId src,
                                    BytesView payload) {
   if (!is_client(src)) return;  // replicas do not speak the client protocol
   ClientRequestMsg req = ClientRequestMsg::decode(payload);
-  auto cmd = admit_one(rt, src, req.seq, req.ack_upto, req.command);
+  auto cmd = admit_one(rt, src, req.seq, req.ack_upto, req.command.view());
   if (cmd.has_value()) enqueue_for_consensus(std::move(*cmd));
 }
 
@@ -270,7 +273,7 @@ void KvCore::handle_client_batch(Runtime& rt, ProcessId src,
   std::vector<Command> fresh;
   fresh.reserve(req.items.size());
   for (const auto& item : req.items) {
-    auto cmd = admit_one(rt, src, item.seq, req.ack_upto, item.command);
+    auto cmd = admit_one(rt, src, item.seq, req.ack_upto, item.command.view());
     if (cmd.has_value()) fresh.push_back(std::move(*cmd));
   }
   enqueue_commands(std::move(fresh));
@@ -295,7 +298,7 @@ void KvCore::send_reply(ProcessId client, std::uint64_t seq,
   reply.found = result.found;
   reply.value = result.value;
   ++client_replies_sent_;
-  Bytes encoded = reply.encode();
+  auto encoded = wire::encode_pooled(rt_->pool(), reply);
   {
     obs::Event e;
     e.type = obs::EventType::kClientReply;
@@ -303,10 +306,10 @@ void KvCore::send_reply(ProcessId client, std::uint64_t seq,
     e.process = self_;
     e.peer = client;
     e.a = seq;
-    e.payload = encoded;  // encoded ClientReplyMsg, for history recorders
+    e.payload = encoded.view();  // encoded ClientReplyMsg, for recorders
     rt_->obs().bus().publish(e);
   }
-  rt_->send(client, msg_type::kClientReply, encoded);
+  rt_->send(client, msg_type::kClientReply, encoded.view());
 }
 
 void KvCore::on_decided(Instance i, BytesView value) {
@@ -340,7 +343,18 @@ void KvCore::persist_snapshot(Runtime& rt) const {
   if (storage == nullptr) {
     throw std::logic_error("durable KvCore snapshot requires Runtime::storage()");
   }
-  BufWriter w(256);
+  // Exact-size single allocation (the snapshot can be large; growing a
+  // BufWriter through doublings would copy it several times over).
+  std::size_t size = sizeof(applied_upto_) + sizeof(store_.applied()) + 4;
+  for (const auto& [key, value] : store_.data()) {
+    size += 4 + key.size() + 4 + value.size();
+  }
+  size += 4;
+  for (const auto& [origin, seqs] : applied_) {
+    size += sizeof(ProcessId) + 4 + seqs.size() * sizeof(std::uint64_t);
+  }
+  Bytes out(size);
+  FlatWriter w(out);
   w.put(applied_upto_);
   w.put(store_.applied());
   w.put(static_cast<std::uint32_t>(store_.data().size()));
@@ -361,9 +375,10 @@ void KvCore::persist_snapshot(Runtime& rt) const {
     std::vector<std::uint64_t> sorted(seqs.begin(), seqs.end());
     std::sort(sorted.begin(), sorted.end());
     w.put(origin);
-    w.put_vec(sorted);
+    w.put(static_cast<std::uint32_t>(sorted.size()));
+    for (std::uint64_t x : sorted) w.put(x);
   }
-  storage->write(snapshot_key(), w.view());
+  storage->write(snapshot_key(), out);
 }
 
 void KvCore::restore_snapshot(Runtime& rt) {

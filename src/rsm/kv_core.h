@@ -213,7 +213,7 @@ class KvCore final : public Actor {
   /// newly admitted and is owed a consensus placement.
   std::optional<Command> admit_one(Runtime& rt, ProcessId src,
                                    std::uint64_t seq, std::uint64_t ack_upto,
-                                   const Bytes& command_blob);
+                                   BytesView command_blob);
   void send_reply(ProcessId client, std::uint64_t seq, const KvResult& result);
   /// Executes kGet semantics against the local store without touching any
   /// replication state — the lease fast path's read.

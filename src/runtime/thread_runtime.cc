@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "common/blob.h"
+
 namespace lls {
 
 namespace {
@@ -156,7 +158,12 @@ class ThreadCluster::ProcessLoop final : public Runtime {
         Message msg = inbox_.top().msg;
         inbox_.pop();
         lock.unlock();
-        actor_->on_message(*this, msg.src, msg.type, msg.payload);
+        {
+          // Debug borrow scope: decoded blob borrows die when the delivery
+          // returns (msg is destroyed on the next loop iteration).
+          borrowcheck::Scope borrow_scope;
+          actor_->on_message(*this, msg.src, msg.type, msg.payload);
+        }
         lock.lock();
         continue;
       }

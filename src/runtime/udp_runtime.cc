@@ -11,6 +11,7 @@
 #include <future>
 #include <stdexcept>
 
+#include "common/blob.h"
 #include "common/serialization.h"
 #include "obs/snapshot.h"
 
@@ -19,6 +20,10 @@ namespace lls {
 namespace {
 constexpr std::size_t kMaxDatagram = 64 * 1024;
 constexpr std::size_t kHeaderSize = sizeof(std::uint32_t) + sizeof(std::uint16_t);
+/// Outbound coalescing: flush threshold and sendmmsg(2) chunk size.
+constexpr std::size_t kSendBatch = 64;
+/// Inbound: datagrams drained per recvmmsg(2) call.
+constexpr std::size_t kRecvBatch = 16;
 }  // namespace
 
 UdpNode::UdpNode(UdpNodeConfig config, std::unique_ptr<Actor> actor)
@@ -30,6 +35,10 @@ UdpNode::UdpNode(UdpNodeConfig config, std::unique_ptr<Actor> actor)
   datagrams_sent_ = &reg.counter("udp.datagrams_sent");
   bytes_sent_ = &reg.counter("udp.bytes_sent");
   datagrams_received_ = &reg.counter("udp.datagrams_received");
+  sendmmsg_calls_ = &reg.counter("udp.sendmmsg_calls");
+  recvmmsg_calls_ = &reg.counter("udp.recvmmsg_calls");
+  pool_hits_ = &reg.counter("udp.pool_hits");
+  pool_misses_ = &reg.counter("udp.pool_misses");
 }
 
 UdpNode::~UdpNode() {
@@ -57,6 +66,17 @@ void UdpNode::start() {
     throw std::runtime_error("bind() failed on port " +
                              std::to_string(config_.base_port + config_.id));
   }
+  // Resolve every peer once; the send path then never touches inet_pton.
+  peer_addr_.assign(static_cast<std::size_t>(config_.n), sockaddr_in{});
+  for (ProcessId dst = 0; dst < static_cast<ProcessId>(config_.n); ++dst) {
+    sockaddr_in& peer = peer_addr_[dst];
+    peer.sin_family = AF_INET;
+    peer.sin_port = htons(static_cast<std::uint16_t>(config_.base_port + dst));
+    ::inet_pton(AF_INET, config_.host.c_str(), &peer.sin_addr);
+  }
+  recv_bufs_.resize(config_.batch_io ? kRecvBatch : 1);
+  for (Bytes& slab : recv_bufs_) slab.resize(kMaxDatagram);
+  sendq_.reserve(kSendBatch);
   running_.store(true);
   thread_ = std::thread([this]() {
     actor_->on_start(*this);
@@ -109,24 +129,70 @@ void UdpNode::post(std::function<void()> fn) {
 
 void UdpNode::send(ProcessId dst, MessageType type, BytesView payload) {
   if (dst == config_.id || dst >= static_cast<ProcessId>(config_.n)) return;
-  std::vector<std::byte> frame(kHeaderSize + payload.size());
+  PooledBuffer frame(pool_, pool_.acquire(kHeaderSize + payload.size()));
   std::uint32_t src = config_.id;
   std::uint16_t t = type;
-  std::memcpy(frame.data(), &src, sizeof(src));
-  std::memcpy(frame.data() + sizeof(src), &t, sizeof(t));
+  std::byte* out = frame.bytes().data();
+  std::memcpy(out, &src, sizeof(src));
+  std::memcpy(out + sizeof(src), &t, sizeof(t));
   if (!payload.empty()) {
-    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+    std::memcpy(out + kHeaderSize, payload.data(), payload.size());
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(config_.base_port + dst));
-  ::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr);
-  // Fire-and-forget: UDP send failures are indistinguishable from link loss,
-  // which the protocols tolerate by design.
-  ::sendto(fd_, frame.data(), frame.size(), 0,
-           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   datagrams_sent_->inc();
   bytes_sent_->inc(frame.size());
+  if (!config_.batch_io) {
+    // Fire-and-forget: UDP send failures are indistinguishable from link
+    // loss, which the protocols tolerate by design.
+    ::sendto(fd_, out, frame.size(), 0,
+             reinterpret_cast<const sockaddr*>(&peer_addr_[dst]),
+             sizeof(sockaddr_in));
+    return;  // ~PooledBuffer recycles the frame
+  }
+  sendq_.push_back(PendingSend{dst, std::move(frame)});
+  if (sendq_.size() >= kSendBatch) flush_sends();
+}
+
+void UdpNode::flush_sends() {
+  if (sendq_.empty()) return;
+#if defined(__linux__)
+  std::size_t done = 0;
+  while (done < sendq_.size()) {
+    const std::size_t batch = std::min(kSendBatch, sendq_.size() - done);
+    mmsghdr msgs[kSendBatch];
+    iovec iov[kSendBatch];
+    std::memset(msgs, 0, batch * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < batch; ++i) {
+      PendingSend& p = sendq_[done + i];
+      iov[i].iov_base = p.frame.bytes().data();
+      iov[i].iov_len = p.frame.size();
+      msgs[i].msg_hdr.msg_name = &peer_addr_[p.dst];
+      msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      msgs[i].msg_hdr.msg_iov = &iov[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int sent = ::sendmmsg(fd_, msgs, static_cast<unsigned>(batch), 0);
+    sendmmsg_calls_->inc();
+    if (sent <= 0) break;  // kernel refused the batch: drop it as link loss
+    done += static_cast<std::size_t>(sent);
+    // Partial acceptance (sent < batch): loop resumes at the first
+    // unsent frame instead of re-sending or dropping the whole chunk.
+  }
+#else
+  for (PendingSend& p : sendq_) {
+    ::sendto(fd_, p.frame.bytes().data(), p.frame.size(), 0,
+             reinterpret_cast<const sockaddr*>(&peer_addr_[p.dst]),
+             sizeof(sockaddr_in));
+  }
+#endif
+  sendq_.clear();  // ~PooledBuffer returns every frame to the pool
+  sync_pool_counters();
+}
+
+void UdpNode::sync_pool_counters() {
+  pool_hits_->inc(pool_.hits() - synced_pool_hits_);
+  synced_pool_hits_ = pool_.hits();
+  pool_misses_->inc(pool_.misses() - synced_pool_misses_);
+  synced_pool_misses_ = pool_.misses();
 }
 
 TimerId UdpNode::set_timer(Duration delay) {
@@ -151,7 +217,13 @@ TimePoint UdpNode::next_deadline() {
 void UdpNode::run() {
   std::vector<std::byte> buf(kMaxDatagram);
   while (running_.load()) {
-    // Fire due timers and posted calls.
+    // Fire posted calls and the timers that were due when this pass began.
+    // The cutoff is deliberately a snapshot: a handler that re-arms its
+    // timer as already-due waits for the next pass, so a timer storm can't
+    // pin the loop here — queued frames must reach flush_sends() below and
+    // the socket must be polled for the cluster to make progress (the old
+    // unbatched path sent inline from handlers; this one doesn't).
+    const TimePoint due_cutoff = now();
     for (;;) {
       std::function<void()> call;
       TimerId due = kInvalidTimer;
@@ -160,7 +232,7 @@ void UdpNode::run() {
         if (!calls_.empty()) {
           call = std::move(calls_.front());
           calls_.erase(calls_.begin());
-        } else if (!timers_.empty() && timers_.top().deadline <= now()) {
+        } else if (!timers_.empty() && timers_.top().deadline <= due_cutoff) {
           due = timers_.top().id;
           timers_.pop();
           if (auto it = cancelled_.find(due); it != cancelled_.end()) {
@@ -176,6 +248,10 @@ void UdpNode::run() {
       if (due != kInvalidTimer) actor_->on_timer(*this, due);
     }
 
+    // Everything queued by the callbacks above leaves in one batch before
+    // the loop blocks; nothing sits in the queue across a poll().
+    flush_sends();
+
     // Wait for a datagram, bounded by the next deadline (cap 10ms so posted
     // calls are picked up promptly).
     TimePoint next = next_deadline();
@@ -189,23 +265,54 @@ void UdpNode::run() {
     int ready = ::poll(&pfd, 1, timeout_ms);
     if (ready > 0 && (pfd.revents & POLLIN) != 0) drain_socket();
   }
+  flush_sends();  // the loop is exiting: don't strand queued frames
+}
+
+void UdpNode::deliver_frame(const std::byte* data, std::size_t len) {
+  if (len < kHeaderSize) return;  // truncated header: garbage datagram
+  std::uint32_t src = 0;
+  std::uint16_t type = 0;
+  std::memcpy(&src, data, sizeof(src));
+  std::memcpy(&type, data + sizeof(src), sizeof(type));
+  if (src >= static_cast<std::uint32_t>(config_.n)) return;
+  datagrams_received_->inc();
+  // Debug borrow scope: blob fields decoded out of this receive slab die
+  // when the delivery returns — the slab is overwritten by the next drain.
+  borrowcheck::Scope borrow_scope;
+  actor_->on_message(*this, static_cast<ProcessId>(src), type,
+                     BytesView(data + kHeaderSize, len - kHeaderSize));
 }
 
 void UdpNode::drain_socket() {
-  std::vector<std::byte> buf(kMaxDatagram);
+#if defined(__linux__)
+  if (config_.batch_io) {
+    for (;;) {
+      mmsghdr msgs[kRecvBatch];
+      iovec iov[kRecvBatch];
+      std::memset(msgs, 0, sizeof(msgs));
+      for (std::size_t i = 0; i < kRecvBatch; ++i) {
+        iov[i].iov_base = recv_bufs_[i].data();
+        iov[i].iov_len = recv_bufs_[i].size();
+        msgs[i].msg_hdr.msg_iov = &iov[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      int got = ::recvmmsg(fd_, msgs, kRecvBatch, MSG_DONTWAIT, nullptr);
+      if (got <= 0) return;
+      recvmmsg_calls_->inc();
+      for (int i = 0; i < got; ++i) {
+        deliver_frame(recv_bufs_[static_cast<std::size_t>(i)].data(),
+                      msgs[i].msg_len);
+      }
+      if (got < static_cast<int>(kRecvBatch)) return;  // socket drained
+    }
+  }
+#endif
+  Bytes& buf = recv_bufs_.front();
   for (;;) {
     ssize_t got = ::recvfrom(fd_, buf.data(), buf.size(), MSG_DONTWAIT,
                              nullptr, nullptr);
-    if (got < static_cast<ssize_t>(kHeaderSize)) return;  // none or garbage
-    std::uint32_t src = 0;
-    std::uint16_t type = 0;
-    std::memcpy(&src, buf.data(), sizeof(src));
-    std::memcpy(&type, buf.data() + sizeof(src), sizeof(type));
-    if (src >= static_cast<std::uint32_t>(config_.n)) continue;
-    BytesView payload(buf.data() + kHeaderSize,
-                      static_cast<std::size_t>(got) - kHeaderSize);
-    datagrams_received_->inc();
-    actor_->on_message(*this, src, type, payload);
+    if (got < 0) return;  // drained
+    deliver_frame(buf.data(), static_cast<std::size_t>(got));
   }
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/blob.h"
 #include "common/bytes.h"
 #include "common/serialization.h"
 #include "common/types.h"
@@ -66,7 +67,10 @@ class ShardMap {
 struct GroupEnvelopeMsg {
   ShardId shard = kNoShard;
   MessageType inner_type = 0;
-  Bytes payload;
+  /// WireBlob: the wrapping side borrows the already-encoded inner frame,
+  /// the routing side hands the decoded borrow straight to the target
+  /// group's on_message (synchronous dispatch, so the borrow stays valid).
+  WireBlob payload;
 
   LLS_WIRE_FIELDS(GroupEnvelopeMsg, shard, inner_type, payload)
 };

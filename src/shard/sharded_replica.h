@@ -227,11 +227,14 @@ class BasicShardedReplica final : public Actor {
 
     void send(ProcessId dst, MessageType type, BytesView payload) override {
       if (owner_ >= 0 && type >= 0x0200 && type <= 0x02ff) {
+        // Wrap without copying: the envelope borrows the inner frame and
+        // encodes into a pooled buffer consumed synchronously by send.
         GroupEnvelopeMsg env;
         env.shard = static_cast<ShardId>(owner_);
         env.inner_type = type;
-        env.payload.assign(payload.begin(), payload.end());
-        host_.cluster_rt_.send(dst, msg_type::kGroupEnvelope, env.encode());
+        env.payload = WireBlob::ref(payload);
+        host_.cluster_rt_.send(dst, msg_type::kGroupEnvelope,
+                               wire::encode_pooled(pool(), env).view());
         return;
       }
       host_.cluster_rt_.send(dst, type, payload);
@@ -254,6 +257,9 @@ class BasicShardedReplica final : public Actor {
     [[nodiscard]] obs::Plane& obs() override {
       return host_.cluster_rt_.obs();
     }
+    [[nodiscard]] BufferPool& pool() override {
+      return host_.cluster_rt_.pool();
+    }
 
    private:
     BasicShardedReplica& host_;
@@ -273,15 +279,17 @@ class BasicShardedReplica final : public Actor {
       ++envelopes_rejected_;
       return;
     }
+    // Synchronous dispatch: the decoded borrow stays valid for the
+    // duration of the inner delivery.
     groups_[env.shard]->on_message(*group_rts_[env.shard], src,
-                                   env.inner_type, env.payload);
+                                   env.inner_type, env.payload.view());
   }
 
   void route_client_request(ProcessId src, BytesView payload) {
     ShardId shard = kNoShard;
     try {
       ClientRequestMsg req = ClientRequestMsg::decode(payload);
-      shard = map_.shard_of(Command::decode(req.command).key);
+      shard = map_.shard_of(Command::decode(req.command.view()).key);
     } catch (const SerializationError&) {
       ++requests_rejected_;
       return;
@@ -305,7 +313,7 @@ class BasicShardedReplica final : public Actor {
     for (auto& item : req.items) {
       ShardId shard = kNoShard;
       try {
-        shard = map_.shard_of(Command::decode(item.command).key);
+        shard = map_.shard_of(Command::decode(item.command.view()).key);
       } catch (const SerializationError&) {
         ++requests_rejected_;
         continue;
@@ -315,9 +323,12 @@ class BasicShardedReplica final : public Actor {
     for (std::size_t g = 0; g < per_shard.size(); ++g) {
       if (per_shard[g].items.empty()) continue;
       per_shard[g].ack_upto = req.ack_upto;
-      Bytes encoded = per_shard[g].encode();
+      // Items still borrow the original receive buffer (valid until this
+      // routing callback returns); the per-group frame is pooled and the
+      // dispatch below consumes it synchronously.
+      auto encoded = wire::encode_pooled(cluster_rt_.pool(), per_shard[g]);
       groups_[g]->on_message(*group_rts_[g], src,
-                             msg_type::kClientRequestBatch, encoded);
+                             msg_type::kClientRequestBatch, encoded.view());
     }
   }
 

@@ -1,7 +1,9 @@
 #include "sim/simulator.h"
 
+#include <cstring>
 #include <utility>
 
+#include "common/blob.h"
 #include "common/logging.h"
 
 namespace lls {
@@ -60,16 +62,18 @@ void Simulator::start() {
 
 void Simulator::push(Event e) {
   e.seq = next_seq_++;
-  queue_.push(std::move(e));
+  queue_.push_back(std::move(e));
+  std::push_heap(queue_.begin(), queue_.end(), EventAfter{});
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top is const; the event is copied out. Events are small
-  // except for message payloads and callbacks, both of which are consumed
-  // exactly once here.
-  Event e = queue_.top();
-  queue_.pop();
+  // Same total order as the old priority_queue (time, then insertion seq),
+  // but the event is *moved* out — a delivery's payload buffer is never
+  // copied between the heap and dispatch.
+  std::pop_heap(queue_.begin(), queue_.end(), EventAfter{});
+  Event e = std::move(queue_.back());
+  queue_.pop_back();
   now_ = e.time;
   ++executed_;
   dispatch(e);
@@ -77,7 +81,7 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(TimePoint t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!queue_.empty() && queue_.front().time <= t) step();
   if (now_ < t) now_ = t;
 }
 
@@ -85,10 +89,14 @@ void Simulator::dispatch(Event& e) {
   switch (e.kind) {
     case EventKind::kDeliver: {
       ProcessId dst = e.msg.dst;
-      if (!alive_[dst] || !started_[dst]) return;
+      if (!alive_[dst] || !started_[dst]) {
+        pool_.release(std::move(e.msg.payload));
+        return;
+      }
       if (now_ < stalled_until_[dst]) {
         // The destination is frozen (GC pause): hold the delivery until the
         // stall ends. Re-pushing in dispatch order preserves relative order.
+        // The payload travels with the deferred event — not released.
         Event deferred = std::move(e);
         deferred.time = stalled_until_[dst];
         push(std::move(deferred));
@@ -100,13 +108,21 @@ void Simulator::dispatch(Event& e) {
         network_.stats().on_corrupt_drop();
         publish(obs::EventType::kCorruptDrop, e.msg.src, dst, e.msg.type,
                 e.msg.payload.size());
+        pool_.release(std::move(e.msg.payload));
         return;
       }
       network_.note_delivered(dst);
       publish(obs::EventType::kDeliver, e.msg.src, dst, e.msg.type,
               e.msg.payload.size());
-      actors_[dst]->on_message(*runtimes_[dst], e.msg.src, e.msg.type,
-                               e.msg.payload);
+      {
+        // Debug borrow scope: blob fields the actor decodes out of this
+        // payload die when the delivery returns — the buffer is recycled
+        // into the pool right below.
+        borrowcheck::Scope borrow_scope;
+        actors_[dst]->on_message(*runtimes_[dst], e.msg.src, e.msg.type,
+                                 e.msg.payload);
+      }
+      pool_.release(std::move(e.msg.payload));
       return;
     }
     case EventKind::kTimer: {
@@ -245,12 +261,21 @@ void Simulator::do_send(ProcessId src, ProcessId dst, MessageType type,
   msg.src = src;
   msg.dst = dst;
   msg.type = type;
-  msg.payload.assign(payload.begin(), payload.end());
+  // Pooled in-flight buffer: recycled at every terminal delivery path
+  // (delivered / corrupt-dropped / dead destination / routed to nowhere).
+  msg.payload = pool_.acquire(payload.size());
+  if (!payload.empty()) {
+    std::memcpy(msg.payload.data(), payload.data(), payload.size());
+  }
   msg.seq = next_msg_seq_++;
   msg.checksum = payload_checksum(msg.payload);
   Network::Routing routing = network_.route_copies(msg, now_);
   publish(routing.count > 0 ? obs::EventType::kSend : obs::EventType::kDrop,
           src, dst, type, msg.payload.size());
+  if (routing.count == 0) {
+    pool_.release(std::move(msg.payload));
+    return;
+  }
   for (std::uint8_t i = 0; i < routing.count; ++i) {
     const Network::RoutedCopy& copy = routing.copies[i];
     Event e;

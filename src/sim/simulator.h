@@ -7,10 +7,10 @@
 // in-flight deliveries are discarded at fire time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <unordered_set>
 #include <vector>
@@ -173,7 +173,14 @@ class Simulator {
   /// Incarnation counter per process; timers armed in an older incarnation
   /// are discarded at fire time (volatile state did not survive).
   std::vector<std::uint32_t> epoch_;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  /// Event queue as an explicit binary heap (std::push_heap/pop_heap over
+  /// a vector) rather than std::priority_queue: top() of a priority_queue
+  /// is const, forcing step() to *copy* each event out — including its
+  /// message payload. The explicit heap lets step() move the event.
+  std::vector<Event> queue_;
+  /// Recycles message payload buffers across do_send -> delivery; shared by
+  /// every simulated process (one thread drives them all).
+  BufferPool pool_{BufferPool::Config{256, 256 * 1024}};
   std::unordered_set<TimerId> cancelled_timers_;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -222,6 +229,8 @@ class SimRuntime final : public Runtime {
   [[nodiscard]] StableStorage* storage() override { return storage_; }
 
   [[nodiscard]] obs::Plane& obs() override { return sim_.plane_; }
+
+  [[nodiscard]] BufferPool& pool() override { return sim_.pool_; }
 
  private:
   Simulator& sim_;

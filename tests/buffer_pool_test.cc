@@ -1,0 +1,146 @@
+// BufferPool / PooledBuffer / WireBlob borrow semantics.
+//
+// The pool is the allocation backbone of the zero-copy data plane: encode
+// draws frames from it, runtimes return delivery buffers to it, and the
+// steady state must serve every frame from the free list. WireBlob is the
+// ownership-or-borrow vocabulary decoded messages use for blob fields; its
+// debug borrow checker must flag views that outlive their delivery scope.
+#include <gtest/gtest.h>
+
+#include "common/blob.h"
+#include "common/buffer_pool.h"
+#include "net/wire.h"
+
+namespace lls {
+namespace {
+
+Bytes bytes_of(std::initializer_list<int> vals) {
+  Bytes out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(BufferPool, FirstAcquireMissesThenRecycles) {
+  BufferPool pool;
+  Bytes b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.idle(), 1u);
+
+  Bytes c = pool.acquire(50);  // smaller fits the recycled buffer
+  EXPECT_EQ(c.size(), 50u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_GE(c.capacity(), 100u);  // grown capacity is retained
+  pool.release(std::move(c));
+}
+
+TEST(BufferPool, LifoReuseIsSteadyStateAllocationFree) {
+  BufferPool pool;
+  // Warm up: one buffer grown to the working-set size.
+  pool.release(pool.acquire(64));
+  const std::uint64_t misses_after_warmup = pool.misses();
+  for (int i = 0; i < 1000; ++i) {
+    Bytes b = pool.acquire(64);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.misses(), misses_after_warmup);  // every round trip a hit
+  EXPECT_EQ(pool.hits(), 1000u);
+}
+
+TEST(BufferPool, CapsBoundIdleInventory) {
+  BufferPool pool(BufferPool::Config{/*max_buffers=*/2,
+                                     /*max_buffer_capacity=*/128});
+  pool.release(Bytes(16));
+  pool.release(Bytes(16));
+  pool.release(Bytes(16));  // third exceeds max_buffers: freed
+  EXPECT_EQ(pool.idle(), 2u);
+  EXPECT_EQ(pool.discards(), 1u);
+
+  BufferPool jumbo_guard(BufferPool::Config{8, 128});
+  Bytes big;
+  big.reserve(4096);  // a jumbo frame must not pin memory in the free list
+  jumbo_guard.release(std::move(big));
+  EXPECT_EQ(jumbo_guard.idle(), 0u);
+  EXPECT_EQ(jumbo_guard.discards(), 1u);
+}
+
+TEST(PooledBuffer, ReturnsBufferOnDestruction) {
+  BufferPool pool;
+  {
+    PooledBuffer b(pool, pool.acquire(32));
+    EXPECT_EQ(b.size(), 32u);
+    EXPECT_EQ(pool.idle(), 0u);
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+
+  // Moved-from handles must not double-release.
+  PooledBuffer a(pool, pool.acquire(8));
+  PooledBuffer moved = std::move(a);
+  moved.reset();
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(WireBlob, OwnsOrBorrows) {
+  WireBlob owned = bytes_of({1, 2, 3});
+  EXPECT_FALSE(owned.is_borrow());
+  EXPECT_EQ(owned.size(), 3u);
+
+  const Bytes backing = bytes_of({1, 2, 3});
+  WireBlob borrow = WireBlob::ref(backing);
+  EXPECT_TRUE(borrow.is_borrow());
+  EXPECT_EQ(borrow, owned);
+  EXPECT_EQ(borrow, backing);  // comparable against Bytes both ways
+  EXPECT_TRUE(backing == borrow);
+
+  // to_owned() detaches from the backing storage.
+  Bytes copy = borrow.to_owned();
+  EXPECT_EQ(copy, backing);
+  EXPECT_NE(copy.data(), backing.data());
+}
+
+#ifdef LLS_BORROW_CHECK
+TEST(WireBlob, BorrowCheckerTracksDeliveryScopes) {
+  const Bytes backing = bytes_of({9});
+  // Outside any scope: unchecked (storage the caller manages manually).
+  WireBlob unscoped = WireBlob::ref(backing);
+  EXPECT_EQ(unscoped.view().size(), 1u);
+
+  WireBlob escaped;
+  {
+    borrowcheck::Scope delivery;
+    WireBlob inside = WireBlob::ref(backing);
+    EXPECT_EQ(inside.view().size(), 1u);  // alive inside its scope
+    escaped = std::move(inside);
+  }
+  // The delivery scope closed: dereferencing the escaped borrow asserts.
+  EXPECT_DEATH((void)escaped.view(), "borrow outlived its delivery scope");
+}
+#endif
+
+struct Probe {
+  std::uint64_t a = 0;
+  Bytes blob;
+  LLS_WIRE_FIELDS(Probe, a, blob)
+};
+
+/// The pooled encode path: bit-identical bytes, zero allocation churn once
+/// the pool is warm.
+TEST(EncodePooled, MatchesHeapEncodeAndReusesOneBuffer) {
+  BufferPool pool;
+  Probe p;
+  p.a = 42;
+  p.blob = bytes_of({1, 2, 3, 4});
+  const Bytes heap = wire::encode(p);
+  EXPECT_EQ(wire::measure(p), heap.size());
+  for (int i = 0; i < 100; ++i) {
+    PooledBuffer frame = wire::encode_pooled(pool, p);
+    ASSERT_EQ(frame.bytes(), heap);
+  }
+  EXPECT_EQ(pool.misses(), 1u);  // only the very first frame allocated
+  EXPECT_EQ(pool.hits(), 99u);
+}
+
+}  // namespace
+}  // namespace lls

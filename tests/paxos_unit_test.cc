@@ -44,7 +44,9 @@ TEST(PaxosCodec, PromiseRoundTripWithEntries) {
   m.round = 9;
   m.entries.push_back(PromiseEntry{3, 4, false, bytes_of({1, 2})});
   m.entries.push_back(PromiseEntry{5, kNoRound, true, bytes_of({9})});
-  auto d = PromiseMsg::decode(m.encode());
+  // Decoded blob fields borrow into the encoded buffer: keep it alive.
+  const Bytes encoded = m.encode();
+  auto d = PromiseMsg::decode(encoded);
   EXPECT_EQ(d.round, 9);
   ASSERT_EQ(d.entries.size(), 2u);
   EXPECT_EQ(d.entries[0].instance, 3u);
@@ -58,7 +60,8 @@ TEST(PaxosCodec, PromiseRoundTripWithEntries) {
 
 TEST(PaxosCodec, AcceptRoundTrip) {
   AcceptMsg m{11, 4, 3, bytes_of({7, 7, 7})};
-  auto d = AcceptMsg::decode(m.encode());
+  const Bytes encoded = m.encode();  // decoded value borrows into this
+  auto d = AcceptMsg::decode(encoded);
   EXPECT_EQ(d.round, 11);
   EXPECT_EQ(d.instance, 4u);
   EXPECT_EQ(d.commit_upto, 3u);
@@ -72,12 +75,14 @@ TEST(PaxosCodec, SmallMessagesRoundTrip) {
   auto nk = NackMsg::decode(NackMsg{3, 8}.encode());
   EXPECT_EQ(nk.rejected_round, 3);
   EXPECT_EQ(nk.promised_round, 8);
-  auto dm = DecideMsg::decode(DecideMsg{6, bytes_of({1})}.encode());
+  const Bytes dm_bytes = DecideMsg{6, bytes_of({1})}.encode();
+  auto dm = DecideMsg::decode(dm_bytes);  // value borrows into dm_bytes
   EXPECT_EQ(dm.instance, 6u);
   EXPECT_EQ(dm.value, bytes_of({1}));
   auto da = DecideAckMsg::decode(DecideAckMsg{6}.encode());
   EXPECT_EQ(da.instance, 6u);
-  auto f = ForwardMsg::decode(ForwardMsg{bytes_of({4, 5})}.encode());
+  const Bytes f_bytes = ForwardMsg{bytes_of({4, 5})}.encode();
+  auto f = ForwardMsg::decode(f_bytes);
   EXPECT_EQ(f.value, bytes_of({4, 5}));
 }
 

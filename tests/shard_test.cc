@@ -75,16 +75,18 @@ TEST(GroupEnvelope, RoundTripsAndStaysInConsensusClass) {
   env.inner_type = msg_type::kConsensusBase + 7;
   env.payload = Bytes{std::byte{0xde}, std::byte{0xad}, std::byte{0xbe}};
 
-  const GroupEnvelopeMsg back = GroupEnvelopeMsg::decode(env.encode());
+  // The decoded payload borrows into the encoded buffer: keep it alive.
+  const Bytes encoded = env.encode();
+  const GroupEnvelopeMsg back = GroupEnvelopeMsg::decode(encoded);
   EXPECT_EQ(back.shard, env.shard);
   EXPECT_EQ(back.inner_type, env.inner_type);
   EXPECT_EQ(back.payload, env.payload);
 
-  const GroupEnvelopeMsg empty =
-      GroupEnvelopeMsg::decode(GroupEnvelopeMsg{.shard = 0,
-                                                .inner_type = 0x0200,
-                                                .payload = {}}
-                                   .encode());
+  const Bytes empty_bytes = GroupEnvelopeMsg{.shard = 0,
+                                             .inner_type = 0x0200,
+                                             .payload = {}}
+                                .encode();
+  const GroupEnvelopeMsg empty = GroupEnvelopeMsg::decode(empty_bytes);
   EXPECT_TRUE(empty.payload.empty());
 
   // Per-class accounting must keep seeing enveloped group traffic as

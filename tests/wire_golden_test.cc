@@ -20,7 +20,9 @@
 
 #include <string>
 
+#include "common/buffer_pool.h"
 #include "consensus/paxos.h"
+#include "net/wire.h"
 #include "net/message.h"
 #include "rsm/command.h"
 #include "shard/shard_map.h"
@@ -52,11 +54,20 @@ std::string to_hex(const Bytes& bytes) {
 
 /// Encode must hit the pin exactly, and decoding the pinned bytes must
 /// yield a value that re-encodes to the same bytes (codec is a bijection on
-/// its own output).
+/// its own output). The flat encode path is additionally cross-checked:
+/// the Measurer must predict exactly the pinned size, and the pooled
+/// arena-backed encoding must be bit-identical to the heap encoding — the
+/// zero-copy data plane is not allowed to change a single wire byte.
 template <typename Msg>
 void expect_golden(const Msg& msg, const std::string& pin) {
   EXPECT_EQ(to_hex(msg.encode()), pin);
-  EXPECT_EQ(to_hex(Msg::decode(from_hex(pin)).encode()), pin);
+  EXPECT_EQ(wire::measure(msg) * 2, pin.size());
+  BufferPool pool;
+  EXPECT_EQ(to_hex(wire::encode_pooled(pool, msg).bytes()), pin);
+  // Round-trip the pin: decoded blob fields borrow into `pinned`, which
+  // stays alive until the re-encoding is compared.
+  const Bytes pinned = from_hex(pin);
+  EXPECT_EQ(to_hex(Msg::decode(pinned).encode()), pin);
 }
 
 TEST(WireGolden, ConsensusMessages) {

@@ -49,6 +49,8 @@ struct CliOptions {
   LoadgenConfig load;
   std::vector<std::size_t> batches{1};
   bool udp = false;
+  bool batch_io = true;  ///< UDP mode: sendmmsg/recvmmsg coalescing
+  std::vector<int> shard_sweep;  ///< UDP mode: run once per shard count
   std::uint16_t udp_base_port = 47400;
   std::uint16_t stats_port = 0;  ///< UDP mode: replica 0's scrape port
   std::string json_path;
@@ -88,6 +90,10 @@ void usage(const char* argv0) {
       "  --seed=S\n"
       "  --out=PATH                 write results as JSON (--json= alias)\n"
       "  --udp [--udp-base-port=P]  run over UDP sockets instead of the sim\n"
+      "  --no-batch-io              UDP mode: one syscall per datagram\n"
+      "                             (disables sendmmsg/recvmmsg coalescing)\n"
+      "  --shard-sweep=1,2,4        UDP mode: run the workload once per\n"
+      "                             shard count (throughput scaling sweep)\n"
       "  --stats-port=P             UDP mode: replica 0 serves /metrics on P\n",
       argv0);
 }
@@ -160,6 +166,10 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
   opt->load.seed = flags.u64("seed", opt->load.seed);
   opt->json_path = flags.out();
   opt->udp = flags.flag("udp");
+  opt->batch_io = !flags.flag("no-batch-io");
+  for (std::uint64_t m : flags.u64_list("shard-sweep", {})) {
+    opt->shard_sweep.push_back(static_cast<int>(m));
+  }
   opt->udp_base_port = static_cast<std::uint16_t>(
       flags.u64("udp-base-port", opt->udp_base_port));
   opt->stats_port = static_cast<std::uint16_t>(flags.u64("stats-port", 0));
@@ -388,14 +398,40 @@ class UdpHistRecorder {
       std::chrono::steady_clock::now();
 };
 
+/// One UDP run's aggregate outcome, for the console table and JSON output.
+struct UdpRunStats {
+  int shards = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t redirects = 0;
+  double throughput = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t reads_local = 0;
+  std::uint64_t reads_ordered = 0;
+  // Data-plane counters summed over every node (replicas + clients).
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t sendmmsg_calls = 0;
+  std::uint64_t recvmmsg_calls = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+};
+
 /// UDP host: same actors over loopback sockets, wall-clock timed, closed
 /// loop only (the sim host covers the parameter space; this proves the
-/// stack runs unchanged over real datagrams).
-int run_udp(const CliOptions& opt) {
+/// stack runs unchanged over real datagrams). One invocation = one cluster
+/// at `shards` groups on `base_port`.
+UdpRunStats run_udp_once(const CliOptions& opt, int shards,
+                         std::uint16_t base_port) {
   const int cluster_n = opt.load.cluster_n;
   const int n = cluster_n + opt.load.clients;
-  std::printf("lls_loadgen (udp): n=%d clients=%d base_port=%u\n\n", cluster_n,
-              opt.load.clients, opt.udp_base_port);
+  std::printf("lls_loadgen (udp): n=%d clients=%d shards=%d base_port=%u "
+              "batch_io=%s\n\n",
+              cluster_n, opt.load.clients, shards, base_port,
+              opt.batch_io ? "on" : "off");
 
   std::vector<std::unique_ptr<UdpNode>> nodes;
   for (ProcessId p = 0; p < static_cast<ProcessId>(cluster_n); ++p) {
@@ -414,15 +450,16 @@ int run_udp(const CliOptions& opt) {
     UdpNodeConfig nc;
     nc.id = p;
     nc.n = n;
-    nc.base_port = opt.udp_base_port;
+    nc.base_port = base_port;
     nc.seed = opt.load.seed + p;
+    nc.batch_io = opt.batch_io;
     if (p == 0) nc.stats_port = opt.stats_port;
     CeOmegaConfig oc;
     oc.lease_duration = opt.load.lease_reads ? opt.load.lease_duration : 0;
     std::unique_ptr<Actor> actor;
-    if (opt.load.shards > 0) {
+    if (shards > 0) {
       ShardedReplicaConfig sc;
-      sc.shards = opt.load.shards;
+      sc.shards = shards;
       sc.replica = rc;
       actor = std::make_unique<ShardedKvReplica>(ShardedKvReplica::Options{
           .omega = oc, .consensus = lc, .sharded = sc});
@@ -436,14 +473,15 @@ int run_udp(const CliOptions& opt) {
     ClusterClientConfig cc;
     cc.cluster_n = cluster_n;
     cc.window = static_cast<std::size_t>(opt.load.closed_outstanding);
-    cc.shards = opt.load.shards > 0 ? opt.load.shards : 1;
+    cc.shards = shards > 0 ? shards : 1;
     cc.coalesce = opt.load.coalesce;
     cc.lease_reads = opt.load.lease_reads;
     UdpNodeConfig nc;
     nc.id = static_cast<ProcessId>(cluster_n + c);
     nc.n = n;
-    nc.base_port = opt.udp_base_port;
+    nc.base_port = base_port;
     nc.seed = opt.load.seed + 1000 + static_cast<std::uint64_t>(c);
+    nc.batch_io = opt.batch_io;
     nodes.push_back(std::make_unique<UdpNode>(
         nc, std::make_unique<ClusterClient>(cc)));
   }
@@ -551,7 +589,7 @@ int run_udp(const CliOptions& opt) {
   std::uint64_t reads_local = 0, reads_ordered = 0;
   for (ProcessId p = 0; p < static_cast<ProcessId>(cluster_n); ++p) {
     Actor& a = nodes[static_cast<std::size_t>(p)]->actor();
-    if (opt.load.shards > 0) {
+    if (shards > 0) {
       auto& r = static_cast<ShardedKvReplica&>(a);
       reads_local += r.reads_local();
       reads_ordered += r.reads_ordered();
@@ -591,7 +629,131 @@ int run_udp(const CliOptions& opt) {
                                    static_cast<double>(admitted)
                              : 0.0);
   }
-  return acked > 0 ? 0 : 1;
+
+  UdpRunStats stats;
+  stats.shards = shards;
+  stats.acked = acked;
+  stats.timed_out = timed_out;
+  stats.retries = retries;
+  stats.redirects = redirects;
+  stats.throughput = static_cast<double>(acked) / (secs > 0 ? secs : 1);
+  stats.samples = all_ms.count();
+  if (all_ms.count() > 0) {
+    stats.p50_ms = all_ms.percentile(50);
+    stats.p99_ms = all_ms.percentile(99);
+  }
+  stats.reads_local = reads_local;
+  stats.reads_ordered = reads_ordered;
+  // Loop threads are joined: each node's registry is safe to read directly.
+  for (auto& node : nodes) {
+    obs::Registry& reg = node->obs().registry();
+    stats.datagrams_sent += reg.counter("udp.datagrams_sent").value();
+    stats.datagrams_received += reg.counter("udp.datagrams_received").value();
+    stats.sendmmsg_calls += reg.counter("udp.sendmmsg_calls").value();
+    stats.recvmmsg_calls += reg.counter("udp.recvmmsg_calls").value();
+    stats.pool_hits += reg.counter("udp.pool_hits").value();
+    stats.pool_misses += reg.counter("udp.pool_misses").value();
+  }
+  if (stats.sendmmsg_calls > 0) {
+    std::printf("data plane: %llu datagrams / %llu sendmmsg calls "
+                "(%.1f per syscall), pool hit rate %.1f%%\n",
+                (unsigned long long)stats.datagrams_sent,
+                (unsigned long long)stats.sendmmsg_calls,
+                static_cast<double>(stats.datagrams_sent) /
+                    static_cast<double>(stats.sendmmsg_calls),
+                stats.pool_hits + stats.pool_misses > 0
+                    ? 100.0 * static_cast<double>(stats.pool_hits) /
+                          static_cast<double>(stats.pool_hits +
+                                              stats.pool_misses)
+                    : 0.0);
+  }
+  return stats;
+}
+
+/// Drives one run (or a --shard-sweep series) and writes the JSON artifact
+/// consumed by tools/run_bench.sh (BENCH_shard_udp.json).
+int run_udp(const CliOptions& opt) {
+  std::vector<int> shard_counts = opt.shard_sweep;
+  if (shard_counts.empty()) shard_counts.push_back(opt.load.shards);
+
+  std::vector<UdpRunStats> runs;
+  std::uint16_t base_port = opt.udp_base_port;
+  for (int shards : shard_counts) {
+    runs.push_back(run_udp_once(opt, shards, base_port));
+    // Fresh ports per sweep step: no reliance on immediate rebind.
+    base_port = static_cast<std::uint16_t>(
+        base_port + opt.load.cluster_n + opt.load.clients + 8);
+    std::printf("\n");
+  }
+
+  if (runs.size() > 1) {
+    Table table({"shards", "acked", "ops/s", "p50(ms)", "p99(ms)",
+                 "dgrams/syscall"});
+    for (const UdpRunStats& r : runs) {
+      table.add_row(
+          {format("%d", r.shards), format("%llu", (unsigned long long)r.acked),
+           format("%.0f", r.throughput), format("%.2f", r.p50_ms),
+           format("%.2f", r.p99_ms),
+           r.sendmmsg_calls > 0
+               ? format("%.1f", static_cast<double>(r.datagrams_sent) /
+                                    static_cast<double>(r.sendmmsg_calls))
+               : std::string("-")});
+    }
+    table.print();
+  }
+
+  if (!opt.json_path.empty()) {
+    Json json;
+    json.begin_object();
+    json.key("tool").value("lls_loadgen");
+    json.key("host").value("udp");
+    json.key("config").begin_object();
+    json.key("n").value(opt.load.cluster_n);
+    json.key("clients").value(opt.load.clients);
+    json.key("outstanding").value(opt.load.closed_outstanding);
+    json.key("write_ratio").value(opt.load.write_ratio);
+    json.key("value_size").value(opt.load.value_size);
+    json.key("duration_ms").value(opt.load.duration / kMillisecond);
+    json.key("batch_io").value(opt.batch_io);
+    json.key("max_batch").value(opt.batches.front());
+    json.key("seed").value(opt.load.seed);
+    json.end_object();
+    json.key("runs").begin_array();
+    for (const UdpRunStats& r : runs) {
+      json.begin_object();
+      json.key("shards").value(static_cast<std::int64_t>(r.shards));
+      json.key("acked").value(r.acked);
+      json.key("timed_out").value(r.timed_out);
+      json.key("retries").value(r.retries);
+      json.key("redirects").value(r.redirects);
+      json.key("throughput_ops_s").value(r.throughput);
+      json.key("p50_ms").value(r.p50_ms);
+      json.key("p99_ms").value(r.p99_ms);
+      json.key("samples").value(r.samples);
+      json.key("reads_local").value(r.reads_local);
+      json.key("reads_ordered").value(r.reads_ordered);
+      json.key("datagrams_sent").value(r.datagrams_sent);
+      json.key("datagrams_received").value(r.datagrams_received);
+      json.key("sendmmsg_calls").value(r.sendmmsg_calls);
+      json.key("recvmmsg_calls").value(r.recvmmsg_calls);
+      json.key("datagrams_per_sendmmsg")
+          .value(r.sendmmsg_calls > 0
+                     ? static_cast<double>(r.datagrams_sent) /
+                           static_cast<double>(r.sendmmsg_calls)
+                     : 0.0);
+      json.key("pool_hits").value(r.pool_hits);
+      json.key("pool_misses").value(r.pool_misses);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!write_json_file(opt.json_path, json)) return 1;
+  }
+
+  for (const UdpRunStats& r : runs) {
+    if (r.acked == 0) return 1;
+  }
+  return 0;
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 #                       exactly-once audit enabled
 #   BENCH_t3.json     — consensus message complexity / latency, CE stack
 #                       vs rotating coordinator (paper claim T3)
+#   BENCH_m1.json     — wire codec micro-benchmarks (legacy vs pooled
+#                       flat encode, allocs/op counters)
+#   BENCH_shard_udp.json — UDP loopback shard-scaling sweep with batched
+#                       (sendmmsg/recvmmsg) datagram I/O
 #
 #   tools/run_bench.sh [build-dir]
 #
@@ -18,7 +22,8 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-"$repo/build"}"
 
-cmake --build "$build" --target lls_loadgen bench_t3_consensus -j "$(nproc)"
+cmake --build "$build" --target lls_loadgen bench_t3_consensus bench_m1_micro \
+  -j "$(nproc)"
 
 "$build/tools/lls_loadgen" \
   --mode=closed --n=5 --clients=64 --outstanding=1 \
@@ -28,4 +33,15 @@ cmake --build "$build" --target lls_loadgen bench_t3_consensus -j "$(nproc)"
 
 "$build/bench/bench_t3_consensus" --json="$repo/BENCH_t3.json"
 
-echo "wrote $repo/BENCH_client.json and $repo/BENCH_t3.json"
+"$build/bench/bench_m1_micro" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json --benchmark_out="$repo/BENCH_m1.json" \
+  >/dev/null
+
+"$build/tools/lls_loadgen" \
+  --udp --clients=4 --outstanding=1 \
+  --shard-sweep=1,2,4 --duration-ms=5000 --warmup-ms=1000 \
+  --json="$repo/BENCH_shard_udp.json"
+
+echo "wrote $repo/BENCH_client.json, $repo/BENCH_t3.json," \
+  "$repo/BENCH_m1.json and $repo/BENCH_shard_udp.json"
